@@ -1,0 +1,88 @@
+// Ablation: how much does the Section 4.5 integrity-constraint refinement
+// (primary-key and foreign-key rules) buy? Reports (a) the IPM pair counts
+// with and without the refinement, and (b) template-inspection invalidation
+// counts over a real trace.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "invalidation/strategies.h"
+
+namespace {
+
+using dssp::analysis::ExposureLevel;
+using dssp::analysis::IpmCharacterization;
+using dssp::analysis::IpmOptions;
+using dssp::invalidation::CachedQueryView;
+using dssp::invalidation::Decision;
+using dssp::invalidation::TemplateInspectionStrategy;
+using dssp::invalidation::UpdateView;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — Section 4.5 integrity-constraint refinement\n\n"
+      "%-11s %16s %16s | %18s %18s\n",
+      "Application", "A=0 pairs (on)", "A=0 pairs (off)", "TIS inv/upd (on)",
+      "TIS inv/upd (off)");
+  std::printf("%s\n", std::string(88, '-').c_str());
+
+  for (std::string_view name : dssp::workloads::kEvaluationApps) {
+    auto system = dssp::bench::BuildSystem(std::string(name), 0.25, 3);
+    const auto& templates = system->app->templates();
+    const auto& catalog = system->app->home().database().catalog();
+
+    IpmOptions with;
+    IpmOptions without;
+    without.use_integrity_constraints = false;
+    const auto summary_with =
+        IpmCharacterization::Compute(templates, catalog, with).Summarize();
+    const auto summary_without =
+        IpmCharacterization::Compute(templates, catalog, without).Summarize();
+
+    // Trace: count template-level invalidation decisions across all
+    // (update instance, query template) pairs of a workload run.
+    TemplateInspectionStrategy tis_with(catalog, true);
+    TemplateInspectionStrategy tis_without(catalog, false);
+    auto session = system->workload->NewSession(9);
+    dssp::Rng rng(41);
+    uint64_t updates = 0;
+    uint64_t inv_with = 0;
+    uint64_t inv_without = 0;
+    for (int page = 0; page < 600; ++page) {
+      for (const dssp::sim::DbOp& op : session->NextPage(rng)) {
+        if (!op.is_update) continue;
+        ++updates;
+        const size_t index = templates.UpdateIndex(op.template_id);
+        UpdateView uv;
+        uv.level = ExposureLevel::kTemplate;
+        uv.tmpl = &templates.updates()[index];
+        for (const auto& q : templates.queries()) {
+          CachedQueryView qv;
+          qv.level = ExposureLevel::kTemplate;
+          qv.tmpl = &q;
+          if (tis_with.Decide(uv, qv) == Decision::kInvalidate) ++inv_with;
+          if (tis_without.Decide(uv, qv) == Decision::kInvalidate) {
+            ++inv_without;
+          }
+        }
+      }
+    }
+    std::printf("%-11s %16zu %16zu | %18.2f %18.2f\n",
+                std::string(name).c_str(), summary_with.all_zero,
+                summary_without.all_zero,
+                updates == 0 ? 0.0
+                             : static_cast<double>(inv_with) /
+                                   static_cast<double>(updates),
+                updates == 0 ? 0.0
+                             : static_cast<double>(inv_without) /
+                                   static_cast<double>(updates));
+  }
+
+  std::printf(
+      "\nInterpretation: the refinement increases the A=0 pair count (more\n"
+      "free encryption) and lowers per-update template-level invalidation\n"
+      "fan-out (more scalability headroom).\n");
+  return 0;
+}

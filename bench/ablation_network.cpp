@@ -1,0 +1,62 @@
+// Ablation: how sensitive is the DSSP architecture to the WAN between the
+// DSSP node and the application home server? The paper pins it at 100 ms /
+// 2 Mbps ("a DSSP node is close to the clients, most of which are far from
+// any single home server"). Sweeps the one-way WAN latency at a fixed user
+// population, under full exposure (MVIS) and under blind invalidation
+// (MBS) — misses pay the WAN, so the cost of conservative invalidation
+// grows with distance.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using dssp::analysis::ExposureLevel;
+
+dssp::sim::SimResult Run(double wan_latency_s, ExposureLevel level) {
+  dssp::sim::SimConfig config = dssp::bench::BenchSimConfig();
+  config.wan_latency_s = wan_latency_s;
+  auto system = dssp::bench::BuildSystem("bookstore",
+                                         dssp::bench::BenchScale(), 17);
+  DSSP_CHECK_OK(system->app->SetExposure(dssp::bench::UniformExposure(
+      *system->app, level,
+      level == ExposureLevel::kBlind ? ExposureLevel::kBlind
+                                     : ExposureLevel::kStmt)));
+  auto generator = system->workload->NewSession(23);
+  auto result =
+      dssp::sim::RunSimulation(*system->app, *generator, 420, config);
+  DSSP_CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — WAN latency sensitivity (bookstore, 420 users, "
+      "duration=%.0fs)\n\n",
+      dssp::bench::BenchDuration());
+  std::printf("%14s | %21s | %21s\n", "", "MVIS (full exposure)",
+              "MBS (full encryption)");
+  std::printf("%14s | %10s %10s | %10s %10s\n", "WAN latency", "p90 (s)",
+              "hit rate", "p90 (s)", "hit rate");
+  std::printf("%s\n", std::string(64, '-').c_str());
+
+  for (double latency : {0.025, 0.05, 0.1, 0.2, 0.4}) {
+    const dssp::sim::SimResult view = Run(latency, ExposureLevel::kView);
+    const dssp::sim::SimResult blind = Run(latency, ExposureLevel::kBlind);
+    std::printf("%11.0f ms | %10.3f %10.3f | %10.3f %10.3f\n",
+                latency * 1000, view.p90_response_s, view.cache_hit_rate,
+                blind.p90_response_s, blind.cache_hit_rate);
+  }
+
+  std::printf(
+      "\nInterpretation: under precise invalidation (MVIS) the home server "
+      "stays\nunloaded and response times simply track the WAN round trip; "
+      "under blind\ninvalidation every query reaches the home server, which "
+      "saturates at this\npopulation regardless of distance — encrypting "
+      "everything turns the cheap\nshared cache back into a single remote "
+      "bottleneck.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: the paper replaces TPC-W's uniform book popularity with a Zipf
+// distribution fitted to Amazon sales ranks (Brynjolfsson et al., paper
+// footnote 5). How much does that skew matter for the DSSP's hit rate and
+// responsiveness? Sweeps the Zipf exponent from 0 (TPC-W's original
+// uniform) past the fitted 0.87 at a fixed population of users.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/bookstore.h"
+
+int main() {
+  dssp::sim::SimConfig config = dssp::bench::BenchSimConfig();
+  const int users = 400;
+  std::printf(
+      "Ablation — book-popularity skew (bookstore, %d users, MVIS, "
+      "duration=%.0fs)\n\n",
+      users, config.duration_s);
+  std::printf("%8s %10s %10s %10s %12s\n", "theta", "hit rate", "p90 (s)",
+              "mean (s)", "home queries");
+  std::printf("%s\n", std::string(56, '-').c_str());
+
+  for (double theta : {0.0, 0.5, 0.87, 1.2}) {
+    dssp::service::DsspNode node;
+    dssp::service::ScalableApp app(
+        "bookstore", &node, dssp::crypto::KeyRing::FromPassphrase("skew"));
+    dssp::workloads::BookstoreApplication workload;
+    workload.set_item_popularity_theta(theta);
+    DSSP_CHECK_OK(workload.Setup(app, dssp::bench::BenchScale(), 17));
+    DSSP_CHECK_OK(app.Finalize());
+    auto generator = workload.NewSession(23);
+    auto result = dssp::sim::RunSimulation(app, *generator, users, config);
+    DSSP_CHECK(result.ok());
+    std::printf("%8.2f %10.3f %10.3f %10.3f %12llu\n", theta,
+                result->cache_hit_rate, result->p90_response_s,
+                result->mean_response_s,
+                static_cast<unsigned long long>(result->home_queries));
+  }
+
+  std::printf(
+      "\nInterpretation: skewed popularity concentrates lookups on hot "
+      "entries, raising\nthe shared-cache hit rate — the paper's realism "
+      "fix also makes the DSSP more\neffective than TPC-W's uniform "
+      "distribution would suggest.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Microbenchmarks for the static analysis: template creation, IPM
+// characterization, and the full methodology on the largest application
+// (bookstore: 28 x 12 template pairs).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/methodology.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using dssp::bench::BuildSystem;
+
+const dssp::bench::System& System() {
+  static auto* system = BuildSystem("bookstore", 0.1, 5).release();
+  return *system;
+}
+
+void BM_QueryTemplateCreate(benchmark::State& state) {
+  const auto& catalog = System().app->home().database().catalog();
+  for (auto _ : state) {
+    auto tmpl = dssp::templates::QueryTemplate::Create(
+        "Q", "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+             "WHERE item.i_a_id = author.a_id AND i_subject = ? "
+             "ORDER BY i_title LIMIT 50",
+        catalog);
+    benchmark::DoNotOptimize(tmpl);
+  }
+}
+BENCHMARK(BM_QueryTemplateCreate);
+
+void BM_CharacterizePair(benchmark::State& state) {
+  const auto& templates = System().app->templates();
+  const auto& catalog = System().app->home().database().catalog();
+  const auto& u = templates.updates()[5];  // setStock.
+  const auto& q = templates.queries()[3];  // subject search.
+  for (auto _ : state) {
+    auto pc = dssp::analysis::CharacterizePair(u, q, catalog);
+    benchmark::DoNotOptimize(pc);
+  }
+}
+BENCHMARK(BM_CharacterizePair);
+
+void BM_IpmComputeFullApp(benchmark::State& state) {
+  const auto& templates = System().app->templates();
+  const auto& catalog = System().app->home().database().catalog();
+  for (auto _ : state) {
+    auto ipm =
+        dssp::analysis::IpmCharacterization::Compute(templates, catalog);
+    benchmark::DoNotOptimize(ipm);
+  }
+  state.counters["pairs"] = static_cast<double>(
+      templates.num_queries() * templates.num_updates());
+}
+BENCHMARK(BM_IpmComputeFullApp);
+
+void BM_RunMethodologyFullApp(benchmark::State& state) {
+  const auto& templates = System().app->templates();
+  const auto& catalog = System().app->home().database().catalog();
+  const auto policy = System().workload->CompulsoryEncryption(catalog);
+  for (auto _ : state) {
+    auto report =
+        dssp::analysis::RunMethodology(templates, catalog, policy);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_RunMethodologyFullApp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Microbenchmarks for the relational engine: point lookups, joins,
+// aggregates, and update application on a populated bookstore database.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "sql/parser.h"
+
+namespace {
+
+using dssp::bench::BuildSystem;
+using dssp::sql::ParseOrDie;
+
+dssp::engine::Database& Db() {
+  static auto* system = BuildSystem("bookstore", 1.0, 5).release();
+  return system->app->home().database();
+}
+
+void BM_PointQueryByPrimaryKey(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt = ParseOrDie("SELECT i_stock FROM item WHERE i_id = 417");
+  for (auto _ : state) {
+    auto result = db.ExecuteQuery(stmt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PointQueryByPrimaryKey);
+
+void BM_EquiJoinWithOrderByLimit(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt = ParseOrDie(
+      "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+      "WHERE item.i_a_id = author.a_id AND i_subject = 'SCIFI' "
+      "ORDER BY i_title LIMIT 50");
+  for (auto _ : state) {
+    auto result = db.ExecuteQuery(stmt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EquiJoinWithOrderByLimit);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt = ParseOrDie(
+      "SELECT i_subject, COUNT(i_id) FROM item WHERE i_cost >= 5.0 "
+      "GROUP BY i_subject ORDER BY i_subject");
+  for (auto _ : state) {
+    auto result = db.ExecuteQuery(stmt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GroupByAggregate);
+
+void BM_BestSellersJoinAggregate(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt = ParseOrDie(
+      "SELECT ol_i_id, SUM(ol_qty) FROM order_line, item "
+      "WHERE order_line.ol_i_id = item.i_id AND i_subject = 'SCIFI' "
+      "GROUP BY ol_i_id ORDER BY ol_i_id LIMIT 50");
+  for (auto _ : state) {
+    auto result = db.ExecuteQuery(stmt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BestSellersJoinAggregate);
+
+void BM_ModificationByPrimaryKey(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt =
+      ParseOrDie("UPDATE item SET i_stock = 55 WHERE i_id = 611");
+  for (auto _ : state) {
+    auto effect = db.ExecuteUpdate(stmt);
+    benchmark::DoNotOptimize(effect);
+  }
+}
+BENCHMARK(BM_ModificationByPrimaryKey);
+
+void BM_InsertDeleteRoundTrip(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto insert = ParseOrDie(
+      "INSERT INTO shopping_cart (sc_id, sc_date) VALUES (7777777, 1)");
+  const auto remove =
+      ParseOrDie("DELETE FROM shopping_cart WHERE sc_id = 7777777");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.ExecuteUpdate(insert));
+    benchmark::DoNotOptimize(db.ExecuteUpdate(remove));
+  }
+}
+BENCHMARK(BM_InsertDeleteRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

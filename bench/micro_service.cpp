@@ -1,0 +1,75 @@
+// Microbenchmarks for the DSSP service path: cache hits, misses, and
+// invalidation at the different exposure levels.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using dssp::analysis::ExposureLevel;
+using dssp::bench::BuildSystem;
+using dssp::sql::Value;
+
+void RunQueryPath(benchmark::State& state, ExposureLevel level) {
+  auto system = BuildSystem("bookstore", 0.5, 5);
+  DSSP_CHECK_OK(system->app->SetExposure(dssp::bench::UniformExposure(
+      *system->app, level, ExposureLevel::kStmt)));
+  // Warm the entry, then measure the hit path.
+  DSSP_CHECK(system->app->Query("Q2", {Value(17)}).ok());
+  for (auto _ : state) {
+    auto result = system->app->Query("Q2", {Value(17)});
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_CacheHitView(benchmark::State& state) {
+  RunQueryPath(state, ExposureLevel::kView);
+}
+BENCHMARK(BM_CacheHitView);
+
+void BM_CacheHitTemplate(benchmark::State& state) {
+  RunQueryPath(state, ExposureLevel::kTemplate);
+}
+BENCHMARK(BM_CacheHitTemplate);
+
+void BM_CacheHitBlind(benchmark::State& state) {
+  RunQueryPath(state, ExposureLevel::kBlind);
+}
+BENCHMARK(BM_CacheHitBlind);
+
+void BM_CacheMissAndFill(benchmark::State& state) {
+  auto system = BuildSystem("bookstore", 0.5, 5);
+  int64_t i = 0;
+  for (auto _ : state) {
+    // A fresh key each iteration: full miss -> home -> store path.
+    auto result =
+        system->app->Query("Q2", {Value(1 + (i++ % 500))});
+    benchmark::DoNotOptimize(result);
+    if (i % 500 == 0) system->node.ClearCache("bookstore");
+  }
+}
+BENCHMARK(BM_CacheMissAndFill);
+
+void BM_UpdateWithInvalidation(benchmark::State& state) {
+  auto system = BuildSystem("bookstore", 0.5, 5);
+  // Populate a cache of assorted entries.
+  for (int64_t i = 1; i <= 200; ++i) {
+    DSSP_CHECK(system->app->Query("Q2", {Value(i)}).ok());
+    DSSP_CHECK(system->app->Query("Q18", {Value(i)}).ok());
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    // Stock updates invalidate the touched item's Q2/Q18 entries.
+    auto effect =
+        system->app->Update("U6", {Value(50), Value(1 + (i++ % 200))});
+    benchmark::DoNotOptimize(effect);
+  }
+  state.counters["cache_size"] = static_cast<double>(
+      system->node.CacheSize("bookstore"));
+}
+BENCHMARK(BM_UpdateWithInvalidation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

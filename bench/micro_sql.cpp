@@ -1,0 +1,52 @@
+// Microbenchmarks for the SQL layer: tokenizer, parser, printer, binding.
+
+#include <benchmark/benchmark.h>
+
+#include "sql/parser.h"
+
+namespace {
+
+const char* kSimple = "SELECT qty FROM toys WHERE toy_id = ?";
+const char* kComplex =
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND i_subject = ? "
+    "ORDER BY i_pub_date DESC, i_title LIMIT 50";
+
+void BM_ParseSimple(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = dssp::sql::Parse(kSimple);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseSimple);
+
+void BM_ParseComplex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = dssp::sql::Parse(kComplex);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseComplex);
+
+void BM_PrintComplex(benchmark::State& state) {
+  const dssp::sql::Statement stmt = dssp::sql::ParseOrDie(kComplex);
+  for (auto _ : state) {
+    std::string sql = dssp::sql::ToSql(stmt);
+    benchmark::DoNotOptimize(sql);
+  }
+}
+BENCHMARK(BM_PrintComplex);
+
+void BM_BindParameters(benchmark::State& state) {
+  const dssp::sql::Statement stmt = dssp::sql::ParseOrDie(kComplex);
+  const std::vector<dssp::sql::Value> params = {dssp::sql::Value("SCIFI")};
+  for (auto _ : state) {
+    dssp::sql::Statement bound = dssp::sql::BindParameters(stmt, params);
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_BindParameters);
+
+}  // namespace
+
+BENCHMARK_MAIN();

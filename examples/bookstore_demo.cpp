@@ -1,0 +1,87 @@
+// Bookstore demo: the TPC-W-style application from the paper's evaluation,
+// run end to end — schema + templates, the security design methodology,
+// and a simulated flash crowd measured under the resulting exposure levels
+// versus full encryption.
+//
+// Build & run:  ./build/examples/bookstore_demo
+
+#include <cstdio>
+
+#include "analysis/methodology.h"
+#include "crypto/keyring.h"
+#include "sim/simulator.h"
+#include "workloads/application.h"
+
+using dssp::analysis::ExposureAssignment;
+using dssp::analysis::ExposureLevel;
+
+namespace {
+
+dssp::sim::SimResult Simulate(const ExposureAssignment& exposure,
+                              int users) {
+  dssp::service::DsspNode node;
+  dssp::service::ScalableApp app(
+      "bookstore", &node,
+      dssp::crypto::KeyRing::FromPassphrase("bookstore-secret"));
+  auto workload = dssp::workloads::MakeApplication("bookstore");
+  DSSP_CHECK_OK(workload->Setup(app, /*scale=*/1.0, /*seed=*/42));
+  DSSP_CHECK_OK(app.Finalize());
+  DSSP_CHECK_OK(app.SetExposure(exposure));
+
+  auto session = workload->NewSession(1);
+  dssp::sim::SimConfig config;
+  config.duration_s = 120;  // Two virtual minutes of flash crowd.
+  auto result = dssp::sim::RunSimulation(app, *session, users, config);
+  DSSP_CHECK(result.ok());
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  // Build once just to run the static analysis.
+  dssp::service::DsspNode node;
+  dssp::service::ScalableApp app(
+      "bookstore", &node,
+      dssp::crypto::KeyRing::FromPassphrase("bookstore-secret"));
+  auto workload = dssp::workloads::MakeApplication("bookstore");
+  DSSP_CHECK_OK(workload->Setup(app, 1.0, 42));
+  DSSP_CHECK_OK(app.Finalize());
+
+  const auto& catalog = app.home().database().catalog();
+  std::printf("bookstore: %zu query templates, %zu update templates, "
+              "%zu master rows\n",
+              app.templates().num_queries(), app.templates().num_updates(),
+              app.home().database().TotalRows());
+
+  const dssp::analysis::SecurityReport report =
+      dssp::analysis::RunMethodology(
+          app.templates(), catalog, workload->CompulsoryEncryption(catalog));
+  std::printf("\n== Methodology outcome ==\n%s\n",
+              report.ToString().c_str());
+  std::printf("%zu of %zu query templates get encrypted results for free.\n",
+              report.QueriesWithEncryptedResults(),
+              app.templates().num_queries());
+
+  // Flash crowd: 400 users hit the store.
+  constexpr int kUsers = 400;
+  std::printf("\n== Flash crowd: %d concurrent users, 2 minutes ==\n",
+              kUsers);
+
+  const dssp::sim::SimResult secured = Simulate(report.final, kUsers);
+  std::printf("scalability-conscious security: %s\n",
+              secured.ToString().c_str());
+
+  ExposureAssignment blind = ExposureAssignment::FullEncryption(
+      app.templates().num_queries(), app.templates().num_updates());
+  const dssp::sim::SimResult full_encryption = Simulate(blind, kUsers);
+  std::printf("blanket encryption:             %s\n",
+              full_encryption.ToString().c_str());
+
+  std::printf(
+      "\nWith the methodology's exposure levels the store absorbs the crowd "
+      "(p90 %.2fs);\nblanket encryption forces blind invalidation and the "
+      "home server melts (p90 %.2fs).\n",
+      secured.p90_response_s, full_encryption.p90_response_s);
+  return 0;
+}

@@ -1,0 +1,177 @@
+// dssp_shell: an interactive console for poking at a DSSP-backed
+// application. Reads commands from stdin (works piped, too):
+//
+//   q <id> <param> [param...]   execute a query template instance
+//   u <id> <param> [param...]   execute an update template instance
+//   templates                   list templates with exposure levels
+//   stats                       DSSP statistics
+//   cache                       cache size
+//   expose <id> <level>         set one template's exposure
+//                               (blind|template|stmt|view)
+//   methodology                 run the security design methodology & apply
+//   help / quit
+//
+// Parameters: integers, doubles, or 'quoted strings'.
+//
+// Usage: ./build/examples/dssp_shell [app]       (default: toystore)
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/methodology.h"
+#include "common/strings.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "workloads/application.h"
+
+namespace {
+
+using dssp::analysis::ExposureLevel;
+using dssp::sql::Value;
+
+bool ParseLevel(const std::string& text, ExposureLevel* out) {
+  if (text == "blind") *out = ExposureLevel::kBlind;
+  else if (text == "template") *out = ExposureLevel::kTemplate;
+  else if (text == "stmt") *out = ExposureLevel::kStmt;
+  else if (text == "view") *out = ExposureLevel::kView;
+  else return false;
+  return true;
+}
+
+// Parses whitespace-separated parameters; 'quoted' tokens become strings.
+std::vector<Value> ParseParams(std::istringstream& in) {
+  std::vector<Value> params;
+  std::string token;
+  while (in >> token) {
+    if (token.size() >= 2 && token.front() == '\'') {
+      std::string text = token.substr(1);
+      while (!text.empty() && text.back() != '\'' && in >> token) {
+        text += " " + token;
+      }
+      if (!text.empty() && text.back() == '\'') text.pop_back();
+      params.emplace_back(text);
+    } else if (token.find('.') != std::string::npos) {
+      params.emplace_back(std::strtod(token.c_str(), nullptr));
+    } else {
+      params.emplace_back(
+          static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "toystore";
+  dssp::service::DsspNode node;
+  dssp::service::ScalableApp app(
+      name, &node, dssp::crypto::KeyRing::FromPassphrase("shell"));
+  auto workload = dssp::workloads::MakeApplication(name);
+  DSSP_CHECK_OK(workload->Setup(app, /*scale=*/0.5, /*seed=*/7));
+  DSSP_CHECK_OK(app.Finalize());
+  dssp::analysis::ExposureAssignment exposure = app.exposure();
+
+  std::printf("dssp shell — %s (%zu queries, %zu updates). 'help' lists "
+              "commands.\n",
+              name.c_str(), app.templates().num_queries(),
+              app.templates().num_updates());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf(
+          "  q <id> <params...> | u <id> <params...> | templates | stats |\n"
+          "  cache | expose <id> <level> | methodology | quit\n");
+    } else if (cmd == "templates") {
+      for (size_t j = 0; j < app.templates().num_queries(); ++j) {
+        const auto& t = app.templates().queries()[j];
+        std::printf("  %-4s [%-8s] %s\n", t.id().c_str(),
+                    ExposureLevelName(exposure.query_levels[j]),
+                    t.ToSql().c_str());
+      }
+      for (size_t i = 0; i < app.templates().num_updates(); ++i) {
+        const auto& t = app.templates().updates()[i];
+        std::printf("  %-4s [%-8s] %s\n", t.id().c_str(),
+                    ExposureLevelName(exposure.update_levels[i]),
+                    t.ToSql().c_str());
+      }
+    } else if (cmd == "stats") {
+      const auto& s = node.stats(name);
+      std::printf("  lookups=%llu hits=%llu hit_rate=%.3f stores=%llu "
+                  "updates=%llu invalidated=%llu\n",
+                  (unsigned long long)s.lookups, (unsigned long long)s.hits,
+                  s.hit_rate(), (unsigned long long)s.stores,
+                  (unsigned long long)s.updates_observed,
+                  (unsigned long long)s.entries_invalidated);
+    } else if (cmd == "cache") {
+      std::printf("  %zu entries\n", node.CacheSize(name));
+    } else if (cmd == "q" || cmd == "u") {
+      std::string id;
+      if (!(in >> id)) {
+        std::printf("  usage: %s <template-id> <params...>\n", cmd.c_str());
+        continue;
+      }
+      const std::vector<Value> params = ParseParams(in);
+      dssp::service::AccessStats stats;
+      if (cmd == "q") {
+        auto result = app.Query(id, params, &stats);
+        if (!result.ok()) {
+          std::printf("  error: %s\n", result.status().ToString().c_str());
+          continue;
+        }
+        std::printf("  [%s]\n%s\n", stats.cache_hit ? "hit" : "miss",
+                    result->ToDebugString(10).c_str());
+      } else {
+        auto effect = app.Update(id, params, &stats);
+        if (!effect.ok()) {
+          std::printf("  error: %s\n", effect.status().ToString().c_str());
+          continue;
+        }
+        std::printf("  %zu rows affected, %zu cache entries invalidated\n",
+                    effect->rows_affected, stats.entries_invalidated);
+      }
+    } else if (cmd == "expose") {
+      std::string id;
+      std::string level_text;
+      ExposureLevel level;
+      if (!(in >> id >> level_text) || !ParseLevel(level_text, &level)) {
+        std::printf("  usage: expose <id> blind|template|stmt|view\n");
+        continue;
+      }
+      const size_t qi = app.templates().QueryIndex(id);
+      const size_t ui = app.templates().UpdateIndex(id);
+      if (qi != dssp::templates::TemplateSet::kNpos) {
+        exposure.query_levels[qi] = level;
+      } else if (ui != dssp::templates::TemplateSet::kNpos) {
+        exposure.update_levels[ui] = level;
+      } else {
+        std::printf("  unknown template %s\n", id.c_str());
+        continue;
+      }
+      const dssp::Status status = app.SetExposure(exposure);
+      std::printf("  %s (cache cleared)\n", status.ToString().c_str());
+    } else if (cmd == "methodology") {
+      const auto& catalog = app.home().database().catalog();
+      const auto report = dssp::analysis::RunMethodology(
+          app.templates(), catalog, workload->CompulsoryEncryption(catalog));
+      std::printf("%s", report.ToString().c_str());
+      exposure = report.final;
+      DSSP_CHECK_OK(app.SetExposure(exposure));
+      std::printf("  applied.\n");
+    } else {
+      std::printf("  unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

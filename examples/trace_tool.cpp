@@ -1,0 +1,143 @@
+// trace_tool: record benchmark-application traces to a file and replay them
+// under any exposure configuration — the workflow behind every controlled
+// comparison in EXPERIMENTS.md.
+//
+//   trace_tool record <app> <pages> <file> [seed]
+//   trace_tool replay <app> <file> [view|stmt|template|blind|methodology]
+//
+// Example:
+//   ./build/examples/trace_tool record bookstore 500 /tmp/bs.trace
+//   ./build/examples/trace_tool replay bookstore /tmp/bs.trace view
+//   ./build/examples/trace_tool replay bookstore /tmp/bs.trace blind
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/methodology.h"
+#include "crypto/keyring.h"
+#include "sim/trace.h"
+#include "workloads/application.h"
+
+namespace {
+
+using dssp::analysis::ExposureAssignment;
+using dssp::analysis::ExposureLevel;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool record <app> <pages> <file> [seed]\n"
+               "  trace_tool replay <app> <file> "
+               "[view|stmt|template|blind|methodology]\n");
+  return 2;
+}
+
+struct System {
+  dssp::service::DsspNode node;
+  std::unique_ptr<dssp::service::ScalableApp> app;
+  std::unique_ptr<dssp::workloads::Application> workload;
+};
+
+std::unique_ptr<System> Build(const std::string& name, uint64_t seed) {
+  auto system = std::make_unique<System>();
+  system->app = std::make_unique<dssp::service::ScalableApp>(
+      name, &system->node, dssp::crypto::KeyRing::FromPassphrase("trace"));
+  system->workload = dssp::workloads::MakeApplication(name);
+  DSSP_CHECK_OK(system->workload->Setup(*system->app, /*scale=*/0.5, seed));
+  DSSP_CHECK_OK(system->app->Finalize());
+  return system;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+
+  if (mode == "record") {
+    if (argc < 5) return Usage();
+    const std::string app_name = argv[2];
+    const int pages = std::atoi(argv[3]);
+    const std::string path = argv[4];
+    const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 7;
+
+    auto system = Build(app_name, seed);
+    auto generator = system->workload->NewSession(seed + 1);
+    dssp::Rng rng(seed + 2);
+    const auto trace = dssp::sim::RecordPages(*generator, rng, pages);
+
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << "# app=" << app_name << " pages=" << pages << " seed=" << seed
+        << "\n"
+        << dssp::sim::SerializeTrace(trace);
+    std::printf("recorded %zu operations from %d pages to %s\n",
+                trace.size(), pages, path.c_str());
+    return 0;
+  }
+
+  if (mode == "replay") {
+    if (argc < 4) return Usage();
+    const std::string app_name = argv[2];
+    const std::string path = argv[3];
+    const std::string level_name = argc > 4 ? argv[4] : "view";
+
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto trace = dssp::sim::ParseTrace(buffer.str());
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+
+    auto system = Build(app_name, 7);
+    ExposureAssignment exposure = ExposureAssignment::FullExposure(
+        system->app->templates().num_queries(),
+        system->app->templates().num_updates());
+    if (level_name == "methodology") {
+      const auto& catalog = system->app->home().database().catalog();
+      exposure = dssp::analysis::RunMethodology(
+                     system->app->templates(), catalog,
+                     system->workload->CompulsoryEncryption(catalog))
+                     .final;
+    } else {
+      ExposureLevel level;
+      if (level_name == "view") level = ExposureLevel::kView;
+      else if (level_name == "stmt") level = ExposureLevel::kStmt;
+      else if (level_name == "template") level = ExposureLevel::kTemplate;
+      else if (level_name == "blind") level = ExposureLevel::kBlind;
+      else return Usage();
+      for (auto& l : exposure.query_levels) l = level;
+      for (auto& l : exposure.update_levels) {
+        l = level == ExposureLevel::kView ? ExposureLevel::kStmt : level;
+      }
+    }
+    DSSP_CHECK_OK(system->app->SetExposure(exposure));
+
+    auto stats = dssp::sim::ReplayTrace(*system->app, *trace);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "replayed %zu ops (%zu queries, %zu updates) at '%s': hit_rate=%.3f "
+        "invalidated=%zu rows_returned=%zu\n",
+        stats->queries + stats->updates, stats->queries, stats->updates,
+        level_name.c_str(), stats->hit_rate(), stats->entries_invalidated,
+        stats->rows_returned);
+    return 0;
+  }
+
+  return Usage();
+}

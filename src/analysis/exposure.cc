@@ -1,0 +1,65 @@
+#include "analysis/exposure.h"
+
+namespace dssp::analysis {
+
+const char* ExposureLevelName(ExposureLevel level) {
+  switch (level) {
+    case ExposureLevel::kBlind:
+      return "blind";
+    case ExposureLevel::kTemplate:
+      return "template";
+    case ExposureLevel::kStmt:
+      return "stmt";
+    case ExposureLevel::kView:
+      return "view";
+  }
+  return "unknown";
+}
+
+const char* IpmSymbolName(IpmSymbol symbol) {
+  switch (symbol) {
+    case IpmSymbol::kOne:
+      return "1";
+    case IpmSymbol::kA:
+      return "A";
+    case IpmSymbol::kB:
+      return "B";
+    case IpmSymbol::kC:
+      return "C";
+  }
+  return "?";
+}
+
+IpmSymbol SymbolFor(ExposureLevel update_level, ExposureLevel query_level) {
+  DSSP_CHECK(update_level != ExposureLevel::kView);
+  if (update_level == ExposureLevel::kBlind ||
+      query_level == ExposureLevel::kBlind) {
+    return IpmSymbol::kOne;
+  }
+  if (update_level == ExposureLevel::kTemplate ||
+      query_level == ExposureLevel::kTemplate) {
+    return IpmSymbol::kA;
+  }
+  if (query_level == ExposureLevel::kStmt) {
+    return IpmSymbol::kB;
+  }
+  return IpmSymbol::kC;  // E(U) = stmt, E(Q) = view.
+}
+
+ExposureAssignment ExposureAssignment::FullExposure(size_t num_queries,
+                                                    size_t num_updates) {
+  ExposureAssignment a;
+  a.query_levels.assign(num_queries, ExposureLevel::kView);
+  a.update_levels.assign(num_updates, ExposureLevel::kStmt);
+  return a;
+}
+
+ExposureAssignment ExposureAssignment::FullEncryption(size_t num_queries,
+                                                      size_t num_updates) {
+  ExposureAssignment a;
+  a.query_levels.assign(num_queries, ExposureLevel::kBlind);
+  a.update_levels.assign(num_updates, ExposureLevel::kBlind);
+  return a;
+}
+
+}  // namespace dssp::analysis

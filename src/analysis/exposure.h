@@ -1,0 +1,68 @@
+#ifndef DSSP_ANALYSIS_EXPOSURE_H_
+#define DSSP_ANALYSIS_EXPOSURE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dssp::analysis {
+
+// Exposure levels (Section 2.3, Figure 5). Everything not exposed is
+// encrypted. Query templates range over all four; update templates over
+// blind/template/stmt only.
+//
+//   blind    - nothing exposed (statement fully encrypted)
+//   template - the template is exposed; parameters encrypted
+//   stmt     - template and parameters exposed
+//   view     - statement and query result exposed (queries only)
+enum class ExposureLevel {
+  kBlind = 0,
+  kTemplate = 1,
+  kStmt = 2,
+  kView = 3,
+};
+
+const char* ExposureLevelName(ExposureLevel level);
+
+inline int ExposureRank(ExposureLevel level) {
+  return static_cast<int>(level);
+}
+
+// The invalidation-probability cell of the IPM selected by a pair of
+// exposure levels (Figure 6): 1, A, B, or C.
+enum class IpmSymbol {
+  kOne = 0,  // Either side blind.
+  kA = 1,    // Either side template (other side not blind).
+  kB = 2,    // Both statements exposed.
+  kC = 3,    // Update statement + query view exposed.
+};
+
+const char* IpmSymbolName(IpmSymbol symbol);
+
+// Maps (E(U), E(Q)) to the IPM cell per Figure 6.
+IpmSymbol SymbolFor(ExposureLevel update_level, ExposureLevel query_level);
+
+// An assignment of exposure levels to every template of an application:
+// one entry per query template and per update template, by index.
+struct ExposureAssignment {
+  std::vector<ExposureLevel> query_levels;
+  std::vector<ExposureLevel> update_levels;
+
+  // Full exposure (Step 1 starting point): stmt for updates, view for
+  // queries.
+  static ExposureAssignment FullExposure(size_t num_queries,
+                                         size_t num_updates);
+
+  // Full encryption: blind everywhere.
+  static ExposureAssignment FullEncryption(size_t num_queries,
+                                           size_t num_updates);
+
+  friend bool operator==(const ExposureAssignment& a,
+                         const ExposureAssignment& b) = default;
+};
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_EXPOSURE_H_

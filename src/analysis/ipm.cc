@@ -1,0 +1,262 @@
+#include "analysis/ipm.h"
+
+#include <optional>
+
+#include "analysis/query_slots.h"
+
+namespace dssp::analysis {
+
+namespace {
+
+using templates::QueryTemplate;
+using templates::UpdateTemplate;
+
+// True if the query has a conjunct comparing an attribute of table `table`
+// with a parameter. Such a conjunct lets a statement-inspection strategy
+// test inserted values against the query instance's constants, so B < A for
+// insertions into `table`.
+bool QueryHasParamPredicateOnTable(const QueryTemplate& q,
+                                   const std::string& table,
+                                   const catalog::Catalog& catalog) {
+  const sql::SelectStatement& stmt = q.statement().select();
+  const QuerySlots slots(stmt);
+  for (const sql::Comparison& cmp : stmt.where) {
+    const sql::Operand* col_side = nullptr;
+    if (sql::IsColumn(cmp.lhs) && sql::IsParameter(cmp.rhs)) {
+      col_side = &cmp.lhs;
+    } else if (sql::IsColumn(cmp.rhs) && sql::IsParameter(cmp.lhs)) {
+      col_side = &cmp.rhs;
+    } else {
+      continue;
+    }
+    const auto resolved =
+        slots.Resolve(std::get<sql::ColumnRef>(*col_side), catalog);
+    if (!resolved.has_value()) return true;  // Unresolvable: be conservative.
+    if (slots.physical[resolved->first] == table) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool InsertionIrrelevantByConstraints(const UpdateTemplate& u,
+                                      const QueryTemplate& q,
+                                      const catalog::Catalog& catalog) {
+  if (u.update_class() != templates::UpdateClass::kInsertion) return false;
+  const std::string& target = u.table();
+  const catalog::TableSchema* target_schema = catalog.FindTable(target);
+  if (target_schema == nullptr) return false;
+  const bool has_single_pk = target_schema->primary_key().size() == 1;
+  const std::string pk =
+      has_single_pk ? target_schema->primary_key()[0] : std::string();
+
+  const sql::SelectStatement& stmt = q.statement().select();
+  const QuerySlots slots(stmt);
+
+  size_t target_slots = 0;
+  for (size_t s = 0; s < slots.physical.size(); ++s) {
+    if (slots.physical[s] != target) continue;
+    ++target_slots;
+
+    bool is_protected = false;
+    for (const sql::Comparison& cmp : stmt.where) {
+      if (cmp.op != sql::CompareOp::kEq) continue;
+      // Identify a side that is a key-like column of this slot.
+      for (int side = 0; side < 2 && !is_protected; ++side) {
+        const sql::Operand& a = side == 0 ? cmp.lhs : cmp.rhs;
+        const sql::Operand& b = side == 0 ? cmp.rhs : cmp.lhs;
+        if (!sql::IsColumn(a)) continue;
+        const auto ra = slots.Resolve(std::get<sql::ColumnRef>(a), catalog);
+        if (!ra.has_value() || ra->first != s) continue;
+
+        if (sql::IsParameter(b)) {
+          // Primary-key / UNIQUE constraint (Section 4.5, case 1): with the
+          // paper's non-empty-result execution assumption, a cached
+          // instance pins an existing value of a unique column, so an
+          // insertion can never supply that value again.
+          if (target_schema->IsUniqueColumn(ra->second)) {
+            is_protected = true;
+          }
+          continue;
+        }
+        if (sql::IsColumn(b) && has_single_pk && ra->second == pk) {
+          const auto rb = slots.Resolve(std::get<sql::ColumnRef>(b), catalog);
+          if (!rb.has_value() || rb->first == s) continue;
+          // Foreign-key constraint (Section 4.5, case 2): the other side
+          // must be a declared FK referencing target.pk; a fresh pk value
+          // cannot be referenced by any existing row.
+          const catalog::TableSchema* other =
+              catalog.FindTable(slots.physical[rb->first]);
+          if (other == nullptr) continue;
+          for (const catalog::ForeignKey& fk : other->foreign_keys()) {
+            if (fk.column == rb->second && fk.ref_table == target &&
+                fk.ref_column == pk) {
+              is_protected = true;
+              break;
+            }
+          }
+        }
+      }
+      if (is_protected) break;
+    }
+    if (!is_protected) return false;
+  }
+  return target_slots > 0;
+}
+
+PairCharacterization::ValueClass PairCharacterization::Canonical(
+    IpmSymbol symbol) const {
+  switch (symbol) {
+    case IpmSymbol::kOne:
+      return ValueClass::kOne;  // Property 1: blind always invalidates.
+    case IpmSymbol::kA:
+      return a_is_zero ? ValueClass::kZero : ValueClass::kOne;
+    case IpmSymbol::kB:
+      if (a_is_zero) return ValueClass::kZero;
+      return b_equals_a ? ValueClass::kOne : ValueClass::kB;
+    case IpmSymbol::kC:
+      if (a_is_zero) return ValueClass::kZero;
+      if (c_equals_b) {
+        return b_equals_a ? ValueClass::kOne : ValueClass::kB;
+      }
+      return ValueClass::kC;
+  }
+  DSSP_UNREACHABLE("bad IpmSymbol");
+}
+
+PairCharacterization CharacterizePair(const UpdateTemplate& u,
+                                      const QueryTemplate& q,
+                                      const catalog::Catalog& catalog,
+                                      const IpmOptions& options) {
+  PairCharacterization out;
+
+  // Section 5.1.1: a hand-verified determination takes precedence over the
+  // automatic rules (the administrator vouches for its soundness).
+  const auto override_it =
+      options.manual_overrides.find(std::make_pair(u.id(), q.id()));
+  if (override_it != options.manual_overrides.end()) {
+    out = override_it->second;
+    if (out.rationale.empty()) {
+      out.rationale = "manual determination (Section 5.1.1)";
+    }
+    return out;
+  }
+
+  if (options.conservative_on_assumption_violations &&
+      (!u.assumptions().ok() || !q.assumptions().ok())) {
+    out.rationale = "conservative: assumption violations " +
+                    u.assumptions().ToString() + q.assumptions().ToString();
+    return out;
+  }
+
+  // ----- A = 0? (Section 4.2, Lemma 1; Section 4.5 refinements.) -----
+  if (templates::IsIgnorable(u, q)) {
+    out.a_is_zero = true;
+    out.b_equals_a = true;
+    out.c_equals_b = true;
+    out.rationale = "A=B=C=0: ignorable (G), M(U) disjoint from P(Q) u S(Q)";
+    return out;
+  }
+  if (options.use_integrity_constraints &&
+      InsertionIrrelevantByConstraints(u, q, catalog)) {
+    out.a_is_zero = true;
+    out.b_equals_a = true;
+    out.c_equals_b = true;
+    out.rationale =
+        "A=B=C=0: insertion irrelevant by PK/FK integrity constraints (4.5)";
+    return out;
+  }
+
+  // A = 1 from here on. (A > 0 implies A = 1: template-level behaviour is
+  // uniform across instances, Section 4.2.)
+  out.rationale = "A=1 (not ignorable)";
+
+  // ----- B = A? (Section 4.3.) -----
+  switch (u.update_class()) {
+    case templates::UpdateClass::kInsertion:
+      // Parameters help only when inserted values can be tested against a
+      // query-instance constant on the inserted table.
+      out.b_equals_a =
+          !QueryHasParamPredicateOnTable(q, u.table(), catalog);
+      if (out.b_equals_a) {
+        out.rationale += "; B=A (no parameter predicate on inserted table)";
+      } else {
+        out.rationale += "; B<A (query has parameter predicate on " +
+                         u.table() + ")";
+      }
+      break;
+    case templates::UpdateClass::kDeletion:
+    case templates::UpdateClass::kModification:
+      out.b_equals_a = templates::Disjoint(u.selection_attributes(),
+                                           q.selection_attributes());
+      if (out.b_equals_a) {
+        out.rationale += "; B=A (S(U) disjoint from S(Q))";
+      } else {
+        out.rationale += "; B<A (shared selection attributes)";
+      }
+      break;
+  }
+
+  // ----- C = B? (Section 4.4.) -----
+  const bool aggregates_block =
+      options.conservative_aggregates && q.has_aggregation();
+  switch (u.update_class()) {
+    case templates::UpdateClass::kInsertion:
+      out.c_equals_b =
+          !aggregates_block && q.only_equality_joins() && q.no_top_k();
+      out.rationale += out.c_equals_b
+                           ? "; C=B (insertion, Q in E and N)"
+                           : "; C<B possible (insertion vs non-E/N or "
+                             "aggregate query)";
+      break;
+    case templates::UpdateClass::kDeletion:
+      out.c_equals_b =
+          !aggregates_block && templates::IsResultUnhelpful(u, q);
+      out.rationale += out.c_equals_b
+                           ? "; C=B (deletion, result-unhelpful H)"
+                           : "; C<B possible (deletion, result helpful)";
+      break;
+    case templates::UpdateClass::kModification:
+      // G is handled above (A = 0); the remaining sufficient condition is H.
+      out.c_equals_b =
+          !aggregates_block && templates::IsResultUnhelpful(u, q);
+      out.rationale += out.c_equals_b
+                           ? "; C=B (modification, result-unhelpful H)"
+                           : "; C<B possible (modification, result helpful)";
+      break;
+  }
+  return out;
+}
+
+IpmCharacterization IpmCharacterization::Compute(
+    const templates::TemplateSet& templates, const catalog::Catalog& catalog,
+    const IpmOptions& options) {
+  IpmCharacterization out;
+  out.num_updates_ = templates.num_updates();
+  out.num_queries_ = templates.num_queries();
+  out.pairs_.reserve(out.num_updates_ * out.num_queries_);
+  for (const templates::UpdateTemplate& u : templates.updates()) {
+    for (const templates::QueryTemplate& q : templates.queries()) {
+      out.pairs_.push_back(CharacterizePair(u, q, catalog, options));
+    }
+  }
+  return out;
+}
+
+IpmCharacterization::Summary IpmCharacterization::Summarize() const {
+  Summary summary;
+  for (const PairCharacterization& pair : pairs_) {
+    if (pair.a_is_zero) {
+      ++summary.all_zero;
+    } else if (pair.b_equals_a) {
+      if (pair.c_equals_b) ++summary.b_eq_a_c_eq_b;
+      else ++summary.b_eq_a_c_lt_b;
+    } else {
+      if (pair.c_equals_b) ++summary.b_lt_a_c_eq_b;
+      else ++summary.b_lt_a_c_lt_b;
+    }
+  }
+  return summary;
+}
+
+}  // namespace dssp::analysis

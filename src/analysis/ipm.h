@@ -1,0 +1,111 @@
+#ifndef DSSP_ANALYSIS_IPM_H_
+#define DSSP_ANALYSIS_IPM_H_
+
+#include <map>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "analysis/exposure.h"
+#include "catalog/schema.h"
+#include "templates/template.h"
+#include "templates/template_set.h"
+
+namespace dssp::analysis {
+
+// Static characterization of one update/query template pair's Invalidation
+// Probability Matrix (Section 4): whether A = 0 (vs A = 1), whether B = A,
+// and whether C = B. Every `true` is a *sound* claim (encrypting the
+// corresponding information is free w.r.t. scalability); `false` means "not
+// proven", the conservative answer.
+struct PairCharacterization {
+  bool a_is_zero = false;  // A = 0; by the gradient, A = B = C = 0.
+  bool b_equals_a = false;
+  bool c_equals_b = false;
+  std::string rationale;  // Human-readable justification.
+
+  // Collapses an IPM cell to a canonical value class under this
+  // characterization, for "does reducing exposure change the invalidation
+  // probability" tests. Distinct returns <=> provably distinct or not
+  // provably equal probabilities.
+  enum class ValueClass { kZero, kOne, kB, kC };
+  ValueClass Canonical(IpmSymbol symbol) const;
+};
+
+struct IpmOptions {
+  // Apply the Section 4.5 refinement using primary-key and foreign-key
+  // integrity constraints.
+  bool use_integrity_constraints = true;
+
+  // Treat templates with aggregation/GROUP BY conservatively in the C = B
+  // rules (the paper's model excludes them; Section 5.1.1 handles them
+  // manually). A = 0 (ignorability) and B = A remain applicable: their
+  // justifications do not depend on the result's shape.
+  bool conservative_aggregates = true;
+
+  // Follow the paper exactly for templates violating the Section 2.1.1
+  // assumptions: recommend no encryption for any pair involving them.
+  bool conservative_on_assumption_violations = true;
+
+  // Section 5.1.1's manual determinations: per update/query template pair
+  // ("U<i>", "Q<j>"), a hand-verified characterization that OVERRIDES the
+  // automatic rules. The administrator vouches for its soundness (e.g.,
+  // after reasoning about an aggregate query the model cannot handle).
+  std::map<std::pair<std::string, std::string>, PairCharacterization>
+      manual_overrides;
+};
+
+// Characterizes one pair (Step 2a for a single cell).
+PairCharacterization CharacterizePair(const templates::UpdateTemplate& u,
+                                      const templates::QueryTemplate& q,
+                                      const catalog::Catalog& catalog,
+                                      const IpmOptions& options = {});
+
+// True if integrity constraints (Section 4.5) make insertion `u` irrelevant
+// to `q`: every FROM slot of the inserted table is pinned by a primary-key
+// equality with a parameter, or joined through a foreign key that references
+// the inserted table's primary key. Exposed for tests and ablations.
+bool InsertionIrrelevantByConstraints(const templates::UpdateTemplate& u,
+                                      const templates::QueryTemplate& q,
+                                      const catalog::Catalog& catalog);
+
+// The full Step 2a result: one characterization per (update, query) pair.
+class IpmCharacterization {
+ public:
+  static IpmCharacterization Compute(const templates::TemplateSet& templates,
+                                     const catalog::Catalog& catalog,
+                                     const IpmOptions& options = {});
+
+  const PairCharacterization& pair(size_t update_index,
+                                   size_t query_index) const {
+    DSSP_CHECK(update_index < num_updates_ && query_index < num_queries_);
+    return pairs_[update_index * num_queries_ + query_index];
+  }
+
+  size_t num_updates() const { return num_updates_; }
+  size_t num_queries() const { return num_queries_; }
+
+  // Table 7 row: pair counts by category.
+  struct Summary {
+    size_t all_zero = 0;            // A = B = C = 0.
+    size_t b_lt_a_c_lt_b = 0;       // A = 1, B < A, C < B.
+    size_t b_lt_a_c_eq_b = 0;       // A = 1, B < A, C = B.
+    size_t b_eq_a_c_lt_b = 0;       // A = 1, B = A, C < B.
+    size_t b_eq_a_c_eq_b = 0;       // A = 1, B = A, C = B.
+
+    size_t total() const {
+      return all_zero + b_lt_a_c_lt_b + b_lt_a_c_eq_b + b_eq_a_c_lt_b +
+             b_eq_a_c_eq_b;
+    }
+  };
+  Summary Summarize() const;
+
+ private:
+  size_t num_updates_ = 0;
+  size_t num_queries_ = 0;
+  std::vector<PairCharacterization> pairs_;
+};
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_IPM_H_

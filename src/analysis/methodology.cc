@@ -1,0 +1,270 @@
+#include "analysis/methodology.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/query_slots.h"
+
+namespace dssp::analysis {
+
+namespace {
+
+ExposureLevel Min(ExposureLevel a, ExposureLevel b) {
+  return ExposureRank(a) <= ExposureRank(b) ? a : b;
+}
+
+bool IsSensitive(const templates::AttributeSet& sensitive,
+                 const std::string& table, const std::string& column) {
+  return sensitive.count(templates::AttributeId{table, column}) != 0;
+}
+
+// True if a conjunct compares a sensitive attribute against a parameter,
+// i.e., statement parameters would reveal sensitive values.
+bool WhereHasSensitiveParam(const std::vector<sql::Comparison>& where,
+                            const QuerySlots& slots,
+                            const catalog::Catalog& catalog,
+                            const templates::AttributeSet& sensitive) {
+  for (const sql::Comparison& cmp : where) {
+    const sql::Operand* col_side = nullptr;
+    if (sql::IsColumn(cmp.lhs) && sql::IsParameter(cmp.rhs)) {
+      col_side = &cmp.lhs;
+    } else if (sql::IsColumn(cmp.rhs) && sql::IsParameter(cmp.lhs)) {
+      col_side = &cmp.rhs;
+    } else {
+      continue;
+    }
+    const auto resolved =
+        slots.Resolve(std::get<sql::ColumnRef>(*col_side), catalog);
+    if (!resolved.has_value()) return true;  // Conservative.
+    if (IsSensitive(sensitive, slots.physical[resolved->first],
+                    resolved->second)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CompulsoryPolicy::MarkTableSensitive(const catalog::Catalog& catalog,
+                                          const std::string& table) {
+  const catalog::TableSchema* schema = catalog.FindTable(table);
+  DSSP_CHECK(schema != nullptr);
+  for (const catalog::Column& col : schema->columns()) {
+    sensitive_attributes.insert(templates::AttributeId{table, col.name});
+  }
+}
+
+ExposureAssignment ComputeInitialExposure(
+    const templates::TemplateSet& templates, const catalog::Catalog& catalog,
+    const CompulsoryPolicy& policy) {
+  ExposureAssignment out = ExposureAssignment::FullExposure(
+      templates.num_queries(), templates.num_updates());
+  const templates::AttributeSet& sensitive = policy.sensitive_attributes;
+
+  for (size_t j = 0; j < templates.num_queries(); ++j) {
+    const templates::QueryTemplate& q = templates.queries()[j];
+    ExposureLevel level = ExposureLevel::kView;
+    // Sensitive attribute in the result: encrypt results.
+    for (const templates::AttributeId& attr : q.preserved_attributes()) {
+      if (sensitive.count(attr) != 0) {
+        level = Min(level, ExposureLevel::kStmt);
+        break;
+      }
+    }
+    // Sensitive value as a parameter: encrypt parameters too.
+    const sql::SelectStatement& stmt = q.statement().select();
+    const QuerySlots slots(stmt);
+    if (WhereHasSensitiveParam(stmt.where, slots, catalog, sensitive)) {
+      level = Min(level, ExposureLevel::kTemplate);
+    }
+    out.query_levels[j] = level;
+  }
+
+  for (size_t i = 0; i < templates.num_updates(); ++i) {
+    const templates::UpdateTemplate& u = templates.updates()[i];
+    ExposureLevel level = ExposureLevel::kStmt;
+    const catalog::TableSchema* schema = catalog.FindTable(u.table());
+    DSSP_CHECK(schema != nullptr);
+    bool sensitive_params = false;
+    switch (u.update_class()) {
+      case templates::UpdateClass::kInsertion: {
+        const sql::InsertStatement& insert = u.statement().insert();
+        for (size_t k = 0; k < insert.columns.size(); ++k) {
+          if (sql::IsParameter(insert.values[k]) &&
+              IsSensitive(sensitive, u.table(), insert.columns[k])) {
+            sensitive_params = true;
+            break;
+          }
+        }
+        break;
+      }
+      case templates::UpdateClass::kDeletion: {
+        const QuerySlots slots = [&] {
+          sql::SelectStatement fake;
+          fake.from.push_back(sql::TableRef{u.table(), ""});
+          return QuerySlots(fake);
+        }();
+        sensitive_params = WhereHasSensitiveParam(u.statement().del().where,
+                                                  slots, catalog, sensitive);
+        break;
+      }
+      case templates::UpdateClass::kModification: {
+        const sql::UpdateStatement& update = u.statement().update();
+        for (const auto& [col, value] : update.set) {
+          if (sql::IsParameter(value) &&
+              IsSensitive(sensitive, u.table(), col)) {
+            sensitive_params = true;
+            break;
+          }
+        }
+        if (!sensitive_params) {
+          const QuerySlots slots = [&] {
+            sql::SelectStatement fake;
+            fake.from.push_back(sql::TableRef{u.table(), ""});
+            return QuerySlots(fake);
+          }();
+          sensitive_params =
+              WhereHasSensitiveParam(update.where, slots, catalog, sensitive);
+        }
+        break;
+      }
+    }
+    if (sensitive_params) level = Min(level, ExposureLevel::kTemplate);
+    out.update_levels[i] = level;
+  }
+  return out;
+}
+
+bool SameInvalidationProbabilities(const templates::TemplateSet& templates,
+                                   const IpmCharacterization& ipm,
+                                   const ExposureAssignment& from,
+                                   const ExposureAssignment& to) {
+  DSSP_CHECK(from.query_levels.size() == templates.num_queries());
+  DSSP_CHECK(to.query_levels.size() == templates.num_queries());
+  DSSP_CHECK(from.update_levels.size() == templates.num_updates());
+  DSSP_CHECK(to.update_levels.size() == templates.num_updates());
+  for (size_t i = 0; i < templates.num_updates(); ++i) {
+    for (size_t j = 0; j < templates.num_queries(); ++j) {
+      const PairCharacterization& pair = ipm.pair(i, j);
+      const auto before = pair.Canonical(
+          SymbolFor(from.update_levels[i], from.query_levels[j]));
+      const auto after = pair.Canonical(
+          SymbolFor(to.update_levels[i], to.query_levels[j]));
+      if (before != after) return false;
+    }
+  }
+  return true;
+}
+
+ExposureAssignment ReduceExposure(const templates::TemplateSet& templates,
+                                  const IpmCharacterization& ipm,
+                                  const ExposureAssignment& initial) {
+  ExposureAssignment current = initial;
+
+  // Checks whether lowering one template by one step leaves every affected
+  // pair's canonical probability unchanged.
+  const auto query_reducible = [&](size_t j) {
+    const ExposureLevel lower = static_cast<ExposureLevel>(
+        ExposureRank(current.query_levels[j]) - 1);
+    for (size_t i = 0; i < templates.num_updates(); ++i) {
+      const PairCharacterization& pair = ipm.pair(i, j);
+      const auto before = pair.Canonical(
+          SymbolFor(current.update_levels[i], current.query_levels[j]));
+      const auto after =
+          pair.Canonical(SymbolFor(current.update_levels[i], lower));
+      if (before != after) return false;
+    }
+    return true;
+  };
+  const auto update_reducible = [&](size_t i) {
+    const ExposureLevel lower = static_cast<ExposureLevel>(
+        ExposureRank(current.update_levels[i]) - 1);
+    for (size_t j = 0; j < templates.num_queries(); ++j) {
+      const PairCharacterization& pair = ipm.pair(i, j);
+      const auto before = pair.Canonical(
+          SymbolFor(current.update_levels[i], current.query_levels[j]));
+      const auto after =
+          pair.Canonical(SymbolFor(lower, current.query_levels[j]));
+      if (before != after) return false;
+    }
+    return true;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t j = 0; j < templates.num_queries(); ++j) {
+      while (current.query_levels[j] != ExposureLevel::kBlind &&
+             query_reducible(j)) {
+        current.query_levels[j] = static_cast<ExposureLevel>(
+            ExposureRank(current.query_levels[j]) - 1);
+        changed = true;
+      }
+    }
+    for (size_t i = 0; i < templates.num_updates(); ++i) {
+      while (current.update_levels[i] != ExposureLevel::kBlind &&
+             update_reducible(i)) {
+        current.update_levels[i] = static_cast<ExposureLevel>(
+            ExposureRank(current.update_levels[i]) - 1);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+size_t SecurityReport::QueriesWithEncryptedResults() const {
+  size_t count = 0;
+  for (ExposureLevel level : final.query_levels) {
+    if (level != ExposureLevel::kView) ++count;
+  }
+  return count;
+}
+
+size_t SecurityReport::QueriesWithEncryptedResultsInitial() const {
+  size_t count = 0;
+  for (ExposureLevel level : initial.query_levels) {
+    if (level != ExposureLevel::kView) ++count;
+  }
+  return count;
+}
+
+std::string SecurityReport::ToString() const {
+  std::string out;
+  out += "template   kind    initial    final\n";
+  for (const TemplateExposureChange& change : changes) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-10s %-7s %-10s %-10s%s\n",
+                  change.id.c_str(), change.is_query ? "query" : "update",
+                  ExposureLevelName(change.initial),
+                  ExposureLevelName(change.final),
+                  change.final != change.initial ? "  (reduced)" : "");
+    out += line;
+  }
+  return out;
+}
+
+SecurityReport RunMethodology(const templates::TemplateSet& templates,
+                              const catalog::Catalog& catalog,
+                              const CompulsoryPolicy& policy,
+                              const IpmOptions& options) {
+  SecurityReport report;
+  report.initial = ComputeInitialExposure(templates, catalog, policy);
+  const IpmCharacterization ipm =
+      IpmCharacterization::Compute(templates, catalog, options);
+  report.final = ReduceExposure(templates, ipm, report.initial);
+  for (size_t j = 0; j < templates.num_queries(); ++j) {
+    report.changes.push_back(TemplateExposureChange{
+        templates.queries()[j].id(), true, report.initial.query_levels[j],
+        report.final.query_levels[j]});
+  }
+  for (size_t i = 0; i < templates.num_updates(); ++i) {
+    report.changes.push_back(TemplateExposureChange{
+        templates.updates()[i].id(), false, report.initial.update_levels[i],
+        report.final.update_levels[i]});
+  }
+  return report;
+}
+
+}  // namespace dssp::analysis

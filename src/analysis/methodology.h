@@ -1,0 +1,88 @@
+#ifndef DSSP_ANALYSIS_METHODOLOGY_H_
+#define DSSP_ANALYSIS_METHODOLOGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/exposure.h"
+#include "analysis/ipm.h"
+#include "templates/template_set.h"
+
+namespace dssp::analysis {
+
+// Step 1 of the scalability-conscious security design methodology (Section
+// 3.1): compulsory encryption of highly sensitive data. The policy names the
+// sensitive attributes (e.g., everything in the credit_card relation, per
+// the California data privacy law SB 1386); exposure caps are derived per
+// template:
+//
+//  - a query whose *result* preserves a sensitive attribute is capped at
+//    stmt (result encrypted);
+//  - a query comparing a sensitive attribute against a parameter is capped
+//    at template (parameters encrypted);
+//  - an update whose parameters carry sensitive values (INSERT values into
+//    sensitive columns, SET of a sensitive column, or a predicate comparing
+//    a sensitive attribute with a parameter) is capped at template.
+struct CompulsoryPolicy {
+  templates::AttributeSet sensitive_attributes;
+
+  // Convenience: marks every column of `table` sensitive.
+  void MarkTableSensitive(const catalog::Catalog& catalog,
+                          const std::string& table);
+};
+
+// Applies Step 1: starting from full exposure, lowers each template to its
+// policy cap.
+ExposureAssignment ComputeInitialExposure(
+    const templates::TemplateSet& templates, const catalog::Catalog& catalog,
+    const CompulsoryPolicy& policy);
+
+// Step 2b (Section 3.1): greedily reduces exposure levels wherever the IPM
+// characterization proves the invalidation probability of every affected
+// pair unchanged. The result is independent of iteration order (each
+// reduction's validity depends only on the characterization and the other
+// templates' levels monotonically).
+ExposureAssignment ReduceExposure(const templates::TemplateSet& templates,
+                                  const IpmCharacterization& ipm,
+                                  const ExposureAssignment& initial);
+
+// True if lowering levels from `from` to `to` keeps every pair's canonical
+// invalidation probability unchanged (i.e., `to` is scalability-free
+// relative to `from`).
+bool SameInvalidationProbabilities(const templates::TemplateSet& templates,
+                                   const IpmCharacterization& ipm,
+                                   const ExposureAssignment& from,
+                                   const ExposureAssignment& to);
+
+// A per-template before/after record (Figure 7 raw data).
+struct TemplateExposureChange {
+  std::string id;
+  bool is_query = false;
+  ExposureLevel initial;
+  ExposureLevel final;
+};
+
+// Full methodology report for an application.
+struct SecurityReport {
+  ExposureAssignment initial;  // After Step 1.
+  ExposureAssignment final;    // After Step 2b.
+  std::vector<TemplateExposureChange> changes;  // Queries then updates.
+
+  // Counts used in the paper's Figure 3 security axis: query templates whose
+  // results are encrypted (level < view).
+  size_t QueriesWithEncryptedResults() const;
+  size_t QueriesWithEncryptedResultsInitial() const;
+
+  std::string ToString() const;
+};
+
+// Runs Step 1 + Step 2a + Step 2b end to end.
+SecurityReport RunMethodology(const templates::TemplateSet& templates,
+                              const catalog::Catalog& catalog,
+                              const CompulsoryPolicy& policy,
+                              const IpmOptions& options = {});
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_METHODOLOGY_H_

@@ -1,0 +1,51 @@
+#ifndef DSSP_ANALYSIS_QUERY_SLOTS_H_
+#define DSSP_ANALYSIS_QUERY_SLOTS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/ast.h"
+
+namespace dssp::analysis {
+
+// Lightweight FROM-slot view of a SELECT for static reasoning: maps slots to
+// physical tables and resolves column references without a full binder.
+struct QuerySlots {
+  std::vector<std::string> physical;   // Physical table per slot.
+  std::vector<std::string> effective;  // Alias (or table name) per slot.
+
+  explicit QuerySlots(const sql::SelectStatement& stmt) {
+    for (const sql::TableRef& ref : stmt.from) {
+      physical.push_back(ref.table);
+      effective.push_back(ref.effective_name());
+    }
+  }
+
+  // Resolves a column reference to (slot, column name); nullopt when
+  // ambiguous or unknown (callers must then be conservative).
+  std::optional<std::pair<size_t, std::string>> Resolve(
+      const sql::ColumnRef& ref, const catalog::Catalog& catalog) const {
+    if (!ref.table.empty()) {
+      for (size_t s = 0; s < effective.size(); ++s) {
+        if (effective[s] == ref.table) return std::make_pair(s, ref.column);
+      }
+      return std::nullopt;
+    }
+    std::optional<std::pair<size_t, std::string>> found;
+    for (size_t s = 0; s < physical.size(); ++s) {
+      const catalog::TableSchema* schema = catalog.FindTable(physical[s]);
+      if (schema != nullptr && schema->HasColumn(ref.column)) {
+        if (found.has_value()) return std::nullopt;  // Ambiguous.
+        found = std::make_pair(s, ref.column);
+      }
+    }
+    return found;
+  }
+};
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_QUERY_SLOTS_H_

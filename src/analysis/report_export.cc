@@ -1,0 +1,109 @@
+#include "analysis/report_export.h"
+
+namespace dssp::analysis {
+
+namespace {
+
+// CSV field quoting: always quoted, embedded quotes doubled.
+std::string CsvField(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Markdown cell escaping: pipes would break the table.
+std::string MdCell(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+std::string PairRelations(const PairCharacterization& pair) {
+  if (pair.a_is_zero) return "A=B=C=0";
+  std::string out = "A=1, ";
+  out += pair.b_equals_a ? "B=A" : "B<A";
+  out += ", ";
+  out += pair.c_equals_b ? "C=B" : "C<B";
+  return out;
+}
+
+}  // namespace
+
+std::string IpmToMarkdown(const templates::TemplateSet& templates,
+                          const IpmCharacterization& ipm) {
+  std::string out =
+      "| update | query | relations | rationale |\n"
+      "|---|---|---|---|\n";
+  for (size_t i = 0; i < ipm.num_updates(); ++i) {
+    for (size_t j = 0; j < ipm.num_queries(); ++j) {
+      const PairCharacterization& pair = ipm.pair(i, j);
+      out += "| " + MdCell(templates.updates()[i].id()) + " | " +
+             MdCell(templates.queries()[j].id()) + " | " +
+             PairRelations(pair) + " | " + MdCell(pair.rationale) + " |\n";
+    }
+  }
+  return out;
+}
+
+std::string IpmToCsv(const templates::TemplateSet& templates,
+                     const IpmCharacterization& ipm) {
+  std::string out = "update,query,a_is_zero,b_equals_a,c_equals_b,rationale\n";
+  for (size_t i = 0; i < ipm.num_updates(); ++i) {
+    for (size_t j = 0; j < ipm.num_queries(); ++j) {
+      const PairCharacterization& pair = ipm.pair(i, j);
+      out += CsvField(templates.updates()[i].id()) + "," +
+             CsvField(templates.queries()[j].id()) + "," +
+             (pair.a_is_zero ? "1" : "0") + "," +
+             (pair.b_equals_a ? "1" : "0") + "," +
+             (pair.c_equals_b ? "1" : "0") + "," +
+             CsvField(pair.rationale) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string SecurityReportToMarkdown(const templates::TemplateSet& templates,
+                                     const SecurityReport& report) {
+  std::string out =
+      "| template | kind | statement | initial | final | reduced |\n"
+      "|---|---|---|---|---|---|\n";
+  for (const TemplateExposureChange& change : report.changes) {
+    std::string sql;
+    if (change.is_query) {
+      const templates::QueryTemplate* tmpl =
+          templates.FindQuery(change.id);
+      if (tmpl != nullptr) sql = tmpl->ToSql();
+    } else {
+      const templates::UpdateTemplate* tmpl =
+          templates.FindUpdate(change.id);
+      if (tmpl != nullptr) sql = tmpl->ToSql();
+    }
+    out += "| " + MdCell(change.id) + " | " +
+           (change.is_query ? "query" : "update") + " | `" + MdCell(sql) +
+           "` | " + ExposureLevelName(change.initial) + " | " +
+           ExposureLevelName(change.final) + " | " +
+           (change.final != change.initial ? "yes" : "no") + " |\n";
+  }
+  return out;
+}
+
+std::string SecurityReportToCsv(const SecurityReport& report) {
+  std::string out = "template,kind,initial,final,reduced\n";
+  for (const TemplateExposureChange& change : report.changes) {
+    out += CsvField(change.id) + "," +
+           (change.is_query ? "query" : "update") + "," +
+           ExposureLevelName(change.initial) + std::string(",") +
+           ExposureLevelName(change.final) + "," +
+           (change.final != change.initial ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+}  // namespace dssp::analysis

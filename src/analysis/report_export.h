@@ -1,0 +1,36 @@
+#ifndef DSSP_ANALYSIS_REPORT_EXPORT_H_
+#define DSSP_ANALYSIS_REPORT_EXPORT_H_
+
+#include <string>
+
+#include "analysis/ipm.h"
+#include "analysis/methodology.h"
+#include "templates/template_set.h"
+
+namespace dssp::analysis {
+
+// Exporters turning analysis artifacts into shareable documents: an
+// administrator runs the methodology once and circulates the outcome to
+// security reviewers (markdown) or feeds it to dashboards (CSV).
+
+// Markdown table of the full IPM characterization: one row per
+// update/query pair with the A/B/C relations and the rationale.
+std::string IpmToMarkdown(const templates::TemplateSet& templates,
+                          const IpmCharacterization& ipm);
+
+// CSV with header `update,query,a_is_zero,b_equals_a,c_equals_b,rationale`.
+// Fields are quoted; embedded quotes are doubled.
+std::string IpmToCsv(const templates::TemplateSet& templates,
+                     const IpmCharacterization& ipm);
+
+// Markdown table of the methodology outcome: template, kind, SQL, initial
+// and final exposure, and whether Step 2 reduced it.
+std::string SecurityReportToMarkdown(const templates::TemplateSet& templates,
+                                     const SecurityReport& report);
+
+// CSV with header `template,kind,initial,final,reduced`.
+std::string SecurityReportToCsv(const SecurityReport& report);
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_REPORT_EXPORT_H_

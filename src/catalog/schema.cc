@@ -1,0 +1,121 @@
+#include "catalog/schema.h"
+
+namespace dssp::catalog {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+bool ValueFitsColumn(sql::ValueType value_type, ColumnType column_type) {
+  switch (value_type) {
+    case sql::ValueType::kNull:
+      return true;
+    case sql::ValueType::kInt64:
+      return column_type == ColumnType::kInt64 ||
+             column_type == ColumnType::kDouble;
+    case sql::ValueType::kDouble:
+      return column_type == ColumnType::kDouble;
+    case sql::ValueType::kString:
+      return column_type == ColumnType::kString;
+  }
+  return false;
+}
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns,
+                         std::vector<std::string> primary_key,
+                         std::vector<ForeignKey> foreign_keys,
+                         std::vector<std::string> unique_columns)
+    : name_(std::move(name)),
+      columns_(std::move(columns)),
+      primary_key_(std::move(primary_key)),
+      foreign_keys_(std::move(foreign_keys)),
+      unique_columns_(std::move(unique_columns)) {}
+
+bool TableSchema::IsUniqueColumn(std::string_view column) const {
+  if (IsSingleColumnPrimaryKey(column)) return true;
+  for (const std::string& unique : unique_columns_) {
+    if (unique == column) return true;
+  }
+  return false;
+}
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return i;
+  }
+  return std::nullopt;
+}
+
+bool TableSchema::IsPrimaryKeyColumn(std::string_view column) const {
+  for (const std::string& pk : primary_key_) {
+    if (pk == column) return true;
+  }
+  return false;
+}
+
+Status Catalog::AddTable(TableSchema schema) {
+  if (tables_.count(schema.name()) != 0) {
+    return AlreadyExistsError("table " + schema.name());
+  }
+  for (const std::string& pk : schema.primary_key()) {
+    if (!schema.HasColumn(pk)) {
+      return InvalidArgumentError("primary key column " + pk +
+                                  " not in table " + schema.name());
+    }
+  }
+  for (const std::string& unique : schema.unique_columns()) {
+    if (!schema.HasColumn(unique)) {
+      return InvalidArgumentError("unique column " + unique +
+                                  " not in table " + schema.name());
+    }
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    if (!schema.HasColumn(fk.column)) {
+      return InvalidArgumentError("foreign key column " + fk.column +
+                                  " not in table " + schema.name());
+    }
+    const TableSchema* ref = FindTable(fk.ref_table);
+    if (ref == nullptr) {
+      return InvalidArgumentError("foreign key of " + schema.name() +
+                                  " references unknown table " +
+                                  fk.ref_table);
+    }
+    if (!ref->IsSingleColumnPrimaryKey(fk.ref_column)) {
+      return InvalidArgumentError(
+          "foreign key of " + schema.name() + " must reference the "
+          "single-column primary key of " + fk.ref_table);
+    }
+  }
+  std::string name = schema.name();
+  tables_.emplace(std::move(name), std::move(schema));
+  return Status::Ok();
+}
+
+const TableSchema* Catalog::FindTable(std::string_view name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const TableSchema& Catalog::GetTable(std::string_view name) const {
+  const TableSchema* table = FindTable(name);
+  DSSP_CHECK(table != nullptr);
+  return *table;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dssp::catalog

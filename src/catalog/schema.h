@@ -1,0 +1,117 @@
+#ifndef DSSP_CATALOG_SCHEMA_H_
+#define DSSP_CATALOG_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace dssp::catalog {
+
+// Column types (non-null; the engine additionally permits NULL values).
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+// True if a runtime value of `value_type` may be stored in a column of
+// `column_type` (NULL is always storable; int64 widens to double).
+bool ValueFitsColumn(sql::ValueType value_type, ColumnType column_type);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+// A foreign-key constraint: this table's `column` references
+// `ref_table`.`ref_column` (which must be `ref_table`'s primary key).
+struct ForeignKey {
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+// Schema of one base relation, including its integrity constraints: the
+// primary-key and foreign-key constraints the paper's Section 4.5 analysis
+// consumes, plus single-column UNIQUE constraints (the natural third
+// member of "basic database integrity constraints" — the analysis exploits
+// them exactly like primary keys).
+class TableSchema {
+ public:
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::vector<std::string> primary_key,
+              std::vector<ForeignKey> foreign_keys = {},
+              std::vector<std::string> unique_columns = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+  const std::vector<std::string>& unique_columns() const {
+    return unique_columns_;
+  }
+
+  // True if `column` alone determines at most one row: the single-column
+  // primary key or a declared UNIQUE column.
+  bool IsUniqueColumn(std::string_view column) const;
+
+  // Index of `column` in columns(), or nullopt.
+  std::optional<size_t> ColumnIndex(std::string_view column) const;
+
+  bool HasColumn(std::string_view column) const {
+    return ColumnIndex(column).has_value();
+  }
+
+  // True if `column` is part of the primary key.
+  bool IsPrimaryKeyColumn(std::string_view column) const;
+
+  // True if the primary key is exactly the single column `column`.
+  bool IsSingleColumnPrimaryKey(std::string_view column) const {
+    return primary_key_.size() == 1 && primary_key_[0] == column;
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;  // May be empty (no PK).
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<std::string> unique_columns_;
+};
+
+// The set of base relations of one application's database.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers a table. Fails on duplicate names or malformed constraints
+  // (unknown PK/FK columns; FK referencing a missing table/non-PK column —
+  // FK targets must already be registered).
+  Status AddTable(TableSchema schema);
+
+  const TableSchema* FindTable(std::string_view name) const;
+
+  // DSSP_CHECKs that the table exists.
+  const TableSchema& GetTable(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableSchema, std::less<>> tables_;
+};
+
+}  // namespace dssp::catalog
+
+#endif  // DSSP_CATALOG_SCHEMA_H_

@@ -1,0 +1,40 @@
+#ifndef DSSP_COMMON_MACROS_H_
+#define DSSP_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Invariant-checking macros. A failed check indicates a programming error
+// (not a recoverable condition) and aborts the process.
+//
+// DSSP_CHECK(cond)          - abort unless cond holds.
+// DSSP_CHECK_OK(status)     - abort unless status.ok().
+// DSSP_UNREACHABLE(msg)     - abort; marks logically unreachable code.
+
+#define DSSP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DSSP_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DSSP_CHECK_OK(expr)                                                  \
+  do {                                                                       \
+    const auto& dssp_check_ok_status = (expr);                               \
+    if (!dssp_check_ok_status.ok()) {                                        \
+      std::fprintf(stderr, "DSSP_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, dssp_check_ok_status.message().c_str());        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DSSP_UNREACHABLE(msg)                                                \
+  do {                                                                       \
+    std::fprintf(stderr, "DSSP_UNREACHABLE at %s:%d: %s\n", __FILE__,        \
+                 __LINE__, msg);                                             \
+    std::abort();                                                            \
+  } while (0)
+
+#endif  // DSSP_COMMON_MACROS_H_

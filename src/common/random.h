@@ -1,0 +1,61 @@
+#ifndef DSSP_COMMON_RANDOM_H_
+#define DSSP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dssp {
+
+// Deterministic, seedable PRNG (xoshiro256**). Used everywhere in the project
+// so that workloads, simulations, and tests are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf-distributed integers over {1, ..., n} with exponent `theta`.
+// Precomputes the CDF once; each sample is a binary search. The paper's
+// bookstore workload uses Zipf-skewed book popularity (Brynjolfsson et al.).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  // Returns a rank in {1, ..., n}; rank 1 is the most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dssp
+
+#endif  // DSSP_COMMON_RANDOM_H_

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace dssp {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kConstraintViolation:
+      return "constraint violation";
+    case StatusCode::kParseError:
+      return "parse error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status ConstraintViolationError(std::string message) {
+  return Status(StatusCode::kConstraintViolation, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+
+}  // namespace dssp

@@ -1,0 +1,124 @@
+#ifndef DSSP_COMMON_STATUS_H_
+#define DSSP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace dssp {
+
+// Error categories for recoverable failures. Programming errors use
+// DSSP_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kConstraintViolation,
+  kParseError,
+};
+
+// Returns a short human-readable name for `code` ("ok", "parse error", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error value (the project does not use exceptions).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    DSSP_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience factories.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status ConstraintViolationError(std::string message);
+Status ParseError(std::string message);
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return SomeError(...);`.
+  StatusOr(T value) : value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    DSSP_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DSSP_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DSSP_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DSSP_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error Status from an expression that yields Status.
+#define DSSP_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dssp::Status dssp_rie_status = (expr);         \
+    if (!dssp_rie_status.ok()) return dssp_rie_status; \
+  } while (0)
+
+// Assigns the value of a StatusOr expression to `lhs`, or propagates its
+// error. Usage: DSSP_ASSIGN_OR_RETURN(auto x, Compute());
+#define DSSP_ASSIGN_OR_RETURN(lhs, expr)                   \
+  DSSP_ASSIGN_OR_RETURN_IMPL_(                             \
+      DSSP_STATUS_CONCAT_(dssp_aor_, __LINE__), lhs, expr)
+
+#define DSSP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define DSSP_STATUS_CONCAT_(a, b) DSSP_STATUS_CONCAT_IMPL_(a, b)
+#define DSSP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dssp
+
+#endif  // DSSP_COMMON_STATUS_H_

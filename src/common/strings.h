@@ -1,0 +1,31 @@
+#ifndef DSSP_COMMON_STRINGS_H_
+#define DSSP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dssp {
+
+// ASCII-only case conversion (SQL keywords are ASCII).
+std::string AsciiToLower(std::string_view s);
+std::string AsciiToUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace dssp
+
+#endif  // DSSP_COMMON_STRINGS_H_

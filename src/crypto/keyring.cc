@@ -1,0 +1,21 @@
+#include "crypto/keyring.h"
+
+#include "common/hash.h"
+
+namespace dssp::crypto {
+
+KeyRing KeyRing::FromPassphrase(std::string_view passphrase) {
+  Key key;
+  key.k0 = SipHash24(0x6b657972696e6731ULL, 0x6b657972696e6732ULL,
+                     passphrase);
+  std::string p2(passphrase);
+  p2 += "\x02";
+  key.k1 = SipHash24(0x6b657972696e6733ULL, 0x6b657972696e6734ULL, p2);
+  return KeyRing(key);
+}
+
+DeterministicCipher KeyRing::CipherFor(std::string_view purpose) const {
+  return DeterministicCipher(DeriveKey(master_, purpose));
+}
+
+}  // namespace dssp::crypto

@@ -1,0 +1,37 @@
+#ifndef DSSP_CRYPTO_KEYRING_H_
+#define DSSP_CRYPTO_KEYRING_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "crypto/cipher.h"
+
+namespace dssp::crypto {
+
+// Holds one application's master key and hands out purpose-specific ciphers.
+// The DSSP itself never sees a KeyRing: keys live at the application home
+// server and (conceptually) in client-side application code, which is what
+// keeps DSSP administrators and co-tenant applications out (paper Section 1,
+// footnote 1).
+class KeyRing {
+ public:
+  explicit KeyRing(const Key& master) : master_(master) {}
+
+  // Creates a keyring from a human-readable secret (for tests/examples).
+  static KeyRing FromPassphrase(std::string_view passphrase);
+
+  // A cipher for the given purpose label (e.g., "statement", "params:QT3",
+  // "result"). Ciphers for equal labels are identical; for different labels
+  // they are independent.
+  DeterministicCipher CipherFor(std::string_view purpose) const;
+
+  const Key& master() const { return master_; }
+
+ private:
+  Key master_;
+};
+
+}  // namespace dssp::crypto
+
+#endif  // DSSP_CRYPTO_KEYRING_H_

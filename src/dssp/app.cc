@@ -1,0 +1,188 @@
+#include "dssp/app.h"
+
+#include "dssp/protocol.h"
+
+namespace dssp::service {
+
+namespace {
+
+// Small fixed overhead modeling request framing on the wire.
+constexpr size_t kRequestOverheadBytes = 64;
+
+}  // namespace
+
+ScalableApp::ScalableApp(std::string app_id, DsspNode* dssp,
+                         crypto::KeyRing keyring)
+    : home_(std::move(app_id), std::move(keyring)), dssp_(dssp) {
+  DSSP_CHECK(dssp_ != nullptr);
+}
+
+Status ScalableApp::Finalize() {
+  if (finalized_) return FailedPreconditionError("already finalized");
+  DSSP_RETURN_IF_ERROR(dssp_->RegisterApp(
+      app_id(), &home_.database().catalog(), &home_.templates()));
+  exposure_ = analysis::ExposureAssignment::FullExposure(
+      templates().num_queries(), templates().num_updates());
+  finalized_ = true;
+  return Status::Ok();
+}
+
+Status ScalableApp::SetExposure(analysis::ExposureAssignment exposure) {
+  if (!finalized_) return FailedPreconditionError("call Finalize() first");
+  if (exposure.query_levels.size() != templates().num_queries() ||
+      exposure.update_levels.size() != templates().num_updates()) {
+    return InvalidArgumentError("exposure assignment size mismatch");
+  }
+  for (analysis::ExposureLevel level : exposure.update_levels) {
+    if (level == analysis::ExposureLevel::kView) {
+      return InvalidArgumentError("updates have no view exposure level");
+    }
+  }
+  exposure_ = std::move(exposure);
+  dssp_->ClearCache(app_id());
+  return Status::Ok();
+}
+
+std::string ScalableApp::LookupKey(const templates::QueryTemplate& tmpl,
+                                   analysis::ExposureLevel level,
+                                   const sql::Statement& bound,
+                                   const std::vector<sql::Value>& params) const {
+  switch (level) {
+    case analysis::ExposureLevel::kView:
+    case analysis::ExposureLevel::kStmt:
+      // Plaintext statement as key.
+      return "s:" + sql::ToSql(bound);
+    case analysis::ExposureLevel::kTemplate: {
+      // Template id + deterministically encrypted parameters.
+      std::string key = "t:" + tmpl.id();
+      const crypto::DeterministicCipher cipher = home_.parameter_cipher();
+      for (const sql::Value& param : params) {
+        key += "|";
+        key += cipher.Encrypt(param.EncodeForKey());
+      }
+      return key;
+    }
+    case analysis::ExposureLevel::kBlind:
+      // Encrypted full statement.
+      return "b:" + home_.statement_cipher().Encrypt(sql::ToSql(bound));
+  }
+  DSSP_UNREACHABLE("bad ExposureLevel");
+}
+
+StatusOr<engine::QueryResult> ScalableApp::Query(
+    std::string_view template_id, std::vector<sql::Value> params,
+    AccessStats* stats) {
+  if (!finalized_) return FailedPreconditionError("call Finalize() first");
+  const size_t index = templates().QueryIndex(template_id);
+  if (index == templates::TemplateSet::kNpos) {
+    return NotFoundError("query template " + std::string(template_id));
+  }
+  const templates::QueryTemplate& tmpl = templates().queries()[index];
+  if (static_cast<int>(params.size()) != tmpl.num_params()) {
+    return InvalidArgumentError("parameter count mismatch for " + tmpl.id());
+  }
+  const analysis::ExposureLevel level = exposure_.query_levels[index];
+  const sql::Statement bound = tmpl.Bind(params);
+  const std::string key = LookupKey(tmpl, level, bound, params);
+
+  AccessStats local;
+  AccessStats& s = stats != nullptr ? *stats : local;
+  s = AccessStats{};
+
+  const CacheEntry* entry = dssp_->Lookup(app_id(), key);
+  std::string blob;
+  s.request_bytes = kRequestOverheadBytes + key.size();
+  if (entry != nullptr) {
+    s.cache_hit = true;
+    blob = entry->blob;
+  } else {
+    // Miss: the DSSP forwards the (encrypted) query to the home server as a
+    // protocol frame (Figure 2).
+    const bool plaintext_result = level == analysis::ExposureLevel::kView;
+    const std::string request_frame = Encode(QueryRequest{
+        home_.statement_cipher().Encrypt(sql::ToSql(bound)),
+        plaintext_result});
+    const std::string response_frame = DispatchFrame(home_, request_frame);
+    DSSP_ASSIGN_OR_RETURN(blob, UnwrapQueryResponse(response_frame));
+    s.wan_request_bytes = kRequestOverheadBytes + request_frame.size();
+    s.wan_response_bytes = kRequestOverheadBytes + response_frame.size();
+
+    CacheEntry fresh;
+    fresh.key = key;
+    fresh.level = level;
+    fresh.blob = blob;
+    if (level != analysis::ExposureLevel::kBlind) {
+      fresh.template_index = index;
+    }
+    if (level == analysis::ExposureLevel::kStmt ||
+        level == analysis::ExposureLevel::kView) {
+      fresh.statement = bound;
+    }
+    if (plaintext_result) {
+      DSSP_ASSIGN_OR_RETURN(engine::QueryResult plain,
+                            engine::QueryResult::Deserialize(blob));
+      fresh.result = std::move(plain);
+    }
+    dssp_->Store(app_id(), std::move(fresh));
+  }
+
+  s.response_bytes = kRequestOverheadBytes + blob.size();
+
+  // Client-side decryption of the blob.
+  const std::string serialized =
+      level == analysis::ExposureLevel::kView
+          ? blob
+          : home_.result_cipher().Decrypt(blob);
+  DSSP_ASSIGN_OR_RETURN(engine::QueryResult result,
+                        engine::QueryResult::Deserialize(serialized));
+  s.result_rows = result.num_rows();
+  return result;
+}
+
+StatusOr<engine::UpdateEffect> ScalableApp::Update(
+    std::string_view template_id, std::vector<sql::Value> params,
+    AccessStats* stats) {
+  if (!finalized_) return FailedPreconditionError("call Finalize() first");
+  const size_t index = templates().UpdateIndex(template_id);
+  if (index == templates::TemplateSet::kNpos) {
+    return NotFoundError("update template " + std::string(template_id));
+  }
+  const templates::UpdateTemplate& tmpl = templates().updates()[index];
+  if (static_cast<int>(params.size()) != tmpl.num_params()) {
+    return InvalidArgumentError("parameter count mismatch for " + tmpl.id());
+  }
+  const analysis::ExposureLevel level = exposure_.update_levels[index];
+  const sql::Statement bound = tmpl.Bind(params);
+
+  AccessStats local;
+  AccessStats& s = stats != nullptr ? *stats : local;
+  s = AccessStats{};
+  s.is_update = true;
+
+  // All updates are routed to the home server in encrypted form (Figure 2).
+  const std::string request_frame = Encode(
+      UpdateRequest{home_.statement_cipher().Encrypt(sql::ToSql(bound))});
+  const std::string response_frame = DispatchFrame(home_, request_frame);
+  DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
+                        UnwrapUpdateResponse(response_frame));
+  s.rows_affected = effect.rows_affected;
+  s.request_bytes = kRequestOverheadBytes + request_frame.size();
+  s.response_bytes = kRequestOverheadBytes;  // Acknowledgement.
+  s.wan_request_bytes = kRequestOverheadBytes + request_frame.size();
+  s.wan_response_bytes = kRequestOverheadBytes + response_frame.size();
+
+  // The DSSP monitors the completed update and invalidates, seeing only the
+  // exposure-gated notice.
+  UpdateNotice notice;
+  notice.level = level;
+  if (level != analysis::ExposureLevel::kBlind) {
+    notice.template_index = index;
+  }
+  if (level == analysis::ExposureLevel::kStmt) {
+    notice.statement = bound;
+  }
+  s.entries_invalidated = dssp_->OnUpdate(app_id(), notice);
+  return effect;
+}
+
+}  // namespace dssp::service

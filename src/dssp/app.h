@@ -1,0 +1,88 @@
+#ifndef DSSP_DSSP_APP_H_
+#define DSSP_DSSP_APP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/exposure.h"
+#include "common/status.h"
+#include "dssp/home_server.h"
+#include "dssp/node.h"
+#include "engine/query_result.h"
+
+namespace dssp::service {
+
+// Wire/access accounting for one query or update, consumed by the
+// simulator's timing model.
+struct AccessStats {
+  bool is_update = false;
+  bool cache_hit = false;
+  size_t request_bytes = 0;       // Client -> DSSP.
+  size_t response_bytes = 0;      // DSSP -> client.
+  size_t wan_request_bytes = 0;   // DSSP -> home (0 on cache hits).
+  size_t wan_response_bytes = 0;  // Home -> DSSP (0 on cache hits).
+  size_t result_rows = 0;
+  size_t rows_affected = 0;
+  size_t entries_invalidated = 0;
+};
+
+// A Web application running against a shared DSSP: owns the home server
+// (master database + keys) and the client-side logic that encrypts
+// statements, computes exposure-dependent cache keys, and decrypts results.
+//
+// Usage:
+//   ScalableApp app("bookstore", &dssp, crypto::KeyRing::FromPassphrase(...));
+//   app.home().database().CreateTable(...);          // schema
+//   app.home().AddQueryTemplate("SELECT ...");        // templates
+//   app.Finalize();                                   // register with DSSP
+//   app.SetExposure(assignment);                      // security config
+//   app.Query("Q1", {Value(5)});                      // serve traffic
+class ScalableApp {
+ public:
+  ScalableApp(std::string app_id, DsspNode* dssp, crypto::KeyRing keyring);
+
+  HomeServer& home() { return home_; }
+  const HomeServer& home() const { return home_; }
+  const std::string& app_id() const { return home_.app_id(); }
+  const templates::TemplateSet& templates() const {
+    return home_.templates();
+  }
+
+  // Registers the application with the DSSP. Call after schema and
+  // templates are final. Exposure defaults to full exposure.
+  Status Finalize();
+
+  // Sets the per-template exposure levels (sizes must match the template
+  // sets). Clears the cache: entries keyed under the old levels would be
+  // unreachable and unsound to keep.
+  Status SetExposure(analysis::ExposureAssignment exposure);
+  const analysis::ExposureAssignment& exposure() const { return exposure_; }
+
+  // Executes a query template instance through the DSSP path.
+  StatusOr<engine::QueryResult> Query(std::string_view template_id,
+                                      std::vector<sql::Value> params,
+                                      AccessStats* stats = nullptr);
+
+  // Executes an update template instance: routed to the home server, then
+  // the DSSP invalidates using the exposure-gated update notice.
+  StatusOr<engine::UpdateEffect> Update(std::string_view template_id,
+                                        std::vector<sql::Value> params,
+                                        AccessStats* stats = nullptr);
+
+ private:
+  // Exposure-dependent cache key (Section 2.2, footnote 3).
+  std::string LookupKey(const templates::QueryTemplate& tmpl,
+                        analysis::ExposureLevel level,
+                        const sql::Statement& bound,
+                        const std::vector<sql::Value>& params) const;
+
+  HomeServer home_;
+  DsspNode* dssp_;
+  analysis::ExposureAssignment exposure_;
+  bool finalized_ = false;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_APP_H_

@@ -1,0 +1,95 @@
+#include "dssp/cache.h"
+
+#include "common/macros.h"
+
+namespace dssp::service {
+
+void QueryCache::SetCapacity(size_t max_entries) {
+  max_entries_ = max_entries;
+  EvictToCapacity();
+}
+
+void QueryCache::Touch(Stored& stored) {
+  lru_.splice(lru_.begin(), lru_, stored.lru_position);
+}
+
+void QueryCache::EvictToCapacity() {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_) {
+    DSSP_CHECK(!lru_.empty());
+    const std::string victim = lru_.back();
+    Erase(victim);
+    ++evictions_;
+  }
+}
+
+const CacheEntry* QueryCache::Lookup(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  Touch(it->second);
+  return &it->second.entry;
+}
+
+const CacheEntry* QueryCache::Peek(const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second.entry;
+}
+
+void QueryCache::Insert(CacheEntry entry) {
+  Erase(entry.key);
+  groups_[entry.template_index].insert(entry.key);
+  lru_.push_front(entry.key);
+  std::string key = entry.key;
+  entries_.emplace(std::move(key),
+                   Stored{std::move(entry), lru_.begin()});
+  EvictToCapacity();
+}
+
+void QueryCache::Erase(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  const auto group_it = groups_.find(it->second.entry.template_index);
+  if (group_it != groups_.end()) {
+    group_it->second.erase(key);
+    if (group_it->second.empty()) groups_.erase(group_it);
+  }
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+}
+
+std::vector<size_t> QueryCache::GroupKeys() const {
+  std::vector<size_t> keys;
+  keys.reserve(groups_.size());
+  for (const auto& [group, entries] : groups_) keys.push_back(group);
+  return keys;
+}
+
+std::vector<std::string> QueryCache::GroupEntryKeys(size_t group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+size_t QueryCache::EraseGroup(size_t group) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return 0;
+  const size_t count = it->second.size();
+  for (const std::string& key : it->second) {
+    const auto entry_it = entries_.find(key);
+    DSSP_CHECK(entry_it != entries_.end());
+    lru_.erase(entry_it->second.lru_position);
+    entries_.erase(entry_it);
+  }
+  groups_.erase(it);
+  return count;
+}
+
+size_t QueryCache::Clear() {
+  const size_t count = entries_.size();
+  entries_.clear();
+  groups_.clear();
+  lru_.clear();
+  return count;
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,111 @@
+#ifndef DSSP_DSSP_CACHE_H_
+#define DSSP_DSSP_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/exposure.h"
+#include "engine/query_result.h"
+#include "sql/ast.h"
+
+namespace dssp::service {
+
+// One cached (possibly encrypted) query result held by the DSSP. The fields
+// below `blob` mirror exactly what the entry's exposure level reveals; a
+// hidden field is absent, so invalidation code physically cannot consult it.
+struct CacheEntry {
+  static constexpr size_t kNoTemplate = static_cast<size_t>(-1);
+
+  std::string key;  // Exposure-dependent lookup key (Section 2.2, fn. 3).
+  analysis::ExposureLevel level = analysis::ExposureLevel::kBlind;
+
+  // Index of the query template in the app's TemplateSet, if exposed
+  // (level >= template); kNoTemplate otherwise.
+  size_t template_index = kNoTemplate;
+
+  // The bound query statement, if exposed (level >= stmt).
+  std::optional<sql::Statement> statement;
+
+  // The plaintext result, if exposed (level == view).
+  std::optional<engine::QueryResult> result;
+
+  // What a cache hit returns to the client: the serialized result,
+  // encrypted unless level == view.
+  std::string blob;
+};
+
+// The DSSP's store of cached query results for one application, with a
+// per-exposed-template secondary index so invalidation can prune whole
+// template groups using template-level analysis before doing per-entry
+// work, and optional LRU capacity management (a shared provider bounds each
+// tenant's memory).
+class QueryCache {
+ public:
+  QueryCache() = default;
+
+  // Not copyable (entries are large); movable.
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+  QueryCache(QueryCache&&) = default;
+  QueryCache& operator=(QueryCache&&) = default;
+
+  // Caps the entry count; 0 (default) means unlimited. Shrinking below the
+  // current size evicts least-recently-used entries immediately.
+  void SetCapacity(size_t max_entries);
+  size_t capacity() const { return max_entries_; }
+  uint64_t evictions() const { return evictions_; }
+
+  // Returns the entry with `key`, or nullptr. A hit refreshes the entry's
+  // LRU position.
+  const CacheEntry* Lookup(const std::string& key);
+
+  // Like Lookup but without the LRU side effect; for invalidation scans and
+  // introspection.
+  const CacheEntry* Peek(const std::string& key) const;
+
+  // Inserts or overwrites, evicting the least-recently-used entries if the
+  // cache is at capacity.
+  void Insert(CacheEntry entry);
+
+  void Erase(const std::string& key);
+
+  // Group keys: template_index for exposed templates, CacheEntry::kNoTemplate
+  // for blind-level entries.
+  std::vector<size_t> GroupKeys() const;
+
+  // Keys of all entries in a group (copy: callers erase while iterating).
+  std::vector<std::string> GroupEntryKeys(size_t group) const;
+
+  // Erases every entry in `group`; returns how many.
+  size_t EraseGroup(size_t group);
+
+  // Erases everything; returns how many.
+  size_t Clear();
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Stored {
+    CacheEntry entry;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  void Touch(Stored& stored);
+  void EvictToCapacity();
+
+  std::unordered_map<std::string, Stored> entries_;
+  std::map<size_t, std::set<std::string>> groups_;
+  // Most-recently-used at the front.
+  std::list<std::string> lru_;
+  size_t max_entries_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_CACHE_H_

@@ -1,0 +1,40 @@
+#include "dssp/home_server.h"
+
+#include "sql/parser.h"
+
+namespace dssp::service {
+
+HomeServer::HomeServer(std::string app_id, crypto::KeyRing keyring)
+    : app_id_(std::move(app_id)), keyring_(std::move(keyring)) {}
+
+Status HomeServer::AddQueryTemplate(std::string_view sql) {
+  return templates_.AddQuerySql(sql, database_.catalog());
+}
+
+Status HomeServer::AddUpdateTemplate(std::string_view sql) {
+  return templates_.AddUpdateSql(sql, database_.catalog());
+}
+
+StatusOr<std::string> HomeServer::HandleQuery(std::string_view ciphertext,
+                                              bool plaintext_result) {
+  const std::string sql = statement_cipher().Decrypt(ciphertext);
+  DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  DSSP_ASSIGN_OR_RETURN(engine::QueryResult result,
+                        database_.ExecuteQuery(stmt));
+  ++queries_executed_;
+  std::string serialized = result.Serialize();
+  if (plaintext_result) return serialized;
+  return result_cipher().Encrypt(serialized);
+}
+
+StatusOr<engine::UpdateEffect> HomeServer::HandleUpdate(
+    std::string_view ciphertext) {
+  const std::string sql = statement_cipher().Decrypt(ciphertext);
+  DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
+                        database_.ExecuteUpdate(stmt));
+  ++updates_applied_;
+  return effect;
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,68 @@
+#ifndef DSSP_DSSP_HOME_SERVER_H_
+#define DSSP_DSSP_HOME_SERVER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "crypto/keyring.h"
+#include "engine/database.h"
+#include "templates/template_set.h"
+
+namespace dssp::service {
+
+// An application's home server: the master database, the template sets, and
+// the application's keys. All statements arrive encrypted (Figure 2: the
+// DSSP forwards opaque blobs); the home server decrypts, parses, executes,
+// and encrypts results when the caller asks for an opaque reply.
+class HomeServer {
+ public:
+  HomeServer(std::string app_id, crypto::KeyRing keyring);
+
+  const std::string& app_id() const { return app_id_; }
+  const crypto::KeyRing& keyring() const { return keyring_; }
+
+  // Master database; populate it and register tables through this.
+  engine::Database& database() { return database_; }
+  const engine::Database& database() const { return database_; }
+
+  // Registers templates (ids auto-assigned "Q<k>" / "U<k>").
+  Status AddQueryTemplate(std::string_view sql);
+  Status AddUpdateTemplate(std::string_view sql);
+  const templates::TemplateSet& templates() const { return templates_; }
+
+  // Wire entry points. `ciphertext` is a statement encrypted under the
+  // app's statement cipher. For queries: executes and returns the serialized
+  // result, encrypted under the result cipher unless `plaintext_result`.
+  StatusOr<std::string> HandleQuery(std::string_view ciphertext,
+                                    bool plaintext_result);
+  StatusOr<engine::UpdateEffect> HandleUpdate(std::string_view ciphertext);
+
+  // Ciphers (deterministic; shared conceptually with the application's
+  // client-side code, never with the DSSP).
+  crypto::DeterministicCipher statement_cipher() const {
+    return keyring_.CipherFor("statement");
+  }
+  crypto::DeterministicCipher parameter_cipher() const {
+    return keyring_.CipherFor("params");
+  }
+  crypto::DeterministicCipher result_cipher() const {
+    return keyring_.CipherFor("result");
+  }
+
+  // Count of updates applied (the paper reports per-run update volumes).
+  uint64_t updates_applied() const { return updates_applied_; }
+  uint64_t queries_executed() const { return queries_executed_; }
+
+ private:
+  std::string app_id_;
+  crypto::KeyRing keyring_;
+  engine::Database database_;
+  templates::TemplateSet templates_;
+  uint64_t updates_applied_ = 0;
+  uint64_t queries_executed_ = 0;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_HOME_SERVER_H_

@@ -1,0 +1,140 @@
+#include "dssp/node.h"
+
+namespace dssp::service {
+
+Status DsspNode::RegisterApp(std::string app_id,
+                             const catalog::Catalog* catalog,
+                             const templates::TemplateSet* templates) {
+  DSSP_CHECK(catalog != nullptr && templates != nullptr);
+  if (apps_.count(app_id) != 0) {
+    return AlreadyExistsError("application " + app_id);
+  }
+  AppState state;
+  state.catalog = catalog;
+  state.templates = templates;
+  state.strategy = std::make_unique<invalidation::MixedStrategy>(*catalog);
+  apps_.emplace(std::move(app_id), std::move(state));
+  return Status::Ok();
+}
+
+bool DsspNode::HasApp(std::string_view app_id) const {
+  return apps_.find(app_id) != apps_.end();
+}
+
+DsspNode::AppState& DsspNode::GetApp(std::string_view app_id) {
+  const auto it = apps_.find(app_id);
+  DSSP_CHECK(it != apps_.end());
+  return it->second;
+}
+
+const DsspNode::AppState& DsspNode::GetApp(std::string_view app_id) const {
+  const auto it = apps_.find(app_id);
+  DSSP_CHECK(it != apps_.end());
+  return it->second;
+}
+
+const CacheEntry* DsspNode::Lookup(const std::string& app_id,
+                                   const std::string& key) {
+  AppState& app = GetApp(app_id);
+  ++app.stats.lookups;
+  const CacheEntry* entry = app.cache.Lookup(key);
+  if (entry != nullptr) {
+    ++app.stats.hits;
+  } else {
+    ++app.stats.misses;
+  }
+  return entry;
+}
+
+void DsspNode::Store(const std::string& app_id, CacheEntry entry) {
+  AppState& app = GetApp(app_id);
+  ++app.stats.stores;
+  app.cache.Insert(std::move(entry));
+}
+
+size_t DsspNode::OnUpdate(const std::string& app_id,
+                          const UpdateNotice& notice) {
+  AppState& app = GetApp(app_id);
+  ++app.stats.updates_observed;
+
+  invalidation::UpdateView update_view;
+  update_view.level = notice.level;
+  if (notice.level != analysis::ExposureLevel::kBlind &&
+      notice.template_index != CacheEntry::kNoTemplate) {
+    DSSP_CHECK(notice.template_index < app.templates->num_updates());
+    update_view.tmpl = &app.templates->updates()[notice.template_index];
+  }
+  if (notice.level == analysis::ExposureLevel::kStmt &&
+      notice.statement.has_value()) {
+    update_view.statement = &*notice.statement;
+  }
+
+  size_t invalidated = 0;
+  for (size_t group : app.cache.GroupKeys()) {
+    // Group-level prefilter: decide with only the query template exposed
+    // (the IPM's A cell). Our statement- and view-inspection strategies
+    // refine the template-level decision monotonically, so a template-level
+    // DNI is final for the whole group.
+    invalidation::CachedQueryView group_view;
+    if (group == CacheEntry::kNoTemplate) {
+      group_view.level = analysis::ExposureLevel::kBlind;
+    } else {
+      group_view.level = analysis::ExposureLevel::kTemplate;
+      group_view.tmpl = &app.templates->queries()[group];
+    }
+    if (app.strategy->Decide(update_view, group_view) ==
+        invalidation::Decision::kDoNotInvalidate) {
+      continue;
+    }
+
+    for (const std::string& key : app.cache.GroupEntryKeys(group)) {
+      // Peek: inspecting entries for invalidation must not refresh their
+      // LRU recency.
+      const CacheEntry* entry = app.cache.Peek(key);
+      DSSP_CHECK(entry != nullptr);
+      invalidation::CachedQueryView view;
+      view.level = entry->level;
+      if (entry->template_index != CacheEntry::kNoTemplate) {
+        view.tmpl = &app.templates->queries()[entry->template_index];
+      }
+      if (entry->statement.has_value()) view.statement = &*entry->statement;
+      if (entry->result.has_value()) view.result = &*entry->result;
+      if (app.strategy->Decide(update_view, view) ==
+          invalidation::Decision::kInvalidate) {
+        app.cache.Erase(key);
+        ++invalidated;
+      }
+    }
+  }
+  app.stats.entries_invalidated += invalidated;
+  return invalidated;
+}
+
+void DsspNode::SetCacheCapacity(const std::string& app_id,
+                                size_t max_entries) {
+  GetApp(app_id).cache.SetCapacity(max_entries);
+}
+
+uint64_t DsspNode::CacheEvictions(const std::string& app_id) const {
+  return GetApp(app_id).cache.evictions();
+}
+
+size_t DsspNode::ClearCache(const std::string& app_id) {
+  return GetApp(app_id).cache.Clear();
+}
+
+size_t DsspNode::CacheSize(const std::string& app_id) const {
+  return GetApp(app_id).cache.size();
+}
+
+const DsspStats& DsspNode::stats(const std::string& app_id) const {
+  return GetApp(app_id).stats;
+}
+
+size_t DsspNode::TotalCacheSize() const {
+  size_t total = 0;
+  for (const auto& [id, app] : apps_) total += app.cache.size();
+  return total;
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,100 @@
+#ifndef DSSP_DSSP_NODE_H_
+#define DSSP_DSSP_NODE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/exposure.h"
+#include "catalog/schema.h"
+#include "dssp/cache.h"
+#include "invalidation/strategies.h"
+#include "templates/template_set.h"
+
+namespace dssp::service {
+
+// What the DSSP learns about a completed update, limited by the update
+// template's exposure level. A blind update carries nothing at all.
+struct UpdateNotice {
+  analysis::ExposureLevel level = analysis::ExposureLevel::kBlind;
+  size_t template_index = CacheEntry::kNoTemplate;  // If level >= template.
+  std::optional<sql::Statement> statement;          // If level >= stmt.
+};
+
+// Per-application DSSP counters.
+struct DsspStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t updates_observed = 0;
+  uint64_t entries_invalidated = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+// The shared Database Scalability Service Provider node: caches (possibly
+// encrypted) query results for many applications and keeps them consistent
+// by invalidating on updates, using only each entry's exposed information.
+//
+// The DSSP holds no application keys. Applications are isolated: lookups and
+// invalidations are scoped to one application's cache.
+class DsspNode {
+ public:
+  DsspNode() = default;
+
+  // Registers an application. `catalog` and `templates` are the statically
+  // published metadata (schemas and template texts) the DSSP may consult
+  // when an entry's or update's exposure level permits; both must outlive
+  // the node. Fails on duplicate id.
+  Status RegisterApp(std::string app_id, const catalog::Catalog* catalog,
+                     const templates::TemplateSet* templates);
+
+  bool HasApp(std::string_view app_id) const;
+
+  // Cache operations for one application.
+  const CacheEntry* Lookup(const std::string& app_id, const std::string& key);
+  void Store(const std::string& app_id, CacheEntry entry);
+
+  // Invalidation on a completed update; returns entries invalidated.
+  size_t OnUpdate(const std::string& app_id, const UpdateNotice& notice);
+
+  // Caps one application's cache entry count (0 = unlimited). A shared
+  // provider uses this to bound each tenant's memory; overflow evicts the
+  // least recently used entries.
+  void SetCacheCapacity(const std::string& app_id, size_t max_entries);
+  uint64_t CacheEvictions(const std::string& app_id) const;
+
+  // Drops an application's whole cache (e.g., to start an experiment cold).
+  size_t ClearCache(const std::string& app_id);
+
+  size_t CacheSize(const std::string& app_id) const;
+  const DsspStats& stats(const std::string& app_id) const;
+
+  // Aggregate size across applications.
+  size_t TotalCacheSize() const;
+
+ private:
+  struct AppState {
+    const catalog::Catalog* catalog = nullptr;
+    const templates::TemplateSet* templates = nullptr;
+    QueryCache cache;
+    std::unique_ptr<invalidation::MixedStrategy> strategy;
+    DsspStats stats;
+  };
+
+  AppState& GetApp(std::string_view app_id);
+  const AppState& GetApp(std::string_view app_id) const;
+
+  std::map<std::string, AppState, std::less<>> apps_;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_NODE_H_

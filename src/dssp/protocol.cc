@@ -1,0 +1,219 @@
+#include "dssp/protocol.h"
+
+#include <cstring>
+
+#include "dssp/home_server.h"
+
+namespace dssp::service {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendString(std::string* out, std::string_view value) {
+  AppendU64(out, value.size());
+  out->append(value);
+}
+
+bool ReadU64(std::string_view frame, size_t* pos, uint64_t* out) {
+  if (*pos + sizeof(uint64_t) > frame.size()) return false;
+  std::memcpy(out, frame.data() + *pos, sizeof(uint64_t));
+  *pos += sizeof(uint64_t);
+  return true;
+}
+
+bool ReadString(std::string_view frame, size_t* pos, std::string* out) {
+  uint64_t length = 0;
+  if (!ReadU64(frame, pos, &length)) return false;
+  if (*pos + length > frame.size()) return false;
+  out->assign(frame.substr(*pos, length));
+  *pos += length;
+  return true;
+}
+
+Status CheckType(std::string_view frame, MessageType expected, size_t* pos) {
+  if (frame.empty()) return ParseError("empty frame");
+  if (static_cast<MessageType>(frame[0]) != expected) {
+    return ParseError("unexpected frame type");
+  }
+  *pos = 1;
+  return Status::Ok();
+}
+
+Status CheckConsumed(std::string_view frame, size_t pos) {
+  if (pos != frame.size()) return ParseError("trailing bytes in frame");
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string Encode(const QueryRequest& message) {
+  std::string out(1, static_cast<char>(MessageType::kQueryRequest));
+  out.push_back(message.plaintext_result ? 1 : 0);
+  AppendString(&out, message.encrypted_statement);
+  return out;
+}
+
+std::string Encode(const QueryResponse& message) {
+  std::string out(1, static_cast<char>(MessageType::kQueryResponse));
+  AppendString(&out, message.result_blob);
+  return out;
+}
+
+std::string Encode(const UpdateRequest& message) {
+  std::string out(1, static_cast<char>(MessageType::kUpdateRequest));
+  AppendString(&out, message.encrypted_statement);
+  return out;
+}
+
+std::string Encode(const UpdateResponse& message) {
+  std::string out(1, static_cast<char>(MessageType::kUpdateResponse));
+  AppendU64(&out, message.rows_affected);
+  return out;
+}
+
+std::string Encode(const ErrorResponse& message) {
+  std::string out(1, static_cast<char>(MessageType::kError));
+  AppendU64(&out, static_cast<uint64_t>(message.code));
+  AppendString(&out, message.message);
+  return out;
+}
+
+std::optional<MessageType> PeekType(std::string_view frame) {
+  if (frame.empty()) return std::nullopt;
+  const uint8_t type = static_cast<uint8_t>(frame[0]);
+  if (type < 1 || type > 5) return std::nullopt;
+  return static_cast<MessageType>(type);
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kQueryRequest, &pos));
+  if (pos >= frame.size()) return ParseError("truncated query request");
+  QueryRequest message;
+  message.plaintext_result = frame[pos++] != 0;
+  if (!ReadString(frame, &pos, &message.encrypted_statement)) {
+    return ParseError("malformed query request");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<QueryResponse> DecodeQueryResponse(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kQueryResponse, &pos));
+  QueryResponse message;
+  if (!ReadString(frame, &pos, &message.result_blob)) {
+    return ParseError("malformed query response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<UpdateRequest> DecodeUpdateRequest(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kUpdateRequest, &pos));
+  UpdateRequest message;
+  if (!ReadString(frame, &pos, &message.encrypted_statement)) {
+    return ParseError("malformed update request");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<UpdateResponse> DecodeUpdateResponse(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kUpdateResponse, &pos));
+  UpdateResponse message;
+  if (!ReadU64(frame, &pos, &message.rows_affected)) {
+    return ParseError("malformed update response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kError, &pos));
+  ErrorResponse message;
+  uint64_t code = 0;
+  // Code 0 (kOk) is not a legal error; reject it with the other garbage.
+  if (!ReadU64(frame, &pos, &code) || code == 0 || code > 7) {
+    return ParseError("malformed error response");
+  }
+  message.code = static_cast<StatusCode>(code);
+  if (!ReadString(frame, &pos, &message.message)) {
+    return ParseError("malformed error response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+std::string DispatchFrame(HomeServer& home, std::string_view frame) {
+  const std::optional<MessageType> type = PeekType(frame);
+  if (!type.has_value()) {
+    return Encode(ErrorResponse{StatusCode::kParseError, "bad frame"});
+  }
+  switch (*type) {
+    case MessageType::kQueryRequest: {
+      auto request = DecodeQueryRequest(frame);
+      if (!request.ok()) {
+        return Encode(ErrorResponse{request.status().code(),
+                                    request.status().message()});
+      }
+      auto blob = home.HandleQuery(request->encrypted_statement,
+                                   request->plaintext_result);
+      if (!blob.ok()) {
+        return Encode(
+            ErrorResponse{blob.status().code(), blob.status().message()});
+      }
+      return Encode(QueryResponse{std::move(*blob)});
+    }
+    case MessageType::kUpdateRequest: {
+      auto request = DecodeUpdateRequest(frame);
+      if (!request.ok()) {
+        return Encode(ErrorResponse{request.status().code(),
+                                    request.status().message()});
+      }
+      auto effect = home.HandleUpdate(request->encrypted_statement);
+      if (!effect.ok()) {
+        return Encode(
+            ErrorResponse{effect.status().code(), effect.status().message()});
+      }
+      return Encode(UpdateResponse{effect->rows_affected});
+    }
+    default:
+      return Encode(
+          ErrorResponse{StatusCode::kInvalidArgument,
+                        "home server only accepts request frames"});
+  }
+}
+
+namespace {
+
+Status ErrorFrameToStatus(std::string_view frame) {
+  auto error = DecodeErrorResponse(frame);
+  if (!error.ok()) return ParseError("undecodable error frame");
+  return Status(error->code, error->message);
+}
+
+}  // namespace
+
+StatusOr<std::string> UnwrapQueryResponse(std::string_view frame) {
+  const std::optional<MessageType> type = PeekType(frame);
+  if (type == MessageType::kError) return ErrorFrameToStatus(frame);
+  DSSP_ASSIGN_OR_RETURN(QueryResponse response, DecodeQueryResponse(frame));
+  return std::move(response.result_blob);
+}
+
+StatusOr<engine::UpdateEffect> UnwrapUpdateResponse(std::string_view frame) {
+  const std::optional<MessageType> type = PeekType(frame);
+  if (type == MessageType::kError) return ErrorFrameToStatus(frame);
+  DSSP_ASSIGN_OR_RETURN(UpdateResponse response,
+                        DecodeUpdateResponse(frame));
+  return engine::UpdateEffect{response.rows_affected};
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,86 @@
+#ifndef DSSP_DSSP_PROTOCOL_H_
+#define DSSP_DSSP_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/database.h"
+
+namespace dssp::service {
+
+// The DSSP <-> home-server wire protocol (the arrows of the paper's
+// Figure 2). Every message is a length-delimited binary frame:
+//
+//   [1 byte type][payload...]
+//
+// Statement payloads are ciphertext under the application's statement
+// cipher; the DSSP forwards them opaquely. Result payloads are ciphertext
+// under the result cipher unless the query template's exposure level is
+// `view`. The framing itself carries no plaintext application data.
+
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,    // DSSP -> home: encrypted statement.
+  kQueryResponse = 2,   // home -> DSSP: (possibly encrypted) result blob.
+  kUpdateRequest = 3,   // DSSP -> home: encrypted statement.
+  kUpdateResponse = 4,  // home -> DSSP: rows affected.
+  kError = 5,           // home -> DSSP: status code + message.
+};
+
+struct QueryRequest {
+  std::string encrypted_statement;
+  bool plaintext_result = false;  // Exposure level `view`.
+};
+
+struct QueryResponse {
+  std::string result_blob;
+};
+
+struct UpdateRequest {
+  std::string encrypted_statement;
+};
+
+struct UpdateResponse {
+  uint64_t rows_affected = 0;
+};
+
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInvalidArgument;
+  std::string message;
+};
+
+// Frame encoding/decoding. Decoders validate the type byte and payload
+// structure and fail (never crash) on malformed frames.
+std::string Encode(const QueryRequest& message);
+std::string Encode(const QueryResponse& message);
+std::string Encode(const UpdateRequest& message);
+std::string Encode(const UpdateResponse& message);
+std::string Encode(const ErrorResponse& message);
+
+// Peeks the frame type; nullopt if the frame is empty or the type unknown.
+std::optional<MessageType> PeekType(std::string_view frame);
+
+StatusOr<QueryRequest> DecodeQueryRequest(std::string_view frame);
+StatusOr<QueryResponse> DecodeQueryResponse(std::string_view frame);
+StatusOr<UpdateRequest> DecodeUpdateRequest(std::string_view frame);
+StatusOr<UpdateResponse> DecodeUpdateResponse(std::string_view frame);
+StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame);
+
+class HomeServer;
+
+// Byte-level request dispatcher for a home server: takes one request frame,
+// returns one response frame (kQueryResponse / kUpdateResponse / kError).
+// This is the single entry point a transport (TCP, in-process channel)
+// would call; ScalableApp drives it for full wire fidelity.
+std::string DispatchFrame(HomeServer& home, std::string_view frame);
+
+// Client-side helpers: unwrap a response frame into the expected type,
+// converting kError frames back into Status.
+StatusOr<std::string> UnwrapQueryResponse(std::string_view frame);
+StatusOr<engine::UpdateEffect> UnwrapUpdateResponse(std::string_view frame);
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_PROTOCOL_H_

@@ -1,0 +1,76 @@
+#include "engine/eval.h"
+
+namespace dssp::engine {
+
+bool CompareValues(const sql::Value& lhs, sql::CompareOp op,
+                   const sql::Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const bool comparable =
+      (lhs.is_numeric() && rhs.is_numeric()) ||
+      (lhs.type() == sql::ValueType::kString &&
+       rhs.type() == sql::ValueType::kString);
+  DSSP_CHECK(comparable);
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case sql::CompareOp::kEq:
+      return c == 0;
+    case sql::CompareOp::kLt:
+      return c < 0;
+    case sql::CompareOp::kLe:
+      return c <= 0;
+    case sql::CompareOp::kGt:
+      return c > 0;
+    case sql::CompareOp::kGe:
+      return c >= 0;
+  }
+  DSSP_UNREACHABLE("bad CompareOp");
+}
+
+namespace {
+
+StatusOr<sql::Value> ResolveOperand(const catalog::TableSchema& schema,
+                                    const sql::Operand& op, const Row& row,
+                                    std::string_view alias) {
+  if (sql::IsLiteral(op)) return std::get<sql::Value>(op);
+  if (sql::IsParameter(op)) {
+    return InvalidArgumentError("unbound parameter in predicate");
+  }
+  const sql::ColumnRef& ref = std::get<sql::ColumnRef>(op);
+  if (!ref.table.empty() && ref.table != schema.name() &&
+      ref.table != alias) {
+    return InvalidArgumentError("column " + ref.ToString() +
+                                " does not belong to table " + schema.name());
+  }
+  const std::optional<size_t> idx = schema.ColumnIndex(ref.column);
+  if (!idx.has_value()) {
+    return NotFoundError("column " + ref.column + " in table " +
+                         schema.name());
+  }
+  return row[*idx];
+}
+
+}  // namespace
+
+StatusOr<bool> EvalPredicateOnRow(const catalog::TableSchema& schema,
+                                  const std::vector<sql::Comparison>& where,
+                                  const Row& row, std::string_view alias) {
+  for (const sql::Comparison& cmp : where) {
+    DSSP_ASSIGN_OR_RETURN(sql::Value lhs,
+                          ResolveOperand(schema, cmp.lhs, row, alias));
+    DSSP_ASSIGN_OR_RETURN(sql::Value rhs,
+                          ResolveOperand(schema, cmp.rhs, row, alias));
+    if (!lhs.is_null() && !rhs.is_null()) {
+      const bool comparable =
+          (lhs.is_numeric() && rhs.is_numeric()) ||
+          (lhs.type() == sql::ValueType::kString &&
+           rhs.type() == sql::ValueType::kString);
+      if (!comparable) {
+        return InvalidArgumentError("incomparable types in predicate");
+      }
+    }
+    if (!CompareValues(lhs, cmp.op, rhs)) return false;
+  }
+  return true;
+}
+
+}  // namespace dssp::engine

@@ -1,0 +1,31 @@
+#ifndef DSSP_ENGINE_EVAL_H_
+#define DSSP_ENGINE_EVAL_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "sql/ast.h"
+
+namespace dssp::engine {
+
+// Evaluates `lhs op rhs`. Any comparison involving NULL is false. Numeric
+// types compare numerically; strings lexicographically. DSSP_CHECKs on
+// incomparable types (the binder rejects those before execution).
+bool CompareValues(const sql::Value& lhs, sql::CompareOp op,
+                   const sql::Value& rhs);
+
+// Evaluates a conjunctive predicate against one row of a single table.
+// Column references must resolve to columns of `schema` (qualification, if
+// present, must match the table name or `alias`); operands must be columns
+// or literals (no parameters). Used by DELETE/UPDATE execution and by the
+// view-inspection invalidation strategy.
+StatusOr<bool> EvalPredicateOnRow(const catalog::TableSchema& schema,
+                                  const std::vector<sql::Comparison>& where,
+                                  const Row& row,
+                                  std::string_view alias = "");
+
+}  // namespace dssp::engine
+
+#endif  // DSSP_ENGINE_EVAL_H_

@@ -1,0 +1,25 @@
+#ifndef DSSP_ENGINE_EXECUTOR_H_
+#define DSSP_ENGINE_EXECUTOR_H_
+
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "sql/ast.h"
+
+namespace dssp::engine {
+
+class Database;
+
+// Executes a fully-bound (parameter-free) SELECT statement against `db`.
+//
+// Supported: select-project-join with conjunctive comparison predicates
+// (equality joins use hash indexes; inequality joins fall back to nested
+// loops), ORDER BY, LIMIT (top-k), aggregates MIN/MAX/COUNT/SUM/AVG and
+// GROUP BY. Multiset semantics: projection does not eliminate duplicates.
+//
+// Comparison semantics: a comparison involving a NULL evaluates to false.
+StatusOr<QueryResult> ExecuteSelect(const Database& db,
+                                    const sql::SelectStatement& stmt);
+
+}  // namespace dssp::engine
+
+#endif  // DSSP_ENGINE_EXECUTOR_H_

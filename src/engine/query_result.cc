@@ -1,0 +1,140 @@
+#include "engine/query_result.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace dssp::engine {
+
+namespace {
+
+std::string EncodeRow(const Row& row) {
+  std::string out;
+  for (const sql::Value& v : row) out += v.EncodeForKey();
+  return out;
+}
+
+std::vector<std::string> EncodedRows(const std::vector<Row>& rows,
+                                     bool sorted) {
+  std::vector<std::string> encoded;
+  encoded.reserve(rows.size());
+  for (const Row& row : rows) encoded.push_back(EncodeRow(row));
+  if (sorted) std::sort(encoded.begin(), encoded.end());
+  return encoded;
+}
+
+}  // namespace
+
+bool QueryResult::SameResult(const QueryResult& other) const {
+  if (column_names_ != other.column_names_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  if (ordered_ != other.ordered_) return false;
+  const std::vector<std::string> a = EncodedRows(rows_, !ordered_);
+  const std::vector<std::string> b = EncodedRows(other.rows_, !other.ordered_);
+  return a == b;
+}
+
+uint64_t QueryResult::Fingerprint() const {
+  uint64_t h = Hash64(ordered_ ? "ordered" : "unordered");
+  for (const std::string& name : column_names_) {
+    h = HashCombine(h, Hash64(name));
+  }
+  for (const std::string& row : EncodedRows(rows_, !ordered_)) {
+    h = HashCombine(h, Hash64(row));
+  }
+  return h;
+}
+
+std::string QueryResult::Serialize() const {
+  std::string out;
+  out.push_back(ordered_ ? 1 : 0);
+  const uint64_t ncols = column_names_.size();
+  out.append(reinterpret_cast<const char*>(&ncols), sizeof(ncols));
+  for (const std::string& name : column_names_) {
+    const uint64_t len = name.size();
+    out.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    out += name;
+  }
+  const uint64_t nrows = rows_.size();
+  out.append(reinterpret_cast<const char*>(&nrows), sizeof(nrows));
+  for (const Row& row : rows_) {
+    for (const sql::Value& v : row) out += v.EncodeForKey();
+  }
+  return out;
+}
+
+StatusOr<QueryResult> QueryResult::Deserialize(std::string_view data) {
+  size_t pos = 0;
+  const auto read_u64 = [&](uint64_t* out) {
+    if (pos + sizeof(uint64_t) > data.size()) return false;
+    std::memcpy(out, data.data() + pos, sizeof(uint64_t));
+    pos += sizeof(uint64_t);
+    return true;
+  };
+  if (data.empty()) return InvalidArgumentError("empty result blob");
+  const bool ordered = data[pos++] != 0;
+
+  uint64_t ncols = 0;
+  if (!read_u64(&ncols) || ncols > (1u << 20)) {
+    return InvalidArgumentError("malformed result blob (columns)");
+  }
+  std::vector<std::string> names;
+  names.reserve(ncols);
+  for (uint64_t i = 0; i < ncols; ++i) {
+    uint64_t len = 0;
+    if (!read_u64(&len) || pos + len > data.size()) {
+      return InvalidArgumentError("malformed result blob (column name)");
+    }
+    names.emplace_back(data.substr(pos, len));
+    pos += len;
+  }
+
+  uint64_t nrows = 0;
+  if (!read_u64(&nrows)) {
+    return InvalidArgumentError("malformed result blob (row count)");
+  }
+  std::vector<Row> rows;
+  rows.reserve(nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      sql::Value value;
+      if (!sql::Value::DecodeFromKey(data, &pos, &value)) {
+        return InvalidArgumentError("malformed result blob (value)");
+      }
+      row.push_back(std::move(value));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (pos != data.size()) {
+    return InvalidArgumentError("trailing bytes in result blob");
+  }
+  return QueryResult(std::move(names), std::move(rows), ordered);
+}
+
+std::string QueryResult::ToDebugString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (i != 0) out += " | ";
+    out += column_names_[i];
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const Row& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows_.size() - max_rows) +
+             " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += " | ";
+      out += row[i].ToSqlLiteral();
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(rows_.size()) + " rows)";
+  return out;
+}
+
+}  // namespace dssp::engine

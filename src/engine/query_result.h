@@ -1,0 +1,68 @@
+#ifndef DSSP_ENGINE_QUERY_RESULT_H_
+#define DSSP_ENGINE_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace dssp::engine {
+
+using Row = std::vector<sql::Value>;
+
+// The materialized result of a query: the unit the DSSP caches, encrypts,
+// and invalidates.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  QueryResult(std::vector<std::string> column_names, std::vector<Row> rows,
+              bool ordered)
+      : column_names_(std::move(column_names)),
+        rows_(std::move(rows)),
+        ordered_(ordered) {}
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& rows() { return rows_; }
+
+  // True if the query had an ORDER BY (row order is part of the result).
+  bool ordered() const { return ordered_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return column_names_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  // Result equality per the paper's correctness definition Q[D] = Q[D+U]:
+  // sequence equality for ordered results, multiset equality otherwise.
+  bool SameResult(const QueryResult& other) const;
+
+  // Deterministic digest consistent with SameResult.
+  uint64_t Fingerprint() const;
+
+  // Serialized form (what gets encrypted and shipped over the simulated
+  // network). Approximately proportional to real wire size.
+  std::string Serialize() const;
+
+  // Inverse of Serialize. Returns an error on malformed input.
+  static StatusOr<QueryResult> Deserialize(std::string_view data);
+
+  // Approximate wire size in bytes.
+  size_t ByteSize() const { return Serialize().size(); }
+
+  // Human-readable table for examples/demos.
+  std::string ToDebugString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<Row> rows_;
+  bool ordered_ = false;
+};
+
+}  // namespace dssp::engine
+
+#endif  // DSSP_ENGINE_QUERY_RESULT_H_

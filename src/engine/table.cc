@@ -1,0 +1,144 @@
+#include "engine/table.h"
+
+#include "common/hash.h"
+
+namespace dssp::engine {
+
+Table::Table(const catalog::TableSchema& schema) : schema_(&schema) {
+  indexes_.resize(schema.num_columns());
+}
+
+uint64_t Table::IndexKey(size_t col, const sql::Value& value) const {
+  return HashCombine(static_cast<uint64_t>(col), value.Hash());
+}
+
+void Table::IndexRow(size_t slot) {
+  const Row& row = rows_[slot];
+  for (size_t col = 0; col < row.size(); ++col) {
+    indexes_[col].emplace(IndexKey(col, row[col]), slot);
+  }
+}
+
+void Table::UnindexRow(size_t slot) {
+  const Row& row = rows_[slot];
+  for (size_t col = 0; col < row.size(); ++col) {
+    auto [begin, end] = indexes_[col].equal_range(IndexKey(col, row[col]));
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == slot) {
+        indexes_[col].erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_->num_columns()) {
+    return InvalidArgumentError("row arity mismatch for table " +
+                                schema_->name());
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!catalog::ValueFitsColumn(row[i].type(), schema_->columns()[i].type)) {
+      return InvalidArgumentError(
+          "type mismatch for " + schema_->name() + "." +
+          schema_->columns()[i].name + ": got " +
+          sql::ValueTypeName(row[i].type()));
+    }
+  }
+  // Primary-key uniqueness.
+  if (!schema_->primary_key().empty()) {
+    const size_t pk0 =
+        *schema_->ColumnIndex(schema_->primary_key()[0]);
+    for (size_t slot : SlotsWithValue(pk0, row[pk0])) {
+      bool all_equal = true;
+      for (const std::string& pk_col : schema_->primary_key()) {
+        const size_t c = *schema_->ColumnIndex(pk_col);
+        if (!(rows_[slot][c] == row[c])) {
+          all_equal = false;
+          break;
+        }
+      }
+      if (all_equal) {
+        return ConstraintViolationError("duplicate primary key in " +
+                                        schema_->name());
+      }
+    }
+  }
+  // UNIQUE-column constraints (NULLs are exempt, as in SQL).
+  for (const std::string& unique : schema_->unique_columns()) {
+    const size_t col = *schema_->ColumnIndex(unique);
+    if (!row[col].is_null() && ContainsValue(col, row[col])) {
+      return ConstraintViolationError("duplicate value for unique column " +
+                                      schema_->name() + "." + unique);
+    }
+  }
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    rows_[slot] = std::move(row);
+    live_[slot] = 1;
+  } else {
+    slot = rows_.size();
+    rows_.push_back(std::move(row));
+    live_.push_back(1);
+  }
+  ++num_live_;
+  IndexRow(slot);
+  return Status::Ok();
+}
+
+void Table::DeleteSlot(size_t slot) {
+  DSSP_CHECK(slot < rows_.size() && live_[slot]);
+  UnindexRow(slot);
+  live_[slot] = 0;
+  free_slots_.push_back(slot);
+  --num_live_;
+}
+
+void Table::UpdateSlot(size_t slot, size_t col, sql::Value value) {
+  DSSP_CHECK(slot < rows_.size() && live_[slot]);
+  DSSP_CHECK(col < schema_->num_columns());
+  // Re-index just the touched column.
+  auto [begin, end] =
+      indexes_[col].equal_range(IndexKey(col, rows_[slot][col]));
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == slot) {
+      indexes_[col].erase(it);
+      break;
+    }
+  }
+  rows_[slot][col] = std::move(value);
+  indexes_[col].emplace(IndexKey(col, rows_[slot][col]), slot);
+}
+
+std::vector<size_t> Table::AllSlots() const {
+  std::vector<size_t> slots;
+  slots.reserve(num_live_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i]) slots.push_back(i);
+  }
+  return slots;
+}
+
+std::vector<size_t> Table::SlotsWithValue(size_t col,
+                                          const sql::Value& value) const {
+  std::vector<size_t> slots;
+  auto [begin, end] = indexes_[col].equal_range(IndexKey(col, value));
+  for (auto it = begin; it != end; ++it) {
+    if (live_[it->second] && rows_[it->second][col] == value) {
+      slots.push_back(it->second);
+    }
+  }
+  return slots;
+}
+
+bool Table::ContainsValue(size_t col, const sql::Value& value) const {
+  auto [begin, end] = indexes_[col].equal_range(IndexKey(col, value));
+  for (auto it = begin; it != end; ++it) {
+    if (live_[it->second] && rows_[it->second][col] == value) return true;
+  }
+  return false;
+}
+
+}  // namespace dssp::engine

@@ -1,0 +1,74 @@
+#ifndef DSSP_ENGINE_TABLE_H_
+#define DSSP_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "engine/query_result.h"
+#include "sql/value.h"
+
+namespace dssp::engine {
+
+// In-memory storage for one base relation. Rows live in slots; deleted slots
+// go on a free list and are reused. Every column carries a hash index
+// (value-hash -> slots), so equality predicates — the dominant predicate
+// shape in the paper's benchmark applications — are O(matches).
+class Table {
+ public:
+  explicit Table(const catalog::TableSchema& schema);
+
+  // Not copyable (indexes reference slots); movable.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const catalog::TableSchema& schema() const { return *schema_; }
+
+  // Inserts `row` (full row in schema column order). Fails on arity/type
+  // mismatch or primary-key violation. Foreign keys are checked by the
+  // Database (it can see the referenced tables).
+  Status Insert(Row row);
+
+  // Deletes the row in `slot` (must be live).
+  void DeleteSlot(size_t slot);
+
+  // Overwrites column `col` of the live row in `slot`. The caller must not
+  // change primary-key columns (enforced by the Database layer).
+  void UpdateSlot(size_t slot, size_t col, sql::Value value);
+
+  bool IsLive(size_t slot) const { return live_[slot]; }
+  const Row& RowAt(size_t slot) const { return rows_[slot]; }
+
+  // All live slots, ascending.
+  std::vector<size_t> AllSlots() const;
+
+  // Live slots where column `col` equals `value` (via the hash index).
+  std::vector<size_t> SlotsWithValue(size_t col, const sql::Value& value) const;
+
+  // True if some live row has `value` in column `col`.
+  bool ContainsValue(size_t col, const sql::Value& value) const;
+
+  size_t num_rows() const { return num_live_; }
+
+ private:
+  uint64_t IndexKey(size_t col, const sql::Value& value) const;
+  void IndexRow(size_t slot);
+  void UnindexRow(size_t slot);
+
+  const catalog::TableSchema* schema_;
+  std::vector<Row> rows_;
+  std::vector<char> live_;
+  std::vector<size_t> free_slots_;
+  size_t num_live_ = 0;
+  // One multimap per column: value-hash -> slot. Collisions are resolved by
+  // re-checking the stored value.
+  std::vector<std::unordered_multimap<uint64_t, size_t>> indexes_;
+};
+
+}  // namespace dssp::engine
+
+#endif  // DSSP_ENGINE_TABLE_H_

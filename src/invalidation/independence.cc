@@ -1,0 +1,297 @@
+#include "invalidation/independence.h"
+
+#include <map>
+#include <optional>
+
+#include "analysis/ipm.h"
+#include "analysis/query_slots.h"
+#include "engine/eval.h"
+
+namespace dssp::invalidation {
+
+namespace {
+
+using analysis::QuerySlots;
+
+// A closed/open interval over the Value total order, per column.
+class Interval {
+ public:
+  // Narrows by `op value`; marks empty on contradiction.
+  void Constrain(sql::CompareOp op, const sql::Value& value) {
+    if (empty_) return;
+    if (value.is_null()) {
+      // No value compares true against NULL.
+      empty_ = true;
+      return;
+    }
+    // Type consistency: a column cannot hold a value comparable to both a
+    // string and a number, so mixed constraint types are unsatisfiable.
+    if (type_.has_value()) {
+      const bool both_numeric = *type_ && value.is_numeric();
+      const bool both_string = !*type_ && !value.is_numeric();
+      if (!both_numeric && !both_string) {
+        empty_ = true;
+        return;
+      }
+    } else {
+      type_ = value.is_numeric();
+    }
+    switch (op) {
+      case sql::CompareOp::kEq:
+        NarrowLow(value, /*open=*/false);
+        NarrowHigh(value, /*open=*/false);
+        break;
+      case sql::CompareOp::kGt:
+        NarrowLow(value, /*open=*/true);
+        break;
+      case sql::CompareOp::kGe:
+        NarrowLow(value, /*open=*/false);
+        break;
+      case sql::CompareOp::kLt:
+        NarrowHigh(value, /*open=*/true);
+        break;
+      case sql::CompareOp::kLe:
+        NarrowHigh(value, /*open=*/false);
+        break;
+    }
+    CheckEmpty();
+  }
+
+  bool empty() const { return empty_; }
+
+ private:
+  void NarrowLow(const sql::Value& value, bool open) {
+    if (!lo_.has_value() || value.Compare(*lo_) > 0 ||
+        (value.Compare(*lo_) == 0 && open)) {
+      lo_ = value;
+      lo_open_ = open;
+    }
+  }
+  void NarrowHigh(const sql::Value& value, bool open) {
+    if (!hi_.has_value() || value.Compare(*hi_) < 0 ||
+        (value.Compare(*hi_) == 0 && open)) {
+      hi_ = value;
+      hi_open_ = open;
+    }
+  }
+  void CheckEmpty() {
+    if (!lo_.has_value() || !hi_.has_value()) return;
+    const int c = lo_->Compare(*hi_);
+    if (c > 0 || (c == 0 && (lo_open_ || hi_open_))) {
+      // Strictly-between emptiness (lo < x < hi with no value between) is
+      // undecidable for doubles/strings in general; only int64 gaps could be
+      // closed further. We keep the sound over-approximation "satisfiable".
+      empty_ = true;
+    }
+  }
+
+  std::optional<sql::Value> lo_;
+  std::optional<sql::Value> hi_;
+  bool lo_open_ = false;
+  bool hi_open_ = false;
+  std::optional<bool> type_;  // true = numeric, false = string.
+  bool empty_ = false;
+};
+
+// Extracts unary constraints over one FROM slot from a bound conjunction.
+// Non-unary conjuncts (joins, same-row column comparisons) are skipped:
+// extra conjuncts only shrink the solution set, so UNSAT conclusions from
+// the unary subset remain sound.
+std::vector<ColumnConstraint> SlotConstraints(
+    const std::vector<sql::Comparison>& where, const QuerySlots& slots,
+    size_t slot, const catalog::Catalog& catalog) {
+  std::vector<ColumnConstraint> out;
+  for (const sql::Comparison& cmp : where) {
+    for (int side = 0; side < 2; ++side) {
+      const sql::Operand& a = side == 0 ? cmp.lhs : cmp.rhs;
+      const sql::Operand& b = side == 0 ? cmp.rhs : cmp.lhs;
+      if (!sql::IsColumn(a) || !sql::IsLiteral(b)) continue;
+      const auto resolved =
+          slots.Resolve(std::get<sql::ColumnRef>(a), catalog);
+      if (!resolved.has_value() || resolved->first != slot) continue;
+      const sql::CompareOp op =
+          side == 0 ? cmp.op : sql::ReverseCompareOp(cmp.op);
+      out.push_back(
+          ColumnConstraint{resolved->second, op, std::get<sql::Value>(b)});
+      break;
+    }
+  }
+  return out;
+}
+
+// Unary constraints of a single-table update predicate (DELETE/UPDATE).
+std::vector<ColumnConstraint> UpdatePredicateConstraints(
+    const std::vector<sql::Comparison>& where) {
+  std::vector<ColumnConstraint> out;
+  for (const sql::Comparison& cmp : where) {
+    for (int side = 0; side < 2; ++side) {
+      const sql::Operand& a = side == 0 ? cmp.lhs : cmp.rhs;
+      const sql::Operand& b = side == 0 ? cmp.rhs : cmp.lhs;
+      if (!sql::IsColumn(a) || !sql::IsLiteral(b)) continue;
+      const sql::CompareOp op =
+          side == 0 ? cmp.op : sql::ReverseCompareOp(cmp.op);
+      out.push_back(ColumnConstraint{std::get<sql::ColumnRef>(a).column, op,
+                                     std::get<sql::Value>(b)});
+      break;
+    }
+  }
+  return out;
+}
+
+// New values assigned by a bound modification, by column name.
+std::map<std::string, sql::Value> SetValues(const sql::UpdateStatement& stmt) {
+  std::map<std::string, sql::Value> values;
+  for (const auto& [col, operand] : stmt.set) {
+    DSSP_CHECK(sql::IsLiteral(operand));
+    values[col] = std::get<sql::Value>(operand);
+  }
+  return values;
+}
+
+bool InsertCannotAffectSlot(const sql::InsertStatement& insert,
+                            const std::vector<ColumnConstraint>& slot_cs) {
+  // The inserted row's values are fully known; it is excluded from a slot if
+  // it violates any of the slot's constant constraints.
+  std::map<std::string, sql::Value> values;
+  for (size_t i = 0; i < insert.columns.size(); ++i) {
+    DSSP_CHECK(sql::IsLiteral(insert.values[i]));
+    values[insert.columns[i]] = std::get<sql::Value>(insert.values[i]);
+  }
+  for (const ColumnConstraint& c : slot_cs) {
+    const auto it = values.find(c.column);
+    if (it == values.end()) continue;
+    // Guard incomparable types (schema'd workloads never hit this).
+    const sql::Value& v = it->second;
+    const bool comparable =
+        (!v.is_null() && !c.value.is_null()) &&
+        ((v.is_numeric() && c.value.is_numeric()) ||
+         (v.type() == sql::ValueType::kString &&
+          c.value.type() == sql::ValueType::kString));
+    if (v.is_null() || c.value.is_null()) return true;  // NULL fails any op.
+    if (!comparable) return true;  // Differing types cannot compare equal.
+    if (!engine::CompareValues(v, c.op, c.value)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UnaryConjunctionSatisfiable(const std::vector<ColumnConstraint>& cs) {
+  std::map<std::string, Interval> intervals;
+  for (const ColumnConstraint& c : cs) {
+    intervals[c.column].Constrain(c.op, c.value);
+    if (intervals[c.column].empty()) return false;
+  }
+  return true;
+}
+
+bool ModificationCannotEnter(const templates::UpdateTemplate& update_template,
+                             const sql::Statement& update,
+                             const sql::Statement& query,
+                             const catalog::Catalog& catalog) {
+  DSSP_CHECK(update.kind() == sql::StatementKind::kUpdate);
+  const sql::UpdateStatement& mod = update.update();
+  const std::map<std::string, sql::Value> new_values = SetValues(mod);
+  const std::vector<ColumnConstraint> pred =
+      UpdatePredicateConstraints(mod.where);
+  const QuerySlots slots(query.select());
+
+  for (size_t s = 0; s < slots.physical.size(); ++s) {
+    if (slots.physical[s] != update_template.table()) continue;
+    const std::vector<ColumnConstraint> slot_cs =
+        SlotConstraints(query.select().where, slots, s, catalog);
+    // Post-state: modified columns hold the new values; unmodified columns
+    // keep their pre-state values, which satisfy the predicate's constraints
+    // on them.
+    bool excluded = false;
+    std::vector<ColumnConstraint> combined;
+    for (const ColumnConstraint& c : slot_cs) {
+      const auto it = new_values.find(c.column);
+      if (it != new_values.end()) {
+        const sql::Value& v = it->second;
+        if (v.is_null() || c.value.is_null()) {
+          excluded = true;
+          break;
+        }
+        const bool comparable =
+            (v.is_numeric() && c.value.is_numeric()) ||
+            (v.type() == sql::ValueType::kString &&
+             c.value.type() == sql::ValueType::kString);
+        if (!comparable || !engine::CompareValues(v, c.op, c.value)) {
+          excluded = true;
+          break;
+        }
+      } else {
+        combined.push_back(c);
+      }
+    }
+    if (excluded) continue;
+    for (const ColumnConstraint& c : pred) {
+      if (new_values.count(c.column) == 0) combined.push_back(c);
+    }
+    if (UnaryConjunctionSatisfiable(combined)) return false;
+  }
+  return true;
+}
+
+bool ProvablyIndependent(const templates::UpdateTemplate& update_template,
+                         const sql::Statement& update,
+                         const templates::QueryTemplate& query_template,
+                         const sql::Statement& query,
+                         const catalog::Catalog& catalog,
+                         bool use_integrity_constraints) {
+  // Template-level facts apply at statement level too.
+  if (templates::IsIgnorable(update_template, query_template)) return true;
+  if (use_integrity_constraints &&
+      analysis::InsertionIrrelevantByConstraints(update_template,
+                                                 query_template, catalog)) {
+    return true;
+  }
+
+  const QuerySlots slots(query.select());
+  const std::string& target = update_template.table();
+
+  switch (update_template.update_class()) {
+    case templates::UpdateClass::kInsertion: {
+      const sql::InsertStatement& insert = update.insert();
+      for (size_t s = 0; s < slots.physical.size(); ++s) {
+        if (slots.physical[s] != target) continue;
+        const std::vector<ColumnConstraint> slot_cs =
+            SlotConstraints(query.select().where, slots, s, catalog);
+        if (!InsertCannotAffectSlot(insert, slot_cs)) return false;
+      }
+      return true;
+    }
+    case templates::UpdateClass::kDeletion: {
+      const std::vector<ColumnConstraint> pred =
+          UpdatePredicateConstraints(update.del().where);
+      for (size_t s = 0; s < slots.physical.size(); ++s) {
+        if (slots.physical[s] != target) continue;
+        std::vector<ColumnConstraint> combined =
+            SlotConstraints(query.select().where, slots, s, catalog);
+        combined.insert(combined.end(), pred.begin(), pred.end());
+        // A deleted row can only matter if it satisfies both the deletion
+        // predicate and the slot's constant predicates.
+        if (UnaryConjunctionSatisfiable(combined)) return false;
+      }
+      return true;
+    }
+    case templates::UpdateClass::kModification: {
+      const std::vector<ColumnConstraint> pred =
+          UpdatePredicateConstraints(update.update().where);
+      // (a) No modified row may currently be relevant...
+      for (size_t s = 0; s < slots.physical.size(); ++s) {
+        if (slots.physical[s] != target) continue;
+        std::vector<ColumnConstraint> combined =
+            SlotConstraints(query.select().where, slots, s, catalog);
+        combined.insert(combined.end(), pred.begin(), pred.end());
+        if (UnaryConjunctionSatisfiable(combined)) return false;
+      }
+      // ...and (b) no modified row may become relevant.
+      return ModificationCannotEnter(update_template, update, query, catalog);
+    }
+  }
+  DSSP_UNREACHABLE("bad update class");
+}
+
+}  // namespace dssp::invalidation

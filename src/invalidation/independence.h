@@ -1,0 +1,54 @@
+#ifndef DSSP_INVALIDATION_INDEPENDENCE_H_
+#define DSSP_INVALIDATION_INDEPENDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/ast.h"
+#include "templates/template.h"
+
+namespace dssp::invalidation {
+
+// A unary constraint `column op value` on one relation's row.
+struct ColumnConstraint {
+  std::string column;
+  sql::CompareOp op;
+  sql::Value value;
+};
+
+// True if some row can satisfy all constraints simultaneously. Decided
+// exactly for conjunctions of unary constraints via interval intersection
+// per column; columns constrained with incomparable types are unsatisfiable
+// (no value has two types). Sound both ways for unary conjunctions; callers
+// that drop non-unary conjuncts may only rely on `false` (UNSAT) answers.
+bool UnaryConjunctionSatisfiable(const std::vector<ColumnConstraint>& cs);
+
+// Statement-level independence (the Levy-Sagiv-style test a minimal
+// statement-inspection strategy runs): true if the bound update statement
+// provably cannot change the bound query statement's result on ANY database
+// instance consistent with `catalog`'s integrity constraints. False means
+// "unknown" (the caller must invalidate).
+// `use_integrity_constraints` additionally applies the Section 4.5 PK/FK
+// rules, which are sound only under the paper's execution assumption that
+// cached results subject to insertion/deletion invalidation are non-empty.
+bool ProvablyIndependent(const templates::UpdateTemplate& update_template,
+                         const sql::Statement& update,
+                         const templates::QueryTemplate& query_template,
+                         const sql::Statement& query,
+                         const catalog::Catalog& catalog,
+                         bool use_integrity_constraints = true);
+
+// The "entry" half of the modification test, exposed for the
+// view-inspection strategy: true if no row modified by `update` can satisfy
+// the query's per-slot constant predicates *after* the modification (so the
+// modified rows cannot newly enter the result). Requires a modification
+// statement.
+bool ModificationCannotEnter(const templates::UpdateTemplate& update_template,
+                             const sql::Statement& update,
+                             const sql::Statement& query,
+                             const catalog::Catalog& catalog);
+
+}  // namespace dssp::invalidation
+
+#endif  // DSSP_INVALIDATION_INDEPENDENCE_H_

@@ -1,0 +1,101 @@
+#ifndef DSSP_INVALIDATION_STRATEGIES_H_
+#define DSSP_INVALIDATION_STRATEGIES_H_
+
+#include "catalog/schema.h"
+#include "invalidation/strategy.h"
+
+namespace dssp::invalidation {
+
+// Minimal blind strategy (MBS): with nothing exposed, correctness forces
+// invalidating every cached result on every update.
+class BlindStrategy : public InvalidationStrategy {
+ public:
+  Decision Decide(const UpdateView& update,
+                  const CachedQueryView& query) const override;
+  std::string_view name() const override { return "MBS"; }
+};
+
+// Minimal template-inspection strategy (MTIS): uses only the templates.
+// DNI exactly when the static analysis proves A = 0 — the pair is ignorable
+// (Lemma 1) or ruled out by PK/FK integrity constraints (Section 4.5).
+class TemplateInspectionStrategy : public InvalidationStrategy {
+ public:
+  explicit TemplateInspectionStrategy(const catalog::Catalog& catalog,
+                                      bool use_integrity_constraints = true)
+      : catalog_(catalog),
+        use_integrity_constraints_(use_integrity_constraints) {}
+
+  Decision Decide(const UpdateView& update,
+                  const CachedQueryView& query) const override;
+  std::string_view name() const override { return "MTIS"; }
+
+ private:
+  const catalog::Catalog& catalog_;
+  bool use_integrity_constraints_;
+};
+
+// Minimal statement-inspection strategy (MSIS): additionally sees bound
+// parameters and runs the statement-level independence test (Levy-Sagiv
+// style satisfiability over the shared attributes).
+class StatementInspectionStrategy : public InvalidationStrategy {
+ public:
+  explicit StatementInspectionStrategy(const catalog::Catalog& catalog,
+                                       bool use_independence_solver = true,
+                                       bool use_integrity_constraints = true)
+      : catalog_(catalog),
+        use_independence_solver_(use_independence_solver),
+        use_integrity_constraints_(use_integrity_constraints) {}
+
+  Decision Decide(const UpdateView& update,
+                  const CachedQueryView& query) const override;
+  std::string_view name() const override { return "MSIS"; }
+
+ private:
+  const catalog::Catalog& catalog_;
+  bool use_independence_solver_;
+  bool use_integrity_constraints_;
+};
+
+// View-inspection strategy (VIS): additionally inspects the cached result.
+// For deletions and modifications it checks whether any result row derives
+// from a row the update touches; for insertions it coincides with MSIS (a
+// deliberate, documented deviation from strict minimality for queries
+// outside E/N, which is rare and affects only precision, never correctness).
+class ViewInspectionStrategy : public InvalidationStrategy {
+ public:
+  explicit ViewInspectionStrategy(const catalog::Catalog& catalog,
+                                  bool use_integrity_constraints = true)
+      : catalog_(catalog),
+        sis_(catalog, /*use_independence_solver=*/true,
+             use_integrity_constraints) {}
+
+  Decision Decide(const UpdateView& update,
+                  const CachedQueryView& query) const override;
+  std::string_view name() const override { return "MVIS"; }
+
+ private:
+  const catalog::Catalog& catalog_;
+  StatementInspectionStrategy sis_;
+};
+
+// Mixed strategy (Section 2.3): dispatches each (update, query) pair to the
+// strategy class its exposure levels select (Figure 6's shaded cells).
+class MixedStrategy : public InvalidationStrategy {
+ public:
+  explicit MixedStrategy(const catalog::Catalog& catalog)
+      : blind_(), tis_(catalog), sis_(catalog), vis_(catalog) {}
+
+  Decision Decide(const UpdateView& update,
+                  const CachedQueryView& query) const override;
+  std::string_view name() const override { return "mixed"; }
+
+ private:
+  BlindStrategy blind_;
+  TemplateInspectionStrategy tis_;
+  StatementInspectionStrategy sis_;
+  ViewInspectionStrategy vis_;
+};
+
+}  // namespace dssp::invalidation
+
+#endif  // DSSP_INVALIDATION_STRATEGIES_H_

@@ -1,0 +1,85 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dssp::sim {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(double seconds) const {
+  const double clamped = std::clamp(seconds, kMinTracked, kMaxTracked);
+  const double position =
+      std::log10(clamped / kMinTracked) * kBucketsPerDecade;
+  return std::min(kNumBuckets - 1,
+                  std::max(0, static_cast<int>(position)));
+}
+
+double LatencyHistogram::BucketMidpoint(int bucket) const {
+  // Geometric midpoint of [lo, hi) where lo = kMin * 10^(bucket/bpd).
+  const double exponent =
+      (static_cast<double>(bucket) + 0.5) / kBucketsPerDecade;
+  return kMinTracked * std::pow(10.0, exponent);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  DSSP_CHECK(seconds >= 0);
+  ++buckets_[BucketFor(seconds)];
+  if (count_ == 0) {
+    min_ = seconds;
+    max_ = seconds;
+  } else {
+    min_ = std::min(min_, seconds);
+    max_ = std::max(max_, seconds);
+  }
+  ++count_;
+  sum_ += seconds;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double clamped_p = std::clamp(p, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based, matching nearest-rank semantics.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(clamped_p *
+                                         static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      // Clamp the estimate into the observed range for tight tails.
+      return std::clamp(BucketMidpoint(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace dssp::sim

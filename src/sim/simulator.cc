@@ -1,0 +1,224 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/histogram.h"
+#include "sim/resource.h"
+
+namespace dssp::sim {
+
+std::string SimResult::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "clients=%d pages=%zu ops=%zu mean=%.3fs p50=%.3fs "
+                "p90=%.3fs p99=%.3fs hit_rate=%.3f invalidated=%llu "
+                "home_q=%llu home_u=%llu",
+                num_clients, pages_completed, db_ops, mean_response_s,
+                p50_response_s, p90_response_s, p99_response_s,
+                cache_hit_rate,
+                static_cast<unsigned long long>(entries_invalidated),
+                static_cast<unsigned long long>(home_queries),
+                static_cast<unsigned long long>(home_updates));
+  return buf;
+}
+
+namespace {
+
+struct Event {
+  double time;
+  uint64_t seq;  // Tie-break for determinism.
+  int client;
+
+  bool operator>(const Event& other) const {
+    return time > other.time || (time == other.time && seq > other.seq);
+  }
+};
+
+struct ClientState {
+  size_t tenant = 0;
+  bool in_page = false;
+  double page_start = 0;
+  std::vector<DbOp> ops;
+  size_t op_index = 0;
+};
+
+struct TenantState {
+  Tenant spec;
+  QueueingResource home_cpu;
+  LatencyHistogram response_times;
+  SimResult result;
+  uint64_t hits = 0;
+  uint64_t lookups = 0;
+
+  TenantState(const Tenant& tenant, int home_workers)
+      : spec(tenant), home_cpu(home_workers) {
+    result.num_clients = tenant.num_clients;
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<SimResult>> RunMultiTenantSimulation(
+    std::vector<Tenant> tenants, const SimConfig& config) {
+  DSSP_CHECK(!tenants.empty());
+  Rng rng(config.seed);
+
+  QueueingResource dssp_cpu(config.dssp_workers);
+  std::vector<std::unique_ptr<TenantState>> states;
+  std::vector<ClientState> clients;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    DSSP_CHECK(tenants[t].app != nullptr &&
+               tenants[t].generator != nullptr &&
+               tenants[t].num_clients > 0);
+    states.push_back(
+        std::make_unique<TenantState>(tenants[t], config.home_workers));
+    for (int c = 0; c < tenants[t].num_clients; ++c) {
+      ClientState client;
+      client.tenant = t;
+      clients.push_back(std::move(client));
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  uint64_t seq = 0;
+  // Stagger initial arrivals uniformly over one think time.
+  for (size_t c = 0; c < clients.size(); ++c) {
+    events.push(Event{rng.NextDouble() * config.think_time_mean_s, seq++,
+                      static_cast<int>(c)});
+  }
+
+  const double client_bw = config.client_bandwidth_bps / 8.0;  // bytes/s
+  const double wan_bw = config.wan_bandwidth_bps / 8.0;
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+    if (now > config.duration_s) break;
+
+    ClientState& client = clients[event.client];
+    TenantState& tenant = *states[client.tenant];
+    if (!client.in_page) {
+      client.in_page = true;
+      client.page_start = now;
+      client.ops = tenant.spec.generator->NextPage(rng);
+      client.op_index = 0;
+    }
+
+    if (client.op_index >= client.ops.size()) {
+      // Page complete. Warmup pages serve traffic but are not measured.
+      if (now >= config.warmup_s) {
+        tenant.response_times.Record(now - client.page_start);
+      }
+      ++tenant.result.pages_completed;
+      client.in_page = false;
+      const double think = rng.NextExponential(config.think_time_mean_s);
+      events.push(Event{now + think, seq++, event.client});
+      continue;
+    }
+
+    // Execute the next DB operation of this page. The cache/database effect
+    // happens atomically now; delays are charged to the page afterwards.
+    const DbOp& op = client.ops[client.op_index++];
+    service::AccessStats stats;
+    if (op.is_update) {
+      DSSP_ASSIGN_OR_RETURN(
+          engine::UpdateEffect effect,
+          tenant.spec.app->Update(op.template_id, op.params, &stats));
+      (void)effect;
+      ++tenant.result.home_updates;
+    } else {
+      DSSP_ASSIGN_OR_RETURN(
+          engine::QueryResult ignored,
+          tenant.spec.app->Query(op.template_id, op.params, &stats));
+      (void)ignored;
+      ++tenant.lookups;
+      if (stats.cache_hit) ++tenant.hits;
+      if (!stats.cache_hit) ++tenant.result.home_queries;
+    }
+    ++tenant.result.db_ops;
+    tenant.result.entries_invalidated += stats.entries_invalidated;
+
+    // Client -> DSSP.
+    const double at_dssp = now + config.client_latency_s +
+                           static_cast<double>(stats.request_bytes) /
+                               client_bw;
+    // DSSP processing (lookup + invalidation work for updates), shared
+    // across all tenants.
+    const double dssp_service =
+        config.dssp_lookup_s +
+        static_cast<double>(stats.entries_invalidated) *
+            config.dssp_per_invalidation_s;
+    double dssp_done = dssp_cpu.Schedule(at_dssp, dssp_service);
+
+    // Misses and updates make a WAN round trip through this tenant's own
+    // home server.
+    if (!stats.cache_hit || stats.is_update) {
+      const double at_home =
+          dssp_done + config.wan_latency_s +
+          static_cast<double>(stats.wan_request_bytes) / wan_bw;
+      const double home_service =
+          stats.is_update
+              ? config.home_update_base_s
+              : config.home_query_base_s +
+                    static_cast<double>(stats.result_rows) *
+                        config.home_query_per_row_s;
+      const double home_done = tenant.home_cpu.Schedule(at_home,
+                                                        home_service);
+      dssp_done = home_done + config.wan_latency_s +
+                  static_cast<double>(stats.wan_response_bytes) / wan_bw;
+    }
+
+    // DSSP -> client.
+    const double at_client =
+        dssp_done + config.client_latency_s +
+        static_cast<double>(stats.response_bytes) / client_bw;
+    events.push(Event{at_client, seq++, event.client});
+  }
+
+  std::vector<SimResult> results;
+  for (const auto& state : states) {
+    SimResult result = state->result;
+    const LatencyHistogram& h = state->response_times;
+    if (!h.empty()) {
+      result.mean_response_s = h.Mean();
+      result.p50_response_s = h.Percentile(0.50);
+      result.p90_response_s = h.Percentile(config.percentile);
+      result.p99_response_s = h.Percentile(0.99);
+      result.max_response_s = h.Max();
+    } else {
+      // No page finished inside the measured window: the system is
+      // hopelessly saturated.
+      result.mean_response_s = config.duration_s;
+      result.p50_response_s = config.duration_s;
+      result.p90_response_s = config.duration_s;
+      result.p99_response_s = config.duration_s;
+      result.max_response_s = config.duration_s;
+    }
+    result.cache_hit_rate =
+        state->lookups == 0
+            ? 0.0
+            : static_cast<double>(state->hits) /
+                  static_cast<double>(state->lookups);
+    results.push_back(result);
+  }
+  return results;
+}
+
+StatusOr<SimResult> RunSimulation(service::ScalableApp& app,
+                                  SessionGenerator& generator,
+                                  int num_clients, const SimConfig& config) {
+  DSSP_ASSIGN_OR_RETURN(
+      std::vector<SimResult> results,
+      RunMultiTenantSimulation({Tenant{&app, &generator, num_clients}},
+                               config));
+  DSSP_CHECK(results.size() == 1);
+  return results[0];
+}
+
+}  // namespace dssp::sim

@@ -1,0 +1,116 @@
+#include "sim/trace.h"
+
+#include "common/strings.h"
+#include "sql/tokenizer.h"
+
+namespace dssp::sim {
+
+std::vector<DbOp> RecordPages(SessionGenerator& generator, Rng& rng,
+                              int pages) {
+  std::vector<DbOp> trace;
+  for (int page = 0; page < pages; ++page) {
+    for (DbOp& op : generator.NextPage(rng)) {
+      trace.push_back(std::move(op));
+    }
+  }
+  return trace;
+}
+
+std::string SerializeTrace(const std::vector<DbOp>& trace) {
+  std::string out;
+  for (const DbOp& op : trace) {
+    out += op.is_update ? "U " : "Q ";
+    out += op.template_id;
+    for (const sql::Value& param : op.params) {
+      out += " ";
+      out += param.ToSqlLiteral();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<std::vector<DbOp>> ParseTrace(std::string_view text) {
+  std::vector<DbOp> trace;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    const auto fail = [&](const std::string& what) {
+      return ParseError("trace line " + std::to_string(line_number) + ": " +
+                        what);
+    };
+
+    DbOp op;
+    if (StartsWith(line, "Q ")) {
+      op.is_update = false;
+    } else if (StartsWith(line, "U ")) {
+      op.is_update = true;
+    } else {
+      return fail("expected 'Q ' or 'U ' prefix");
+    }
+
+    const std::string_view rest = StripWhitespace(line.substr(2));
+    const size_t space = rest.find(' ');
+    op.template_id = std::string(rest.substr(0, space));
+    if (op.template_id.empty()) return fail("missing template id");
+
+    if (space != std::string_view::npos) {
+      // Parameters are SQL literals: reuse the SQL tokenizer.
+      DSSP_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens,
+                            sql::Tokenize(rest.substr(space + 1)));
+      for (const sql::Token& token : tokens) {
+        switch (token.type) {
+          case sql::TokenType::kIntLiteral:
+            op.params.emplace_back(static_cast<int64_t>(
+                std::strtoll(token.text.c_str(), nullptr, 10)));
+            break;
+          case sql::TokenType::kDoubleLiteral:
+            op.params.emplace_back(std::strtod(token.text.c_str(), nullptr));
+            break;
+          case sql::TokenType::kStringLiteral:
+            op.params.emplace_back(token.text);
+            break;
+          case sql::TokenType::kKeyword:
+            if (token.text == "NULL") {
+              op.params.push_back(sql::Value::Null());
+              break;
+            }
+            return fail("unexpected keyword " + token.text);
+          case sql::TokenType::kEnd:
+            break;
+          default:
+            return fail("unexpected token '" + token.text + "'");
+        }
+      }
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+StatusOr<ReplayStats> ReplayTrace(service::ScalableApp& app,
+                                  const std::vector<DbOp>& trace) {
+  ReplayStats stats;
+  for (const DbOp& op : trace) {
+    service::AccessStats access;
+    if (op.is_update) {
+      DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
+                            app.Update(op.template_id, op.params, &access));
+      ++stats.updates;
+      stats.rows_affected += effect.rows_affected;
+      stats.entries_invalidated += access.entries_invalidated;
+    } else {
+      DSSP_ASSIGN_OR_RETURN(engine::QueryResult result,
+                            app.Query(op.template_id, op.params, &access));
+      ++stats.queries;
+      stats.rows_returned += result.num_rows();
+      if (access.cache_hit) ++stats.cache_hits;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dssp::sim

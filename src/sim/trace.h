@@ -1,0 +1,60 @@
+#ifndef DSSP_SIM_TRACE_H_
+#define DSSP_SIM_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dssp/app.h"
+#include "sim/workload.h"
+
+namespace dssp::sim {
+
+// Workload traces: a recorded sequence of database operations (template id
+// + parameters) that can be saved as text, diffed, and replayed against any
+// exposure configuration. Experiments that compare configurations replay
+// the SAME trace so differences are attributable to the configuration, not
+// to workload randomness.
+//
+// Text format, one operation per line (parameters are SQL literals):
+//
+//   Q Q4 'SCIFI'
+//   U U6 55 417
+//   # comments and blank lines are ignored
+
+// Records `pages` pages from `generator` into a flat operation list.
+std::vector<DbOp> RecordPages(SessionGenerator& generator, Rng& rng,
+                              int pages);
+
+// Serializes a trace to the text format above.
+std::string SerializeTrace(const std::vector<DbOp>& trace);
+
+// Parses the text format; fails on malformed lines.
+StatusOr<std::vector<DbOp>> ParseTrace(std::string_view text);
+
+// Outcome of replaying a trace through the live service path.
+struct ReplayStats {
+  size_t queries = 0;
+  size_t updates = 0;
+  size_t cache_hits = 0;
+  size_t entries_invalidated = 0;
+  size_t rows_returned = 0;
+  size_t rows_affected = 0;
+
+  double hit_rate() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(queries);
+  }
+};
+
+// Replays every operation in order against `app` (finalized, populated).
+// Fails fast on the first operation error.
+StatusOr<ReplayStats> ReplayTrace(service::ScalableApp& app,
+                                  const std::vector<DbOp>& trace);
+
+}  // namespace dssp::sim
+
+#endif  // DSSP_SIM_TRACE_H_

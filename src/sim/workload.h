@@ -1,0 +1,34 @@
+#ifndef DSSP_SIM_WORKLOAD_H_
+#define DSSP_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sql/value.h"
+
+namespace dssp::sim {
+
+// One database access issued while serving a page.
+struct DbOp {
+  bool is_update = false;
+  std::string template_id;
+  std::vector<sql::Value> params;
+};
+
+// Generates the database-access sequence of one HTTP page request.
+// Implementations model an application's interaction mix (browse / search /
+// buy / post / bid ...) with realistic parameter distributions.
+class SessionGenerator {
+ public:
+  virtual ~SessionGenerator() = default;
+
+  // The DB operations of the next page for some client. Implementations may
+  // keep state (e.g., id counters for inserts) but must stay deterministic
+  // given the Rng stream.
+  virtual std::vector<DbOp> NextPage(Rng& rng) = 0;
+};
+
+}  // namespace dssp::sim
+
+#endif  // DSSP_SIM_WORKLOAD_H_

@@ -1,0 +1,348 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/tokenizer.h"
+
+namespace dssp::sql {
+
+namespace {
+
+// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    Statement stmt;
+    if (PeekKeyword("SELECT")) {
+      DSSP_ASSIGN_OR_RETURN(SelectStatement s, ParseSelect());
+      stmt.node = std::move(s);
+    } else if (PeekKeyword("INSERT")) {
+      DSSP_ASSIGN_OR_RETURN(InsertStatement s, ParseInsert());
+      stmt.node = std::move(s);
+    } else if (PeekKeyword("DELETE")) {
+      DSSP_ASSIGN_OR_RETURN(DeleteStatement s, ParseDelete());
+      stmt.node = std::move(s);
+    } else if (PeekKeyword("UPDATE")) {
+      DSSP_ASSIGN_OR_RETURN(UpdateStatement s, ParseUpdate());
+      stmt.node = std::move(s);
+    } else {
+      return Unexpected("SELECT, INSERT, DELETE, or UPDATE");
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Unexpected("end of statement");
+    }
+    stmt.num_params = next_param_;
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekSymbol(std::string_view sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(std::string_view sym) {
+    if (PeekSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Unexpected(std::string_view expected) const {
+    return ParseError("expected " + std::string(expected) + " but found '" +
+                      Peek().text + "' at offset " +
+                      std::to_string(Peek().offset));
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) return Unexpected(kw);
+    return Status::Ok();
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (!ConsumeSymbol(sym)) return Unexpected("'" + std::string(sym) + "'");
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ParseIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Unexpected("identifier");
+    }
+    return Advance().text;
+  }
+
+  // col := ident [ '.' ident ]
+  StatusOr<ColumnRef> ParseColumnRef() {
+    DSSP_ASSIGN_OR_RETURN(std::string first, ParseIdentifier());
+    ColumnRef ref;
+    if (ConsumeSymbol(".")) {
+      DSSP_ASSIGN_OR_RETURN(std::string second, ParseIdentifier());
+      ref.table = std::move(first);
+      ref.column = std::move(second);
+    } else {
+      ref.column = std::move(first);
+    }
+    return ref;
+  }
+
+  StatusOr<Operand> ParseOperand() {
+    const Token& tok = Peek();
+    switch (tok.type) {
+      case TokenType::kIntLiteral: {
+        Advance();
+        return Operand(Value(static_cast<int64_t>(
+            std::strtoll(tok.text.c_str(), nullptr, 10))));
+      }
+      case TokenType::kDoubleLiteral: {
+        Advance();
+        return Operand(Value(std::strtod(tok.text.c_str(), nullptr)));
+      }
+      case TokenType::kStringLiteral: {
+        Advance();
+        return Operand(Value(tok.text));
+      }
+      case TokenType::kParameter: {
+        Advance();
+        return Operand(Parameter{next_param_++});
+      }
+      case TokenType::kKeyword: {
+        if (tok.text == "NULL") {
+          Advance();
+          return Operand(Value::Null());
+        }
+        return Unexpected("operand");
+      }
+      case TokenType::kIdentifier: {
+        DSSP_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+        return Operand(std::move(ref));
+      }
+      default:
+        return Unexpected("operand");
+    }
+  }
+
+  StatusOr<CompareOp> ParseCompareOp() {
+    if (Peek().type != TokenType::kSymbol) {
+      return Unexpected("comparison operator");
+    }
+    const std::string& sym = Peek().text;
+    CompareOp op;
+    if (sym == "=") {
+      op = CompareOp::kEq;
+    } else if (sym == "<") {
+      op = CompareOp::kLt;
+    } else if (sym == "<=") {
+      op = CompareOp::kLe;
+    } else if (sym == ">") {
+      op = CompareOp::kGt;
+    } else if (sym == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return Unexpected("comparison operator");
+    }
+    Advance();
+    return op;
+  }
+
+  StatusOr<std::vector<Comparison>> ParseWhere() {
+    std::vector<Comparison> where;
+    if (!ConsumeKeyword("WHERE")) return where;
+    while (true) {
+      Comparison cmp;
+      DSSP_ASSIGN_OR_RETURN(cmp.lhs, ParseOperand());
+      DSSP_ASSIGN_OR_RETURN(cmp.op, ParseCompareOp());
+      DSSP_ASSIGN_OR_RETURN(cmp.rhs, ParseOperand());
+      where.push_back(std::move(cmp));
+      if (!ConsumeKeyword("AND")) break;
+    }
+    return where;
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().type == TokenType::kKeyword) {
+      const std::string& kw = Peek().text;
+      AggregateFunc func = AggregateFunc::kNone;
+      if (kw == "MIN") func = AggregateFunc::kMin;
+      else if (kw == "MAX") func = AggregateFunc::kMax;
+      else if (kw == "COUNT") func = AggregateFunc::kCount;
+      else if (kw == "SUM") func = AggregateFunc::kSum;
+      else if (kw == "AVG") func = AggregateFunc::kAvg;
+      if (func != AggregateFunc::kNone) {
+        Advance();
+        DSSP_RETURN_IF_ERROR(ExpectSymbol("("));
+        item.func = func;
+        if (ConsumeSymbol("*")) {
+          if (func != AggregateFunc::kCount) {
+            return ParseError("'*' argument only allowed for COUNT");
+          }
+          item.star = true;
+        } else {
+          DSSP_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        }
+        DSSP_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return item;
+      }
+      return Unexpected("select item");
+    }
+    if (ConsumeSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    DSSP_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+    return item;
+  }
+
+  StatusOr<SelectStatement> ParseSelect() {
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    while (true) {
+      DSSP_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    while (true) {
+      TableRef ref;
+      DSSP_ASSIGN_OR_RETURN(ref.table, ParseIdentifier());
+      if (ConsumeKeyword("AS")) {
+        DSSP_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // Implicit alias: FROM toys t1.
+        ref.alias = Advance().text;
+      }
+      stmt.from.push_back(std::move(ref));
+      if (!ConsumeSymbol(",")) break;
+    }
+    DSSP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    if (ConsumeKeyword("GROUP")) {
+      DSSP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        DSSP_ASSIGN_OR_RETURN(ColumnRef col, ParseColumnRef());
+        stmt.group_by.push_back(std::move(col));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("ORDER")) {
+      DSSP_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderByItem item;
+        DSSP_ASSIGN_OR_RETURN(item.column, ParseColumnRef());
+        if (ConsumeKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          ConsumeKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!ConsumeSymbol(",")) break;
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Peek().type == TokenType::kIntLiteral) {
+        stmt.limit = Operand(Value(static_cast<int64_t>(
+            std::strtoll(Advance().text.c_str(), nullptr, 10))));
+      } else if (Peek().type == TokenType::kParameter) {
+        Advance();
+        stmt.limit = Operand(Parameter{next_param_++});
+      } else {
+        return Unexpected("LIMIT count");
+      }
+    }
+    return stmt;
+  }
+
+  StatusOr<InsertStatement> ParseInsert() {
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement stmt;
+    DSSP_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier());
+    DSSP_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      DSSP_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+      stmt.columns.push_back(std::move(col));
+      if (!ConsumeSymbol(",")) break;
+    }
+    DSSP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    DSSP_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      DSSP_ASSIGN_OR_RETURN(Operand op, ParseOperand());
+      if (IsColumn(op)) {
+        return ParseError("INSERT values must be literals or parameters");
+      }
+      stmt.values.push_back(std::move(op));
+      if (!ConsumeSymbol(",")) break;
+    }
+    DSSP_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (stmt.columns.size() != stmt.values.size()) {
+      return ParseError("INSERT column/value count mismatch");
+    }
+    return stmt;
+  }
+
+  StatusOr<DeleteStatement> ParseDelete() {
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement stmt;
+    DSSP_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier());
+    DSSP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return stmt;
+  }
+
+  StatusOr<UpdateStatement> ParseUpdate() {
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStatement stmt;
+    DSSP_ASSIGN_OR_RETURN(stmt.table, ParseIdentifier());
+    DSSP_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      DSSP_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+      DSSP_RETURN_IF_ERROR(ExpectSymbol("="));
+      DSSP_ASSIGN_OR_RETURN(Operand op, ParseOperand());
+      if (IsColumn(op)) {
+        return ParseError("UPDATE SET values must be literals or parameters");
+      }
+      stmt.set.emplace_back(std::move(col), std::move(op));
+      if (!ConsumeSymbol(",")) break;
+    }
+    DSSP_ASSIGN_OR_RETURN(stmt.where, ParseWhere());
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Statement> Parse(std::string_view sql) {
+  DSSP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Statement ParseOrDie(std::string_view sql) {
+  StatusOr<Statement> result = Parse(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ParseOrDie failed for [%.*s]: %s\n",
+                 static_cast<int>(sql.size()), sql.data(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace dssp::sql

@@ -1,0 +1,32 @@
+#ifndef DSSP_SQL_PARSER_H_
+#define DSSP_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dssp::sql {
+
+// Parses one SQL statement in the paper's query/update language:
+//
+//   SELECT item {, item} FROM table [AS alias] {, table [AS alias]}
+//     [WHERE cmp {AND cmp}] [GROUP BY col {, col}]
+//     [ORDER BY col [ASC|DESC] {, col [ASC|DESC]}] [LIMIT (int | ?)]
+//   INSERT INTO table (col {, col}) VALUES (operand {, operand})
+//   DELETE FROM table [WHERE cmp {AND cmp}]
+//   UPDATE table SET col = operand {, col = operand} [WHERE cmp {AND cmp}]
+//
+// where item is col | * | MIN|MAX|COUNT|SUM|AVG '(' col | * ')',
+// cmp is operand (= | < | <= | > | >=) operand, and operand is a column,
+// an int/double/'string' literal, NULL, or `?`.
+//
+// Parameters are numbered left to right from 0.
+StatusOr<Statement> Parse(std::string_view sql);
+
+// Parse that DSSP_CHECKs success; for statically known statements.
+Statement ParseOrDie(std::string_view sql);
+
+}  // namespace dssp::sql
+
+#endif  // DSSP_SQL_PARSER_H_

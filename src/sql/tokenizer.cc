@@ -1,0 +1,130 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace dssp::sql {
+
+namespace {
+
+constexpr const char* kKeywords[] = {
+    "SELECT", "FROM",  "WHERE",  "AND",    "ORDER",  "BY",     "GROUP",
+    "LIMIT",  "AS",    "INSERT", "INTO",   "VALUES", "DELETE", "UPDATE",
+    "SET",    "ASC",   "DESC",   "MIN",    "MAX",    "COUNT",  "SUM",
+    "AVG",    "NULL",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(std::string_view word) {
+  for (const char* kw : kKeywords) {
+    if (AsciiEqualsIgnoreCase(word, kw)) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word(sql.substr(i, j - i));
+      if (IsKeyword(word)) {
+        tokens.push_back({TokenType::kKeyword, AsciiToUpper(word), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_double = true;
+        ++j;
+      }
+      tokens.push_back({is_double ? TokenType::kDoubleLiteral
+                                  : TokenType::kIntLiteral,
+                        std::string(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string content;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            content += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        content += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return ParseError("unterminated string literal at offset " +
+                          std::to_string(start));
+      }
+      tokens.push_back({TokenType::kStringLiteral, std::move(content), start});
+      i = j;
+      continue;
+    }
+    if (c == '?') {
+      tokens.push_back({TokenType::kParameter, "?", start});
+      ++i;
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        tokens.push_back(
+            {TokenType::kSymbol, std::string(sql.substr(i, 2)), start});
+        i += 2;
+      } else {
+        tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+        c == '=') {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return ParseError(std::string("unexpected character '") + c +
+                      "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace dssp::sql

@@ -1,0 +1,38 @@
+#ifndef DSSP_SQL_TOKENIZER_H_
+#define DSSP_SQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/value.h"
+
+namespace dssp::sql {
+
+enum class TokenType {
+  kIdentifier,   // toys, toy_id
+  kKeyword,      // SELECT, FROM, ... (uppercased in `text`)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // unquoted/unescaped content in `text`
+  kParameter,      // ?
+  kSymbol,         // ( ) , . * = < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // Keywords uppercased; identifiers as written.
+  size_t offset = 0;  // Byte offset in the input, for error messages.
+};
+
+// Splits `sql` into tokens. Keywords are recognized case-insensitively.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+// True if `word` (case-insensitive) is a reserved keyword.
+bool IsKeyword(std::string_view word);
+
+}  // namespace dssp::sql
+
+#endif  // DSSP_SQL_TOKENIZER_H_

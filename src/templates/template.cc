@@ -1,0 +1,324 @@
+#include "templates/template.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/parser.h"
+
+namespace dssp::templates {
+
+std::string AttributeSetToString(const AttributeSet& set) {
+  std::string out = "{";
+  bool first = true;
+  for (const AttributeId& attr : set) {
+    if (!first) out += ", ";
+    first = false;
+    out += attr.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool Disjoint(const AttributeSet& a, const AttributeSet& b) {
+  // Walk the smaller set.
+  const AttributeSet& small = a.size() <= b.size() ? a : b;
+  const AttributeSet& large = a.size() <= b.size() ? b : a;
+  return std::none_of(small.begin(), small.end(), [&](const AttributeId& x) {
+    return large.count(x) != 0;
+  });
+}
+
+const char* UpdateClassName(UpdateClass cls) {
+  switch (cls) {
+    case UpdateClass::kInsertion:
+      return "insertion";
+    case UpdateClass::kDeletion:
+      return "deletion";
+    case UpdateClass::kModification:
+      return "modification";
+  }
+  return "unknown";
+}
+
+std::string AssumptionReport::ToString() const {
+  if (ok()) return "ok";
+  std::string out;
+  if (compares_within_relation) out += "[compares within one relation]";
+  if (has_embedded_constants) out += "[embedded constants]";
+  if (cartesian_product) out += "[empty selection predicate]";
+  return out;
+}
+
+namespace {
+
+// Maps FROM-clause slots to physical schemas and resolves column references.
+class SlotResolver {
+ public:
+  static StatusOr<SlotResolver> ForSelect(const sql::SelectStatement& stmt,
+                                          const catalog::Catalog& catalog) {
+    SlotResolver resolver;
+    for (const sql::TableRef& ref : stmt.from) {
+      const catalog::TableSchema* schema = catalog.FindTable(ref.table);
+      if (schema == nullptr) return NotFoundError("table " + ref.table);
+      for (const auto& [name, slot] : resolver.by_name_) {
+        if (name == ref.effective_name()) {
+          return InvalidArgumentError("duplicate FROM name " + name);
+        }
+      }
+      resolver.by_name_.emplace_back(ref.effective_name(),
+                                     resolver.slots_.size());
+      resolver.slots_.push_back(schema);
+    }
+    return resolver;
+  }
+
+  static StatusOr<SlotResolver> ForTable(const std::string& table,
+                                         const catalog::Catalog& catalog) {
+    SlotResolver resolver;
+    const catalog::TableSchema* schema = catalog.FindTable(table);
+    if (schema == nullptr) return NotFoundError("table " + table);
+    resolver.by_name_.emplace_back(table, 0);
+    resolver.slots_.push_back(schema);
+    return resolver;
+  }
+
+  // Resolves `ref` to (slot, physical attribute).
+  StatusOr<std::pair<size_t, AttributeId>> Resolve(
+      const sql::ColumnRef& ref) const {
+    if (!ref.table.empty()) {
+      for (const auto& [name, slot] : by_name_) {
+        if (name == ref.table) {
+          if (!slots_[slot]->HasColumn(ref.column)) {
+            return NotFoundError("column " + ref.ToString());
+          }
+          return std::make_pair(slot,
+                                AttributeId{slots_[slot]->name(), ref.column});
+        }
+      }
+      return NotFoundError("table " + ref.table + " in template scope");
+    }
+    std::optional<std::pair<size_t, AttributeId>> found;
+    for (const auto& [name, slot] : by_name_) {
+      if (slots_[slot]->HasColumn(ref.column)) {
+        if (found.has_value()) {
+          return InvalidArgumentError("ambiguous column " + ref.column);
+        }
+        found = std::make_pair(slot,
+                               AttributeId{slots_[slot]->name(), ref.column});
+      }
+    }
+    if (!found.has_value()) return NotFoundError("column " + ref.column);
+    return *found;
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+  const catalog::TableSchema& slot_schema(size_t slot) const {
+    return *slots_[slot];
+  }
+
+ private:
+  std::vector<std::pair<std::string, size_t>> by_name_;
+  std::vector<const catalog::TableSchema*> slots_;
+};
+
+// Analyzes the WHERE conjunction shared by queries and updates. Populates
+// selection attributes, join-equality classification, and assumption flags.
+Status AnalyzeWhere(const std::vector<sql::Comparison>& where,
+                    const SlotResolver& resolver, AttributeSet* s,
+                    bool* only_equality_joins, AssumptionReport* report) {
+  for (const sql::Comparison& cmp : where) {
+    const bool lhs_col = sql::IsColumn(cmp.lhs);
+    const bool rhs_col = sql::IsColumn(cmp.rhs);
+    std::optional<size_t> lhs_slot;
+    std::optional<size_t> rhs_slot;
+    if (lhs_col) {
+      DSSP_ASSIGN_OR_RETURN(auto resolved,
+                            resolver.Resolve(std::get<sql::ColumnRef>(cmp.lhs)));
+      lhs_slot = resolved.first;
+      s->insert(resolved.second);
+    }
+    if (rhs_col) {
+      DSSP_ASSIGN_OR_RETURN(auto resolved,
+                            resolver.Resolve(std::get<sql::ColumnRef>(cmp.rhs)));
+      rhs_slot = resolved.first;
+      s->insert(resolved.second);
+    }
+    if (lhs_col && rhs_col) {
+      if (*lhs_slot == *rhs_slot) {
+        // Assumption 1 (Section 2.1.1): predicates compare values across two
+        // relations or against a constant; within one relation violates it.
+        report->compares_within_relation = true;
+      } else if (cmp.op != sql::CompareOp::kEq) {
+        *only_equality_joins = false;  // Not in class E.
+      }
+    }
+    if (sql::IsLiteral(cmp.lhs) || sql::IsLiteral(cmp.rhs)) {
+      // Assumption 2: no constants that might aid invalidation are embedded
+      // in the template.
+      report->has_embedded_constants = true;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<QueryTemplate> QueryTemplate::Create(
+    std::string id, std::string_view sql, const catalog::Catalog& catalog) {
+  DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind() != sql::StatementKind::kSelect) {
+    return InvalidArgumentError("query template must be a SELECT: " +
+                                std::string(sql));
+  }
+  QueryTemplate tmpl;
+  tmpl.id_ = std::move(id);
+  tmpl.statement_ = std::move(stmt);
+  const sql::SelectStatement& select = tmpl.statement_.select();
+
+  DSSP_ASSIGN_OR_RETURN(SlotResolver resolver,
+                        SlotResolver::ForSelect(select, catalog));
+
+  DSSP_RETURN_IF_ERROR(AnalyzeWhere(select.where, resolver, &tmpl.s_,
+                                    &tmpl.only_equality_joins_,
+                                    &tmpl.assumptions_));
+  if (select.where.empty()) {
+    // Assumption 3: every query has a non-empty selection predicate.
+    tmpl.assumptions_.cartesian_product = true;
+  }
+
+  // ORDER BY attributes belong to S(Q) (Table 5).
+  for (const sql::OrderByItem& item : select.order_by) {
+    DSSP_ASSIGN_OR_RETURN(auto resolved, resolver.Resolve(item.column));
+    tmpl.s_.insert(resolved.second);
+  }
+
+  // P(Q): preserved attributes. For aggregates we conservatively include the
+  // aggregated column (the output is derived from it); GROUP BY columns
+  // appear in the output as well.
+  for (const sql::SelectItem& item : select.items) {
+    if (item.func != sql::AggregateFunc::kNone) {
+      tmpl.has_aggregation_ = true;
+      if (!item.star) {
+        DSSP_ASSIGN_OR_RETURN(auto resolved, resolver.Resolve(item.column));
+        tmpl.p_.insert(resolved.second);
+      }
+      // Aggregate outputs are derived values, not preserved attributes.
+      tmpl.output_columns_.push_back(OutputColumn{});
+      continue;
+    }
+    if (item.star) {
+      // Expansion order matches the engine: FROM slots in order, columns in
+      // schema order.
+      for (size_t slot = 0; slot < resolver.num_slots(); ++slot) {
+        const catalog::TableSchema& schema = resolver.slot_schema(slot);
+        for (const catalog::Column& col : schema.columns()) {
+          const AttributeId attr{schema.name(), col.name};
+          tmpl.p_.insert(attr);
+          tmpl.output_columns_.push_back(OutputColumn{slot, attr});
+        }
+      }
+      continue;
+    }
+    DSSP_ASSIGN_OR_RETURN(auto resolved, resolver.Resolve(item.column));
+    tmpl.p_.insert(resolved.second);
+    tmpl.output_columns_.push_back(
+        OutputColumn{resolved.first, resolved.second});
+  }
+  for (const sql::ColumnRef& col : select.group_by) {
+    tmpl.has_aggregation_ = true;
+    DSSP_ASSIGN_OR_RETURN(auto resolved, resolver.Resolve(col));
+    tmpl.p_.insert(resolved.second);
+  }
+
+  return tmpl;
+}
+
+StatusOr<UpdateTemplate> UpdateTemplate::Create(
+    std::string id, std::string_view sql, const catalog::Catalog& catalog) {
+  DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind() == sql::StatementKind::kSelect) {
+    return InvalidArgumentError("update template must not be a SELECT: " +
+                                std::string(sql));
+  }
+  UpdateTemplate tmpl;
+  tmpl.id_ = std::move(id);
+  tmpl.statement_ = std::move(stmt);
+
+  switch (tmpl.statement_.kind()) {
+    case sql::StatementKind::kInsert: {
+      const sql::InsertStatement& insert = tmpl.statement_.insert();
+      tmpl.class_ = UpdateClass::kInsertion;
+      tmpl.table_ = insert.table;
+      DSSP_ASSIGN_OR_RETURN(SlotResolver resolver,
+                            SlotResolver::ForTable(insert.table, catalog));
+      const catalog::TableSchema& schema = resolver.slot_schema(0);
+      for (const std::string& col : insert.columns) {
+        if (!schema.HasColumn(col)) {
+          return NotFoundError("column " + col + " in table " + insert.table);
+        }
+      }
+      // M(U): all attributes of the table (Table 5).
+      for (const catalog::Column& col : schema.columns()) {
+        tmpl.m_.insert(AttributeId{schema.name(), col.name});
+      }
+      for (const sql::Operand& value : insert.values) {
+        if (sql::IsLiteral(value)) {
+          tmpl.assumptions_.has_embedded_constants = true;
+        }
+      }
+      break;
+    }
+    case sql::StatementKind::kDelete: {
+      const sql::DeleteStatement& del = tmpl.statement_.del();
+      tmpl.class_ = UpdateClass::kDeletion;
+      tmpl.table_ = del.table;
+      DSSP_ASSIGN_OR_RETURN(SlotResolver resolver,
+                            SlotResolver::ForTable(del.table, catalog));
+      bool unused = true;
+      DSSP_RETURN_IF_ERROR(AnalyzeWhere(del.where, resolver, &tmpl.s_,
+                                        &unused, &tmpl.assumptions_));
+      const catalog::TableSchema& schema = resolver.slot_schema(0);
+      for (const catalog::Column& col : schema.columns()) {
+        tmpl.m_.insert(AttributeId{schema.name(), col.name});
+      }
+      break;
+    }
+    case sql::StatementKind::kUpdate: {
+      const sql::UpdateStatement& update = tmpl.statement_.update();
+      tmpl.class_ = UpdateClass::kModification;
+      tmpl.table_ = update.table;
+      DSSP_ASSIGN_OR_RETURN(SlotResolver resolver,
+                            SlotResolver::ForTable(update.table, catalog));
+      bool unused = true;
+      DSSP_RETURN_IF_ERROR(AnalyzeWhere(update.where, resolver, &tmpl.s_,
+                                        &unused, &tmpl.assumptions_));
+      const catalog::TableSchema& schema = resolver.slot_schema(0);
+      for (const auto& [col, value] : update.set) {
+        if (!schema.HasColumn(col)) {
+          return NotFoundError("column " + col + " in table " + update.table);
+        }
+        tmpl.m_.insert(AttributeId{schema.name(), col});
+        if (sql::IsLiteral(value)) {
+          tmpl.assumptions_.has_embedded_constants = true;
+        }
+      }
+      break;
+    }
+    case sql::StatementKind::kSelect:
+      DSSP_UNREACHABLE("checked above");
+  }
+  return tmpl;
+}
+
+bool IsIgnorable(const UpdateTemplate& u, const QueryTemplate& q) {
+  AttributeSet p_union_s = q.preserved_attributes();
+  p_union_s.insert(q.selection_attributes().begin(),
+                   q.selection_attributes().end());
+  return Disjoint(u.modified_attributes(), p_union_s);
+}
+
+bool IsResultUnhelpful(const UpdateTemplate& u, const QueryTemplate& q) {
+  return Disjoint(u.selection_attributes(), q.preserved_attributes());
+}
+
+}  // namespace dssp::templates

@@ -1,0 +1,65 @@
+#include "templates/template_set.h"
+
+namespace dssp::templates {
+
+Status TemplateSet::AddQuery(QueryTemplate tmpl) {
+  if (FindQuery(tmpl.id()) != nullptr) {
+    return AlreadyExistsError("query template " + tmpl.id());
+  }
+  queries_.push_back(std::move(tmpl));
+  return Status::Ok();
+}
+
+Status TemplateSet::AddUpdate(UpdateTemplate tmpl) {
+  if (FindUpdate(tmpl.id()) != nullptr) {
+    return AlreadyExistsError("update template " + tmpl.id());
+  }
+  updates_.push_back(std::move(tmpl));
+  return Status::Ok();
+}
+
+Status TemplateSet::AddQuerySql(std::string_view sql,
+                                const catalog::Catalog& catalog) {
+  const std::string id = "Q" + std::to_string(queries_.size() + 1);
+  DSSP_ASSIGN_OR_RETURN(QueryTemplate tmpl,
+                        QueryTemplate::Create(id, sql, catalog));
+  return AddQuery(std::move(tmpl));
+}
+
+Status TemplateSet::AddUpdateSql(std::string_view sql,
+                                 const catalog::Catalog& catalog) {
+  const std::string id = "U" + std::to_string(updates_.size() + 1);
+  DSSP_ASSIGN_OR_RETURN(UpdateTemplate tmpl,
+                        UpdateTemplate::Create(id, sql, catalog));
+  return AddUpdate(std::move(tmpl));
+}
+
+const QueryTemplate* TemplateSet::FindQuery(std::string_view id) const {
+  for (const QueryTemplate& tmpl : queries_) {
+    if (tmpl.id() == id) return &tmpl;
+  }
+  return nullptr;
+}
+
+const UpdateTemplate* TemplateSet::FindUpdate(std::string_view id) const {
+  for (const UpdateTemplate& tmpl : updates_) {
+    if (tmpl.id() == id) return &tmpl;
+  }
+  return nullptr;
+}
+
+size_t TemplateSet::QueryIndex(std::string_view id) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].id() == id) return i;
+  }
+  return kNpos;
+}
+
+size_t TemplateSet::UpdateIndex(std::string_view id) const {
+  for (size_t i = 0; i < updates_.size(); ++i) {
+    if (updates_[i].id() == id) return i;
+  }
+  return kNpos;
+}
+
+}  // namespace dssp::templates

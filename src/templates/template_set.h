@@ -1,0 +1,46 @@
+#ifndef DSSP_TEMPLATES_TEMPLATE_SET_H_
+#define DSSP_TEMPLATES_TEMPLATE_SET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "templates/template.h"
+
+namespace dssp::templates {
+
+// The fixed sets Q^T = {Q1..Qn} and U^T = {U1..Um} of one application
+// (Section 2.1). Ids must be unique across queries and across updates.
+class TemplateSet {
+ public:
+  TemplateSet() = default;
+
+  Status AddQuery(QueryTemplate tmpl);
+  Status AddUpdate(UpdateTemplate tmpl);
+
+  // Parses `sql` and registers it with the next id ("Q<k>" / "U<k>").
+  Status AddQuerySql(std::string_view sql, const catalog::Catalog& catalog);
+  Status AddUpdateSql(std::string_view sql, const catalog::Catalog& catalog);
+
+  const std::vector<QueryTemplate>& queries() const { return queries_; }
+  const std::vector<UpdateTemplate>& updates() const { return updates_; }
+
+  const QueryTemplate* FindQuery(std::string_view id) const;
+  const UpdateTemplate* FindUpdate(std::string_view id) const;
+
+  // Index of the template with `id` in queries()/updates(), or npos.
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+  size_t QueryIndex(std::string_view id) const;
+  size_t UpdateIndex(std::string_view id) const;
+
+  size_t num_queries() const { return queries_.size(); }
+  size_t num_updates() const { return updates_.size(); }
+
+ private:
+  std::vector<QueryTemplate> queries_;
+  std::vector<UpdateTemplate> updates_;
+};
+
+}  // namespace dssp::templates
+
+#endif  // DSSP_TEMPLATES_TEMPLATE_SET_H_

@@ -1,0 +1,18 @@
+#include "workloads/application.h"
+
+#include "workloads/auction.h"
+#include "workloads/bboard.h"
+#include "workloads/bookstore.h"
+#include "workloads/toystore.h"
+
+namespace dssp::workloads {
+
+std::unique_ptr<Application> MakeApplication(std::string_view name) {
+  if (name == "toystore") return std::make_unique<ToystoreApplication>();
+  if (name == "auction") return std::make_unique<AuctionApplication>();
+  if (name == "bboard") return std::make_unique<BboardApplication>();
+  if (name == "bookstore") return std::make_unique<BookstoreApplication>();
+  DSSP_UNREACHABLE("unknown application name");
+}
+
+}  // namespace dssp::workloads

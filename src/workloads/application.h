@@ -1,0 +1,59 @@
+#ifndef DSSP_WORKLOADS_APPLICATION_H_
+#define DSSP_WORKLOADS_APPLICATION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "analysis/methodology.h"
+#include "common/status.h"
+#include "dssp/app.h"
+#include "sim/workload.h"
+
+namespace dssp::workloads {
+
+// One of the paper's benchmark Web applications: schema, query/update
+// templates, database population, interaction mix, and the data its
+// administrator must encrypt (Step 1 of the methodology).
+//
+// The three evaluation applications (Section 5.1):
+//   "auction"   - RUBiS-like eBay-style auction site;
+//   "bboard"    - RUBBoS-like Slashdot-style bulletin board;
+//   "bookstore" - TPC-W-like online bookstore with Zipf-skewed book
+//                 popularity (Brynjolfsson et al.);
+// plus "toystore", the paper's running example (Tables 1 and 3).
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Creates schema and templates in `app`'s home server and populates the
+  // master database. `scale` multiplies base table cardinalities. Must be
+  // called exactly once, before app.Finalize().
+  virtual Status Setup(service::ScalableApp& app, double scale,
+                       uint64_t seed) = 0;
+
+  // A session generator producing this application's page mix. Valid only
+  // after Setup (it needs the populated id ranges). Generators share the
+  // application's id counters so concurrent sessions never collide on
+  // inserted primary keys.
+  virtual std::unique_ptr<sim::SessionGenerator> NewSession(
+      uint64_t seed) = 0;
+
+  // Step 1 policy: the attributes a data-privacy law (e.g., California SB
+  // 1386) forces the administrator to encrypt.
+  virtual analysis::CompulsoryPolicy CompulsoryEncryption(
+      const catalog::Catalog& catalog) const = 0;
+};
+
+// Factory for "toystore", "auction", "bboard", "bookstore"; CHECK-fails on
+// unknown names.
+std::unique_ptr<Application> MakeApplication(std::string_view name);
+
+// Names of the three paper-evaluation applications, in Table 7 order.
+inline constexpr std::string_view kEvaluationApps[] = {"auction", "bboard",
+                                                       "bookstore"};
+
+}  // namespace dssp::workloads
+
+#endif  // DSSP_WORKLOADS_APPLICATION_H_

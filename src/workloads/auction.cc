@@ -1,0 +1,429 @@
+#include "workloads/auction.h"
+
+#include "common/random.h"
+
+namespace dssp::workloads {
+
+namespace {
+
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+Status DefineSchema(engine::Database& db) {
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "regions",
+      {{"r_id", ColumnType::kInt64}, {"r_name", ColumnType::kString}},
+      {"r_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "categories",
+      {{"cat_id", ColumnType::kInt64}, {"cat_name", ColumnType::kString}},
+      {"cat_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "users",
+      {{"u_id", ColumnType::kInt64},
+       {"u_nickname", ColumnType::kString},
+       {"u_password", ColumnType::kString},
+       {"u_email", ColumnType::kString},
+       {"u_rating", ColumnType::kInt64},
+       {"u_balance", ColumnType::kDouble},
+       {"u_region", ColumnType::kInt64}},
+      {"u_id"}, {ForeignKey{"u_region", "regions", "r_id"}},
+      /*unique_columns=*/{"u_nickname"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "items",
+      {{"it_id", ColumnType::kInt64},
+       {"it_name", ColumnType::kString},
+       {"it_description", ColumnType::kString},
+       {"it_initial_price", ColumnType::kDouble},
+       {"it_max_bid", ColumnType::kDouble},
+       {"it_nb_bids", ColumnType::kInt64},
+       {"it_start_date", ColumnType::kInt64},
+       {"it_end_date", ColumnType::kInt64},
+       {"it_seller", ColumnType::kInt64},
+       {"it_category", ColumnType::kInt64}},
+      {"it_id"},
+      {ForeignKey{"it_seller", "users", "u_id"},
+       ForeignKey{"it_category", "categories", "cat_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "bids",
+      {{"b_id", ColumnType::kInt64},
+       {"b_user_id", ColumnType::kInt64},
+       {"b_item_id", ColumnType::kInt64},
+       {"b_qty", ColumnType::kInt64},
+       {"b_bid", ColumnType::kDouble},
+       {"b_date", ColumnType::kInt64}},
+      {"b_id"},
+      {ForeignKey{"b_user_id", "users", "u_id"},
+       ForeignKey{"b_item_id", "items", "it_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "comments",
+      {{"cm_id", ColumnType::kInt64},
+       {"cm_from_user", ColumnType::kInt64},
+       {"cm_to_user", ColumnType::kInt64},
+       {"cm_item_id", ColumnType::kInt64},
+       {"cm_rating", ColumnType::kInt64},
+       {"cm_date", ColumnType::kInt64},
+       {"cm_comment", ColumnType::kString}},
+      {"cm_id"},
+      {ForeignKey{"cm_from_user", "users", "u_id"},
+       ForeignKey{"cm_to_user", "users", "u_id"},
+       ForeignKey{"cm_item_id", "items", "it_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "buy_now",
+      {{"bn_id", ColumnType::kInt64},
+       {"bn_buyer", ColumnType::kInt64},
+       {"bn_item", ColumnType::kInt64},
+       {"bn_qty", ColumnType::kInt64},
+       {"bn_date", ColumnType::kInt64}},
+      {"bn_id"},
+      {ForeignKey{"bn_buyer", "users", "u_id"},
+       ForeignKey{"bn_item", "items", "it_id"}})));
+  return Status::Ok();
+}
+
+constexpr const char* kQueries[] = {
+    // Q1 listCategories (empty predicate: realistic assumption violation)
+    "SELECT cat_id, cat_name FROM categories",
+    // Q2 listRegions
+    "SELECT r_id, r_name FROM regions WHERE r_id >= ?",
+    // Q3 getUser
+    "SELECT u_nickname, u_rating FROM users WHERE u_id = ?",
+    // Q4 getUserByNickname (full record; includes password)
+    "SELECT * FROM users WHERE u_nickname = ?",
+    // Q5 getItem
+    "SELECT * FROM items WHERE it_id = ?",
+    // Q6 searchItemsByCategory
+    "SELECT it_id, it_name, it_initial_price, it_max_bid, it_end_date "
+    "FROM items WHERE it_category = ? ORDER BY it_end_date LIMIT 25",
+    // Q7 searchItemsByRegion
+    "SELECT it_id, it_name, u_nickname FROM items, users "
+    "WHERE items.it_seller = users.u_id AND u_region = ? LIMIT 25",
+    // Q8 viewBidHistory
+    "SELECT b_id, u_nickname, b_bid, b_date FROM bids, users "
+    "WHERE bids.b_user_id = users.u_id AND b_item_id = ? "
+    "ORDER BY b_date DESC",
+    // Q9 getMaxBid (aggregate)
+    "SELECT MAX(b_bid) FROM bids WHERE b_item_id = ?",
+    // Q10 countBids (aggregate)
+    "SELECT COUNT(b_id) FROM bids WHERE b_item_id = ?",
+    // Q11 viewUserComments
+    "SELECT cm_rating, cm_date, cm_comment, u_nickname "
+    "FROM comments, users "
+    "WHERE comments.cm_from_user = users.u_id AND cm_to_user = ?",
+    // Q12 getItemComments
+    "SELECT cm_rating, cm_comment FROM comments WHERE cm_item_id = ?",
+    // Q13 aboutMeBids
+    "SELECT b_item_id, b_bid, b_date FROM bids WHERE b_user_id = ? "
+    "ORDER BY b_date DESC LIMIT 20",
+    // Q14 aboutMeItems
+    "SELECT it_id, it_name, it_max_bid FROM items WHERE it_seller = ? "
+    "ORDER BY it_end_date DESC LIMIT 20",
+    // Q15 aboutMeBuyNow
+    "SELECT bn_item, bn_qty, bn_date, it_name FROM buy_now, items "
+    "WHERE buy_now.bn_item = items.it_id AND bn_buyer = ?",
+    // Q16 getItemBids
+    "SELECT b_bid, b_qty FROM bids WHERE b_item_id = ? "
+    "ORDER BY b_bid DESC LIMIT 10",
+    // Q17 getUserBalance
+    "SELECT u_balance FROM users WHERE u_id = ?",
+    // Q18 getCategoryName
+    "SELECT cat_name FROM categories WHERE cat_id = ?",
+    // Q19 getRegionUsers
+    "SELECT u_id, u_nickname FROM users WHERE u_region = ? LIMIT 50",
+    // Q20 getItemSellerInfo
+    "SELECT it_name, u_nickname, u_rating FROM items, users "
+    "WHERE items.it_seller = users.u_id AND it_id = ?",
+    // Q21 topRatedUsers
+    "SELECT u_id, u_nickname, u_rating FROM users WHERE u_rating >= ? "
+    "ORDER BY u_rating DESC LIMIT 10",
+    // Q22 hotItems
+    "SELECT it_id, it_name, it_nb_bids FROM items WHERE it_category = ? "
+    "ORDER BY it_nb_bids DESC LIMIT 10",
+};
+
+constexpr const char* kUpdates[] = {
+    // U1 storeBid
+    "INSERT INTO bids (b_id, b_user_id, b_item_id, b_qty, b_bid, b_date) "
+    "VALUES (?, ?, ?, ?, ?, ?)",
+    // U2 updateItemMaxBid
+    "UPDATE items SET it_max_bid = ?, it_nb_bids = ? WHERE it_id = ?",
+    // U3 storeComment
+    "INSERT INTO comments (cm_id, cm_from_user, cm_to_user, cm_item_id, "
+    "cm_rating, cm_date, cm_comment) VALUES (?, ?, ?, ?, ?, ?, ?)",
+    // U4 updateUserRating
+    "UPDATE users SET u_rating = ? WHERE u_id = ?",
+    // U5 registerItem
+    "INSERT INTO items (it_id, it_name, it_description, it_initial_price, "
+    "it_max_bid, it_nb_bids, it_start_date, it_end_date, it_seller, "
+    "it_category) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+    // U6 registerUser
+    "INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating, "
+    "u_balance, u_region) VALUES (?, ?, ?, ?, ?, ?, ?)",
+    // U7 storeBuyNow
+    "INSERT INTO buy_now (bn_id, bn_buyer, bn_item, bn_qty, bn_date) "
+    "VALUES (?, ?, ?, ?, ?)",
+    // U8 updateItemDescription
+    "UPDATE items SET it_description = ? WHERE it_id = ?",
+    // U9 adminRemoveBid
+    "DELETE FROM bids WHERE b_id = ?",
+    // U10 adminRemoveComment
+    "DELETE FROM comments WHERE cm_id = ?",
+};
+
+}  // namespace
+
+Status AuctionApplication::Setup(service::ScalableApp& app, double scale,
+                                 uint64_t seed) {
+  engine::Database& db = app.home().database();
+  DSSP_RETURN_IF_ERROR(DefineSchema(db));
+  for (const char* sql : kQueries) {
+    DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(sql));
+  }
+  for (const char* sql : kUpdates) {
+    DSSP_RETURN_IF_ERROR(app.home().AddUpdateTemplate(sql));
+  }
+
+  num_regions_ = 10;
+  num_categories_ = 20;
+  num_users_ = static_cast<int64_t>(1000 * scale);
+  num_items_ = static_cast<int64_t>(1500 * scale);
+  num_bids_ = static_cast<int64_t>(5000 * scale);
+  num_comments_ = static_cast<int64_t>(1000 * scale);
+  item_popularity_ = std::make_shared<ZipfDistribution>(
+      static_cast<uint64_t>(num_items_), 0.95);
+
+  Rng rng(seed);
+  for (int64_t i = 1; i <= num_regions_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "regions", {Value(i), Value("region" + std::to_string(i))}));
+  }
+  for (int64_t i = 1; i <= num_categories_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "categories", {Value(i), Value("category" + std::to_string(i))}));
+  }
+  for (int64_t i = 1; i <= num_users_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "users",
+        {Value(i), Value("nick" + std::to_string(i)),
+         Value("pw" + std::to_string(i)),
+         Value("nick" + std::to_string(i) + "@example.com"),
+         Value(static_cast<int64_t>(rng.NextBelow(50))),
+         Value(static_cast<double>(rng.NextBelow(100000)) / 100.0),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_regions_))))}));
+  }
+  for (int64_t i = 1; i <= num_items_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "items",
+        {Value(i), Value("item" + std::to_string(i)),
+         Value("description of item " + std::to_string(i)),
+         Value(1.0 + static_cast<double>(rng.NextBelow(5000)) / 100.0),
+         Value(0.0), Value(static_cast<int64_t>(0)),
+         Value(static_cast<int64_t>(rng.NextBelow(100))),
+         Value(100 + static_cast<int64_t>(rng.NextBelow(100))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(rng.NextBelow(
+                       static_cast<uint64_t>(num_categories_))))}));
+  }
+  for (int64_t i = 1; i <= num_bids_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "bids",
+        {Value(i),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_items_)))),
+         Value(static_cast<int64_t>(1)),
+         Value(1.0 + static_cast<double>(rng.NextBelow(10000)) / 100.0),
+         Value(static_cast<int64_t>(rng.NextBelow(100)))}));
+  }
+  for (int64_t i = 1; i <= num_comments_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "comments",
+        {Value(i),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_items_)))),
+         Value(static_cast<int64_t>(rng.NextBelow(6))),
+         Value(static_cast<int64_t>(rng.NextBelow(100))),
+         Value("comment " + std::to_string(i))}));
+  }
+  const int64_t buy_nows = num_items_ / 5;
+  for (int64_t i = 1; i <= buy_nows; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "buy_now",
+        {Value(i),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_items_)))),
+         Value(static_cast<int64_t>(1)),
+         Value(static_cast<int64_t>(rng.NextBelow(100)))}));
+  }
+  return Status::Ok();
+}
+
+class AuctionSession : public sim::SessionGenerator {
+ public:
+  explicit AuctionSession(const AuctionApplication* app) : app_(app) {}
+
+  std::vector<sim::DbOp> NextPage(Rng& rng) override {
+    std::vector<sim::DbOp> ops;
+    auto& counters = *app_->counters_;
+    const auto user = [&] {
+      return Value(1 + static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>(app_->num_users_))));
+    };
+    const auto item = [&] {
+      return Value(
+          static_cast<int64_t>(app_->item_popularity_->Sample(rng)));
+    };
+    const auto category = [&] {
+      return Value(1 + static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>(app_->num_categories_))));
+    };
+
+    const double roll = rng.NextDouble();
+    if (roll < 0.18) {
+      // Browse categories -> category listing.
+      ops.push_back({false, "Q1", {}});
+      ops.push_back({false, "Q6", {category()}});
+    } else if (roll < 0.30) {
+      // Browse regions -> region items.
+      ops.push_back({false, "Q2", {Value(1)}});
+      ops.push_back(
+          {false, "Q7",
+           {Value(1 + static_cast<int64_t>(rng.NextBelow(
+                          static_cast<uint64_t>(app_->num_regions_))))}});
+    } else if (roll < 0.54) {
+      // View item + bid info.
+      const Value it = item();
+      ops.push_back({false, "Q5", {it}});
+      ops.push_back({false, "Q9", {it}});
+      ops.push_back({false, "Q10", {it}});
+      ops.push_back({false, "Q20", {it}});
+    } else if (roll < 0.66) {
+      // Bid history / top bids.
+      const Value it = item();
+      ops.push_back({false, "Q8", {it}});
+      ops.push_back({false, "Q16", {it}});
+    } else if (roll < 0.74) {
+      // Place a bid: store bid and refresh the item's max-bid columns.
+      const Value it = item();
+      const double amount =
+          1.0 + static_cast<double>(rng.NextBelow(20000)) / 100.0;
+      ops.push_back({true,
+                     "U1",
+                     {Value(counters.next_bid_id++), user(), it,
+                      Value(static_cast<int64_t>(1)), Value(amount),
+                      Value(static_cast<int64_t>(rng.NextBelow(100)))}});
+      ops.push_back({true,
+                     "U2",
+                     {Value(amount),
+                      Value(static_cast<int64_t>(rng.NextBelow(50)) + 1),
+                      it}});
+      ops.push_back({false, "Q9", {it}});
+    } else if (roll < 0.82) {
+      // User pages.
+      ops.push_back({false, "Q3", {user()}});
+      ops.push_back({false, "Q11", {user()}});
+      ops.push_back({false, "Q13", {user()}});
+      ops.push_back({false, "Q14", {user()}});
+    } else if (roll < 0.87) {
+      // Leave a comment and adjust the target's rating.
+      const Value target = user();
+      ops.push_back(
+          {true,
+           "U3",
+           {Value(counters.next_comment_id++), user(), target, item(),
+            Value(static_cast<int64_t>(rng.NextBelow(6))),
+            Value(static_cast<int64_t>(rng.NextBelow(100))),
+            Value("new comment")}});
+      ops.push_back({true,
+                     "U4",
+                     {Value(static_cast<int64_t>(rng.NextBelow(50))),
+                      target}});
+    } else if (roll < 0.92) {
+      // Sell an item.
+      const int64_t listed = counters.next_item_id++;
+      ops.push_back(
+          {true,
+           "U5",
+           {Value(listed), Value("new item"),
+            Value("freshly listed"), Value(9.99), Value(0.0),
+            Value(static_cast<int64_t>(0)),
+            Value(static_cast<int64_t>(rng.NextBelow(100))),
+            Value(200 + static_cast<int64_t>(rng.NextBelow(100))), user(),
+            category()}});
+      if (rng.NextBool(0.4)) {
+        // The seller immediately polishes the listing text.
+        ops.push_back({true, "U8", {Value("improved description"),
+                                    Value(listed)}});
+      }
+      ops.push_back({false, "Q22", {category()}});
+    } else if (roll < 0.96) {
+      // Buy-now flow.
+      ops.push_back({true,
+                     "U7",
+                     {Value(counters.next_buy_now_id++), user(), item(),
+                      Value(static_cast<int64_t>(1)),
+                      Value(static_cast<int64_t>(rng.NextBelow(100)))}});
+      ops.push_back({false, "Q15", {user()}});
+    } else if (roll < 0.98) {
+      // Register a user.
+      const int64_t uid = counters.next_user_id++;
+      ops.push_back(
+          {true,
+           "U6",
+           {Value(uid), Value("newnick" + std::to_string(uid)), Value("pw"),
+            Value("n@example.com"), Value(static_cast<int64_t>(0)),
+            Value(0.0),
+            Value(1 + static_cast<int64_t>(rng.NextBelow(
+                          static_cast<uint64_t>(app_->num_regions_))))}});
+      ops.push_back({false, "Q21", {Value(static_cast<int64_t>(40))}});
+    } else {
+      // Admin cleanup: remove a base bid/comment (fresh ids are never
+      // re-queried by primary key, so the execution assumptions hold).
+      if (rng.NextBool(0.5)) {
+        ops.push_back(
+            {true, "U9",
+             {Value(1 + static_cast<int64_t>(rng.NextBelow(
+                            static_cast<uint64_t>(app_->num_bids_))))}});
+      } else {
+        ops.push_back(
+            {true, "U10",
+             {Value(1 + static_cast<int64_t>(rng.NextBelow(
+                            static_cast<uint64_t>(app_->num_comments_))))}});
+      }
+      ops.push_back({false, "Q12", {item()}});
+    }
+    return ops;
+  }
+
+ private:
+  const AuctionApplication* app_;
+};
+
+std::unique_ptr<sim::SessionGenerator> AuctionApplication::NewSession(
+    uint64_t seed) {
+  (void)seed;
+  return std::make_unique<AuctionSession>(this);
+}
+
+analysis::CompulsoryPolicy AuctionApplication::CompulsoryEncryption(
+    const catalog::Catalog& catalog) const {
+  (void)catalog;
+  analysis::CompulsoryPolicy policy;
+  // Stored passwords are the auction site's legally sensitive data.
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"users", "u_password"});
+  return policy;
+}
+
+}  // namespace dssp::workloads

@@ -1,0 +1,49 @@
+#ifndef DSSP_WORKLOADS_AUCTION_H_
+#define DSSP_WORKLOADS_AUCTION_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "workloads/application.h"
+
+namespace dssp::workloads {
+
+// RUBiS-like eBay-style auction site (the paper's "auction" benchmark):
+// 22 query templates, 10 update templates over seven relations. Two
+// templates (category and region listings) have empty selection predicates,
+// realistically violating the Section 2.1.1 assumptions for a small
+// fraction of pairs, as the paper reports for one of its benchmarks.
+class AuctionApplication : public Application {
+ public:
+  std::string_view name() const override { return "auction"; }
+  Status Setup(service::ScalableApp& app, double scale,
+               uint64_t seed) override;
+  std::unique_ptr<sim::SessionGenerator> NewSession(uint64_t seed) override;
+  analysis::CompulsoryPolicy CompulsoryEncryption(
+      const catalog::Catalog& catalog) const override;
+
+ private:
+  friend class AuctionSession;
+
+  int64_t num_regions_ = 0;
+  int64_t num_categories_ = 0;
+  int64_t num_users_ = 0;
+  int64_t num_items_ = 0;
+  int64_t num_bids_ = 0;
+  int64_t num_comments_ = 0;
+
+  struct Counters {
+    int64_t next_bid_id = 1'000'000;
+    int64_t next_comment_id = 1'000'000;
+    int64_t next_item_id = 1'000'000;
+    int64_t next_user_id = 1'000'000;
+    int64_t next_buy_now_id = 1'000'000;
+  };
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
+  // Item popularity is skewed: a few hot auctions draw most traffic.
+  std::shared_ptr<ZipfDistribution> item_popularity_;
+};
+
+}  // namespace dssp::workloads
+
+#endif  // DSSP_WORKLOADS_AUCTION_H_

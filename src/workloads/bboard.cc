@@ -1,0 +1,349 @@
+#include "workloads/bboard.h"
+
+#include "common/random.h"
+
+namespace dssp::workloads {
+
+namespace {
+
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+Status DefineSchema(engine::Database& db) {
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "users",
+      {{"u_id", ColumnType::kInt64},
+       {"u_nickname", ColumnType::kString},
+       {"u_password", ColumnType::kString},
+       {"u_email", ColumnType::kString},
+       {"u_rating", ColumnType::kInt64},
+       {"u_access", ColumnType::kInt64}},
+      {"u_id"}, /*foreign_keys=*/{}, /*unique_columns=*/{"u_nickname"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "stories",
+      {{"st_id", ColumnType::kInt64},
+       {"st_title", ColumnType::kString},
+       {"st_body", ColumnType::kString},
+       {"st_date", ColumnType::kInt64},
+       {"st_author", ColumnType::kInt64},
+       {"st_category", ColumnType::kInt64}},
+      {"st_id"}, {ForeignKey{"st_author", "users", "u_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "comments",
+      {{"c_id", ColumnType::kInt64},
+       {"c_story_id", ColumnType::kInt64},
+       {"c_parent", ColumnType::kInt64},
+       {"c_author", ColumnType::kInt64},
+       {"c_subject", ColumnType::kString},
+       {"c_body", ColumnType::kString},
+       {"c_date", ColumnType::kInt64},
+       {"c_rating", ColumnType::kInt64}},
+      {"c_id"},
+      {ForeignKey{"c_story_id", "stories", "st_id"},
+       ForeignKey{"c_author", "users", "u_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "moderator_log",
+      {{"m_id", ColumnType::kInt64},
+       {"m_user", ColumnType::kInt64},
+       {"m_comment_id", ColumnType::kInt64},
+       {"m_rating", ColumnType::kInt64},
+       {"m_date", ColumnType::kInt64}},
+      {"m_id"}, {ForeignKey{"m_user", "users", "u_id"}})));
+  return Status::Ok();
+}
+
+constexpr const char* kQueries[] = {
+    // Q1 storiesOfTheDay
+    "SELECT st_id, st_title, st_date, u_nickname FROM stories, users "
+    "WHERE stories.st_author = users.u_id AND st_date = ? "
+    "ORDER BY st_date DESC LIMIT 10",
+    // Q2 getStory
+    "SELECT * FROM stories WHERE st_id = ?",
+    // Q3 getCommentsForStory
+    "SELECT c_id, c_subject, c_rating, u_nickname, c_date "
+    "FROM comments, users "
+    "WHERE comments.c_author = users.u_id AND c_story_id = ? "
+    "ORDER BY c_date LIMIT 50",
+    // Q4 getComment
+    "SELECT * FROM comments WHERE c_id = ?",
+    // Q5 getSubComments
+    "SELECT c_id, c_subject, c_rating FROM comments WHERE c_parent = ? "
+    "ORDER BY c_date",
+    // Q6 getUser
+    "SELECT u_nickname, u_rating, u_access FROM users WHERE u_id = ?",
+    // Q7 getUserByNickname (includes password)
+    "SELECT * FROM users WHERE u_nickname = ?",
+    // Q8 storiesByCategory
+    "SELECT st_id, st_title, st_date FROM stories WHERE st_category = ? "
+    "ORDER BY st_date DESC LIMIT 25",
+    // Q9 storiesByAuthor
+    "SELECT st_id, st_title, st_date FROM stories WHERE st_author = ? "
+    "ORDER BY st_date DESC LIMIT 25",
+    // Q10 countCommentsForStory (aggregate)
+    "SELECT COUNT(c_id) FROM comments WHERE c_story_id = ?",
+    // Q11 avgCommentRating (aggregate)
+    "SELECT AVG(c_rating) FROM comments WHERE c_author = ?",
+    // Q12 recentStories
+    "SELECT st_id, st_title FROM stories WHERE st_date >= ? "
+    "ORDER BY st_date DESC LIMIT 10",
+    // Q13 getModeratorLog
+    "SELECT m_comment_id, m_rating, m_date FROM moderator_log "
+    "WHERE m_user = ?",
+    // Q14 userComments
+    "SELECT c_id, c_subject, c_date FROM comments WHERE c_author = ? "
+    "ORDER BY c_date DESC LIMIT 20",
+    // Q15 getAuthorRating
+    "SELECT u_rating FROM users WHERE u_id = ?",
+    // Q16 searchStoriesByTitle
+    "SELECT st_id, st_title FROM stories WHERE st_title = ? LIMIT 25",
+    // Q17 topRatedUsers
+    "SELECT u_id, u_nickname, u_rating FROM users WHERE u_rating >= ? "
+    "ORDER BY u_rating DESC LIMIT 10",
+    // Q18 storyAndAuthor
+    "SELECT st_title, st_body, u_nickname FROM stories, users "
+    "WHERE stories.st_author = users.u_id AND st_id = ?",
+};
+
+constexpr const char* kUpdates[] = {
+    // U1 addComment
+    "INSERT INTO comments (c_id, c_story_id, c_parent, c_author, c_subject, "
+    "c_body, c_date, c_rating) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+    // U2 addStory
+    "INSERT INTO stories (st_id, st_title, st_body, st_date, st_author, "
+    "st_category) VALUES (?, ?, ?, ?, ?, ?)",
+    // U3 rateComment
+    "UPDATE comments SET c_rating = ? WHERE c_id = ?",
+    // U4 updateUserRating
+    "UPDATE users SET u_rating = ? WHERE u_id = ?",
+    // U5 logModeration
+    "INSERT INTO moderator_log (m_id, m_user, m_comment_id, m_rating, "
+    "m_date) VALUES (?, ?, ?, ?, ?)",
+    // U6 registerUser
+    "INSERT INTO users (u_id, u_nickname, u_password, u_email, u_rating, "
+    "u_access) VALUES (?, ?, ?, ?, ?, ?)",
+    // U7 deleteComment
+    "DELETE FROM comments WHERE c_id = ?",
+    // U8 updateUserAccess
+    "UPDATE users SET u_access = ? WHERE u_id = ?",
+};
+
+}  // namespace
+
+Status BboardApplication::Setup(service::ScalableApp& app, double scale,
+                                uint64_t seed) {
+  engine::Database& db = app.home().database();
+  DSSP_RETURN_IF_ERROR(DefineSchema(db));
+  for (const char* sql : kQueries) {
+    DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(sql));
+  }
+  for (const char* sql : kUpdates) {
+    DSSP_RETURN_IF_ERROR(app.home().AddUpdateTemplate(sql));
+  }
+
+  num_users_ = static_cast<int64_t>(1000 * scale);
+  num_stories_ = static_cast<int64_t>(800 * scale);
+  num_comments_ = static_cast<int64_t>(6000 * scale);
+  num_categories_ = 12;
+  num_days_ = 60;
+  story_popularity_ = std::make_shared<ZipfDistribution>(
+      static_cast<uint64_t>(num_stories_), 1.0);
+  comment_popularity_ = std::make_shared<ZipfDistribution>(
+      static_cast<uint64_t>(num_comments_), 0.8);
+
+  Rng rng(seed);
+  for (int64_t i = 1; i <= num_users_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "users", {Value(i), Value("nick" + std::to_string(i)),
+                  Value("pw" + std::to_string(i)),
+                  Value("nick" + std::to_string(i) + "@example.com"),
+                  Value(static_cast<int64_t>(rng.NextBelow(100))),
+                  Value(static_cast<int64_t>(rng.NextBelow(3)))}));
+  }
+  for (int64_t i = 1; i <= num_stories_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "stories",
+        {Value(i), Value("story title " + std::to_string(i)),
+         Value("story body " + std::to_string(i)),
+         Value(static_cast<int64_t>(
+             rng.NextBelow(static_cast<uint64_t>(num_days_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(rng.NextBelow(
+                       static_cast<uint64_t>(num_categories_))))}));
+  }
+  for (int64_t i = 1; i <= num_comments_; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "comments",
+        {Value(i),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_stories_)))),
+         Value(static_cast<int64_t>(0)),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value("re: story"), Value("comment body " + std::to_string(i)),
+         Value(static_cast<int64_t>(
+             rng.NextBelow(static_cast<uint64_t>(num_days_)))),
+         Value(static_cast<int64_t>(rng.NextBelow(6)))}));
+  }
+  const int64_t logs = num_comments_ / 10;
+  for (int64_t i = 1; i <= logs; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "moderator_log",
+        {Value(i),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_users_)))),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(num_comments_)))),
+         Value(static_cast<int64_t>(rng.NextBelow(6))),
+         Value(static_cast<int64_t>(
+             rng.NextBelow(static_cast<uint64_t>(num_days_))))}));
+  }
+  return Status::Ok();
+}
+
+class BboardSession : public sim::SessionGenerator {
+ public:
+  explicit BboardSession(const BboardApplication* app) : app_(app) {}
+
+  std::vector<sim::DbOp> NextPage(Rng& rng) override {
+    std::vector<sim::DbOp> ops;
+    auto& counters = *app_->counters_;
+    const auto user = [&] {
+      return Value(1 + static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>(app_->num_users_))));
+    };
+    const auto story = [&] {
+      return Value(
+          static_cast<int64_t>(app_->story_popularity_->Sample(rng)));
+    };
+    const auto comment = [&] {
+      return Value(
+          static_cast<int64_t>(app_->comment_popularity_->Sample(rng)));
+    };
+    const auto day = [&] {
+      return Value(static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(app_->num_days_))));
+    };
+
+    const double roll = rng.NextDouble();
+    if (roll < 0.30) {
+      // Front page: stories of the day, then a comment count per story
+      // (this is the ~10-requests-per-page pattern the paper describes).
+      ops.push_back({false, "Q1", {day()}});
+      for (int i = 0; i < 8; ++i) {
+        ops.push_back({false, "Q10", {story()}});
+      }
+      ops.push_back({false, "Q12", {day()}});
+    } else if (roll < 0.55) {
+      // Read a story with its comments and author details.
+      const Value st = story();
+      ops.push_back({false, "Q2", {st}});
+      ops.push_back({false, "Q18", {st}});
+      ops.push_back({false, "Q3", {st}});
+      ops.push_back({false, "Q10", {st}});
+      for (int i = 0; i < 4; ++i) {
+        ops.push_back({false, "Q4", {comment()}});
+        ops.push_back({false, "Q15", {user()}});
+      }
+    } else if (roll < 0.68) {
+      // Browse by category / author.
+      ops.push_back(
+          {false, "Q8",
+           {Value(1 + static_cast<int64_t>(rng.NextBelow(
+                          static_cast<uint64_t>(app_->num_categories_))))}});
+      ops.push_back({false, "Q9", {user()}});
+      ops.push_back({false, "Q17", {Value(static_cast<int64_t>(80))}});
+    } else if (roll < 0.82) {
+      // Post a comment.
+      const Value st = story();
+      ops.push_back({false, "Q2", {st}});
+      ops.push_back({true,
+                     "U1",
+                     {Value(counters.next_comment_id++), st,
+                      Value(static_cast<int64_t>(0)), user(),
+                      Value("re: story"), Value("fresh comment body"),
+                      day(), Value(static_cast<int64_t>(0))}});
+      ops.push_back({false, "Q3", {st}});
+      ops.push_back({false, "Q10", {st}});
+    } else if (roll < 0.88) {
+      // Moderate: rate a base comment, log it, adjust author rating.
+      const Value cm = comment();
+      const Value rating = Value(static_cast<int64_t>(rng.NextBelow(6)));
+      ops.push_back({false, "Q4", {cm}});
+      ops.push_back({true, "U3", {rating, cm}});
+      ops.push_back({true,
+                     "U5",
+                     {Value(counters.next_log_id++), user(), cm, rating,
+                      day()}});
+      ops.push_back({true,
+                     "U4",
+                     {Value(static_cast<int64_t>(rng.NextBelow(100))),
+                      user()}});
+      ops.push_back({false, "Q13", {user()}});
+    } else if (roll < 0.94) {
+      // Submit a story.
+      const int64_t st_id = counters.next_story_id++;
+      ops.push_back({true,
+                     "U2",
+                     {Value(st_id), Value("new story " +
+                                          std::to_string(st_id)),
+                      Value("new story body"), day(), user(),
+                      Value(1 + static_cast<int64_t>(rng.NextBelow(
+                                    static_cast<uint64_t>(
+                                        app_->num_categories_))))}});
+      ops.push_back({false, "Q1", {day()}});
+    } else if (roll < 0.97) {
+      if (rng.NextBool(0.3)) {
+        // A newcomer registers first.
+        const int64_t uid = counters.next_user_id++;
+        ops.push_back({true,
+                       "U6",
+                       {Value(uid),
+                        Value("newnick" + std::to_string(uid)), Value("pw"),
+                        Value("new@example.com"),
+                        Value(static_cast<int64_t>(0)),
+                        Value(static_cast<int64_t>(0))}});
+      }
+      // User pages.
+      ops.push_back({false, "Q6", {user()}});
+      ops.push_back({false, "Q14", {user()}});
+      ops.push_back({false, "Q11", {user()}});
+      ops.push_back(
+          {false, "Q7",
+           {Value("nick" +
+                  std::to_string(1 + rng.NextBelow(static_cast<uint64_t>(
+                                         app_->num_users_))))}});
+    } else {
+      // Admin: delete a base comment, tweak a user's access level.
+      ops.push_back({true, "U7", {comment()}});
+      ops.push_back({true,
+                     "U8",
+                     {Value(static_cast<int64_t>(rng.NextBelow(3))),
+                      user()}});
+      ops.push_back({false, "Q5", {comment()}});
+    }
+    return ops;
+  }
+
+ private:
+  const BboardApplication* app_;
+};
+
+std::unique_ptr<sim::SessionGenerator> BboardApplication::NewSession(
+    uint64_t seed) {
+  (void)seed;
+  return std::make_unique<BboardSession>(this);
+}
+
+analysis::CompulsoryPolicy BboardApplication::CompulsoryEncryption(
+    const catalog::Catalog& catalog) const {
+  (void)catalog;
+  analysis::CompulsoryPolicy policy;
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"users", "u_password"});
+  return policy;
+}
+
+}  // namespace dssp::workloads

@@ -1,0 +1,47 @@
+#ifndef DSSP_WORKLOADS_BBOARD_H_
+#define DSSP_WORKLOADS_BBOARD_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "workloads/application.h"
+
+namespace dssp::workloads {
+
+// RUBBoS-like Slashdot-style bulletin board (the paper's "bboard"
+// benchmark): 18 query templates, 8 update templates over four relations.
+// Pages issue ~10 database requests each (the paper highlights this as the
+// reason bboard collapses first under coarse invalidation).
+class BboardApplication : public Application {
+ public:
+  std::string_view name() const override { return "bboard"; }
+  Status Setup(service::ScalableApp& app, double scale,
+               uint64_t seed) override;
+  std::unique_ptr<sim::SessionGenerator> NewSession(uint64_t seed) override;
+  analysis::CompulsoryPolicy CompulsoryEncryption(
+      const catalog::Catalog& catalog) const override;
+
+ private:
+  friend class BboardSession;
+
+  int64_t num_users_ = 0;
+  int64_t num_stories_ = 0;
+  int64_t num_comments_ = 0;
+  int64_t num_categories_ = 0;
+  int64_t num_days_ = 0;
+
+  struct Counters {
+    int64_t next_story_id = 1'000'000;
+    int64_t next_comment_id = 1'000'000;
+    int64_t next_user_id = 1'000'000;
+    int64_t next_log_id = 1'000'000;
+  };
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
+  // Story and comment popularity are skewed (front-page effect).
+  std::shared_ptr<ZipfDistribution> story_popularity_;
+  std::shared_ptr<ZipfDistribution> comment_popularity_;
+};
+
+}  // namespace dssp::workloads
+
+#endif  // DSSP_WORKLOADS_BBOARD_H_

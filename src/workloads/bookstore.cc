@@ -1,0 +1,534 @@
+#include "workloads/bookstore.h"
+
+namespace dssp::workloads {
+
+namespace {
+
+using catalog::Column;
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+Status DefineSchema(engine::Database& db) {
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "country",
+      {{"co_id", ColumnType::kInt64}, {"co_name", ColumnType::kString}},
+      {"co_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "address",
+      {{"addr_id", ColumnType::kInt64},
+       {"addr_street", ColumnType::kString},
+       {"addr_city", ColumnType::kString},
+       {"addr_zip", ColumnType::kInt64},
+       {"addr_co_id", ColumnType::kInt64}},
+      {"addr_id"}, {ForeignKey{"addr_co_id", "country", "co_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "customer",
+      {{"c_id", ColumnType::kInt64},
+       {"c_uname", ColumnType::kString},
+       {"c_passwd", ColumnType::kString},
+       {"c_fname", ColumnType::kString},
+       {"c_lname", ColumnType::kString},
+       {"c_addr_id", ColumnType::kInt64},
+       {"c_email", ColumnType::kString},
+       {"c_discount", ColumnType::kDouble}},
+      {"c_id"}, {ForeignKey{"c_addr_id", "address", "addr_id"}},
+      /*unique_columns=*/{"c_uname"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "author",
+      {{"a_id", ColumnType::kInt64},
+       {"a_fname", ColumnType::kString},
+       {"a_lname", ColumnType::kString}},
+      {"a_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "item",
+      {{"i_id", ColumnType::kInt64},
+       {"i_title", ColumnType::kString},
+       {"i_a_id", ColumnType::kInt64},
+       {"i_subject", ColumnType::kString},
+       {"i_cost", ColumnType::kDouble},
+       {"i_stock", ColumnType::kInt64},
+       {"i_pub_date", ColumnType::kInt64},
+       {"i_srp", ColumnType::kDouble}},
+      {"i_id"}, {ForeignKey{"i_a_id", "author", "a_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "orders",
+      {{"o_id", ColumnType::kInt64},
+       {"o_c_id", ColumnType::kInt64},
+       {"o_date", ColumnType::kInt64},
+       {"o_total", ColumnType::kDouble},
+       {"o_status", ColumnType::kString}},
+      {"o_id"}, {ForeignKey{"o_c_id", "customer", "c_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "order_line",
+      {{"ol_id", ColumnType::kInt64},
+       {"ol_o_id", ColumnType::kInt64},
+       {"ol_i_id", ColumnType::kInt64},
+       {"ol_qty", ColumnType::kInt64},
+       {"ol_discount", ColumnType::kDouble}},
+      {"ol_id"},
+      {ForeignKey{"ol_o_id", "orders", "o_id"},
+       ForeignKey{"ol_i_id", "item", "i_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "cc_xacts",
+      {{"cx_o_id", ColumnType::kInt64},
+       {"cx_type", ColumnType::kString},
+       {"cx_num", ColumnType::kString},
+       {"cx_name", ColumnType::kString},
+       {"cx_expiry", ColumnType::kInt64},
+       {"cx_amount", ColumnType::kDouble}},
+      {"cx_o_id"}, {ForeignKey{"cx_o_id", "orders", "o_id"}})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "shopping_cart",
+      {{"sc_id", ColumnType::kInt64}, {"sc_date", ColumnType::kInt64}},
+      {"sc_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "shopping_cart_line",
+      {{"scl_id", ColumnType::kInt64},
+       {"scl_sc_id", ColumnType::kInt64},
+       {"scl_i_id", ColumnType::kInt64},
+       {"scl_qty", ColumnType::kInt64}},
+      {"scl_id"},
+      {ForeignKey{"scl_sc_id", "shopping_cart", "sc_id"},
+       ForeignKey{"scl_i_id", "item", "i_id"}})));
+  return Status::Ok();
+}
+
+// The 28 query templates (TPC-W interaction queries, LIKE-free forms).
+constexpr const char* kQueries[] = {
+    // Q1 getName
+    "SELECT c_fname, c_lname FROM customer WHERE c_id = ?",
+    // Q2 getBook
+    "SELECT i_id, i_title, i_cost, i_stock, i_subject, a_fname, a_lname "
+    "FROM item, author WHERE item.i_a_id = author.a_id AND i_id = ?",
+    // Q3 getCustomer (full record, includes password + discount)
+    "SELECT * FROM customer WHERE c_uname = ?",
+    // Q4 doSubjectSearch
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND i_subject = ? "
+    "ORDER BY i_title LIMIT 50",
+    // Q5 doTitleSearch
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND i_title = ? "
+    "ORDER BY i_title LIMIT 50",
+    // Q6 doAuthorSearch
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND a_lname = ? "
+    "ORDER BY i_title LIMIT 50",
+    // Q7 getNewProducts
+    "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+    "WHERE item.i_a_id = author.a_id AND i_subject = ? "
+    "ORDER BY i_pub_date DESC, i_title LIMIT 50",
+    // Q8 getBestSellers (aggregate)
+    "SELECT ol_i_id, SUM(ol_qty) FROM order_line, item "
+    "WHERE order_line.ol_i_id = item.i_id AND i_subject = ? "
+    "GROUP BY ol_i_id ORDER BY ol_i_id LIMIT 50",
+    // Q9 getRelated
+    "SELECT i_id, i_title, i_cost FROM item WHERE i_subject = ? LIMIT 5",
+    // Q10 getUserName
+    "SELECT c_uname FROM customer WHERE c_id = ?",
+    // Q11 getPassword
+    "SELECT c_passwd FROM customer WHERE c_uname = ?",
+    // Q12 getItemLite
+    "SELECT i_id, i_title, i_cost FROM item WHERE i_id = ?",
+    // Q13 getMostRecentOrderId
+    "SELECT o_id FROM orders WHERE o_c_id = ? ORDER BY o_date DESC LIMIT 1",
+    // Q14 getMostRecentOrderOrder
+    "SELECT * FROM orders WHERE o_id = ?",
+    // Q15 getMostRecentOrderLines
+    "SELECT ol_i_id, ol_qty, ol_discount, i_title, i_cost "
+    "FROM order_line, item "
+    "WHERE order_line.ol_i_id = item.i_id AND ol_o_id = ?",
+    // Q16 getCart
+    "SELECT scl_i_id, scl_qty, i_title, i_cost "
+    "FROM shopping_cart_line, item "
+    "WHERE shopping_cart_line.scl_i_id = item.i_id AND scl_sc_id = ?",
+    // Q17 getCartLine
+    "SELECT scl_id, scl_qty FROM shopping_cart_line "
+    "WHERE scl_sc_id = ? AND scl_i_id = ?",
+    // Q18 getStock
+    "SELECT i_stock FROM item WHERE i_id = ?",
+    // Q19 getCDiscount
+    "SELECT c_discount FROM customer WHERE c_id = ?",
+    // Q20 getCAddr
+    "SELECT c_addr_id FROM customer WHERE c_id = ?",
+    // Q21 getAddress
+    "SELECT addr_street, addr_city, addr_zip, co_name "
+    "FROM address, country "
+    "WHERE address.addr_co_id = country.co_id AND addr_id = ?",
+    // Q22 getCountryId
+    "SELECT co_id FROM country WHERE co_name = ?",
+    // Q23 getOrderStatus
+    "SELECT o_status, o_total FROM orders WHERE o_id = ?",
+    // Q24 getCCXact (credit-card data!)
+    "SELECT cx_type, cx_num, cx_name, cx_expiry, cx_amount "
+    "FROM cc_xacts WHERE cx_o_id = ?",
+    // Q25 countOrders (aggregate)
+    "SELECT COUNT(o_id) FROM orders WHERE o_c_id = ?",
+    // Q26 getSubjectList (aggregate)
+    "SELECT i_subject, COUNT(i_id) FROM item WHERE i_cost >= ? "
+    "GROUP BY i_subject ORDER BY i_subject",
+    // Q27 getAvgItemCost (aggregate)
+    "SELECT AVG(i_cost) FROM item WHERE i_subject = ?",
+    // Q28 getCheapestBySubject
+    "SELECT i_id, i_title, i_cost FROM item WHERE i_subject = ? "
+    "ORDER BY i_cost LIMIT 10",
+};
+
+// The 12 update templates.
+constexpr const char* kUpdates[] = {
+    // U1 enterAddress
+    "INSERT INTO address (addr_id, addr_street, addr_city, addr_zip, "
+    "addr_co_id) VALUES (?, ?, ?, ?, ?)",
+    // U2 createNewCustomer
+    "INSERT INTO customer (c_id, c_uname, c_passwd, c_fname, c_lname, "
+    "c_addr_id, c_email, c_discount) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+    // U3 createOrder
+    "INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) "
+    "VALUES (?, ?, ?, ?, ?)",
+    // U4 addOrderLine
+    "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount) "
+    "VALUES (?, ?, ?, ?, ?)",
+    // U5 enterCCXact (credit-card data!)
+    "INSERT INTO cc_xacts (cx_o_id, cx_type, cx_num, cx_name, cx_expiry, "
+    "cx_amount) VALUES (?, ?, ?, ?, ?, ?)",
+    // U6 setStock
+    "UPDATE item SET i_stock = ? WHERE i_id = ?",
+    // U7 createCart
+    "INSERT INTO shopping_cart (sc_id, sc_date) VALUES (?, ?)",
+    // U8 addCartLine
+    "INSERT INTO shopping_cart_line (scl_id, scl_sc_id, scl_i_id, scl_qty) "
+    "VALUES (?, ?, ?, ?)",
+    // U9 updateCartLine
+    "UPDATE shopping_cart_line SET scl_qty = ? WHERE scl_id = ?",
+    // U10 clearCart
+    "DELETE FROM shopping_cart_line WHERE scl_sc_id = ?",
+    // U11 adminUpdateItem
+    "UPDATE item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?",
+    // U12 updateOrderStatus
+    "UPDATE orders SET o_status = ? WHERE o_id = ?",
+};
+
+Status Populate(engine::Database& db, const BookstoreApplication& app,
+                int64_t items, int64_t authors, int64_t customers,
+                int64_t orders, int64_t carts, int64_t countries,
+                uint64_t seed) {
+  (void)app;
+  Rng rng(seed);
+  for (int64_t i = 1; i <= countries; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "country", {Value(i), Value("country" + std::to_string(i))}));
+  }
+  for (int64_t i = 1; i <= customers; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "address", {Value(i), Value("street" + std::to_string(i)),
+                    Value("city" + std::to_string(i % 200)),
+                    Value(10000 + i % 1000),
+                    Value(1 + static_cast<int64_t>(rng.NextBelow(
+                                  static_cast<uint64_t>(countries))))}));
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "customer",
+        {Value(i), Value("user" + std::to_string(i)),
+         Value("pw" + std::to_string(i)), Value("First" + std::to_string(i)),
+         Value("Last" + std::to_string(i % 500)), Value(i),
+         Value("user" + std::to_string(i) + "@example.com"),
+         Value(static_cast<double>(rng.NextBelow(10)) / 100.0)}));
+  }
+  for (int64_t i = 1; i <= authors; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "author", {Value(i), Value("AFirst" + std::to_string(i)),
+                   Value("ALast" + std::to_string(i))}));
+  }
+  for (int64_t i = 1; i <= items; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "item",
+        {Value(i), Value("Book Title " + std::to_string(i)),
+         Value(1 + static_cast<int64_t>(
+                       rng.NextBelow(static_cast<uint64_t>(authors)))),
+         Value(BookstoreSubject(i % kBookstoreSubjects)),
+         Value(5.0 + static_cast<double>(rng.NextBelow(9500)) / 100.0),
+         Value(static_cast<int64_t>(rng.NextBelow(300)) + 10),
+         Value(static_cast<int64_t>(rng.NextBelow(3650))),
+         Value(10.0 + static_cast<double>(rng.NextBelow(9000)) / 100.0)}));
+  }
+  int64_t order_line_id = 1;
+  for (int64_t i = 1; i <= orders; ++i) {
+    const int64_t customer = 1 + static_cast<int64_t>(rng.NextBelow(
+                                     static_cast<uint64_t>(customers)));
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "orders", {Value(i), Value(customer),
+                   Value(static_cast<int64_t>(rng.NextBelow(365))),
+                   Value(20.0 + static_cast<double>(rng.NextBelow(20000)) /
+                                    100.0),
+                   Value("shipped")}));
+    const int64_t lines = 1 + static_cast<int64_t>(rng.NextBelow(3));
+    for (int64_t l = 0; l < lines; ++l) {
+      DSSP_RETURN_IF_ERROR(db.InsertRow(
+          "order_line",
+          {Value(order_line_id++), Value(i),
+           Value(1 + static_cast<int64_t>(
+                         rng.NextBelow(static_cast<uint64_t>(items)))),
+           Value(1 + static_cast<int64_t>(rng.NextBelow(4))),
+           Value(0.0)}));
+    }
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "cc_xacts",
+        {Value(i), Value("VISA"),
+         Value("4000-" + std::to_string(100000 + i)),
+         Value("CARDHOLDER " + std::to_string(customer)),
+         Value(static_cast<int64_t>(rng.NextBelow(48)) + 1),
+         Value(20.0 + static_cast<double>(rng.NextBelow(20000)) / 100.0)}));
+  }
+  int64_t cart_line_id = 1;
+  for (int64_t i = 1; i <= carts; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "shopping_cart",
+        {Value(i), Value(static_cast<int64_t>(rng.NextBelow(365)))}));
+    const int64_t lines = static_cast<int64_t>(rng.NextBelow(3));
+    for (int64_t l = 0; l < lines; ++l) {
+      DSSP_RETURN_IF_ERROR(db.InsertRow(
+          "shopping_cart_line",
+          {Value(cart_line_id++), Value(i),
+           Value(1 + static_cast<int64_t>(
+                         rng.NextBelow(static_cast<uint64_t>(items)))),
+           Value(1 + static_cast<int64_t>(rng.NextBelow(3)))}));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string BookstoreSubject(int64_t index) {
+  static constexpr const char* kSubjects[kBookstoreSubjects] = {
+      "ARTS",     "BIOGRAPHIES", "BUSINESS", "CHILDREN",  "COMPUTERS",
+      "COOKING",  "HEALTH",      "HISTORY",  "HOME",      "HUMOR",
+      "LITERATURE", "MYSTERY",   "NONFICTION", "PARENTING", "POLITICS",
+      "REFERENCE", "RELIGION",   "ROMANCE",  "SELFHELP",  "SCIENCE",
+      "SCIFI",    "SPORTS",      "TRAVEL",   "YOUTH",
+  };
+  return kSubjects[index % kBookstoreSubjects];
+}
+
+Status BookstoreApplication::Setup(service::ScalableApp& app, double scale,
+                                   uint64_t seed) {
+  engine::Database& db = app.home().database();
+  DSSP_RETURN_IF_ERROR(DefineSchema(db));
+  for (const char* sql : kQueries) {
+    DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(sql));
+  }
+  for (const char* sql : kUpdates) {
+    DSSP_RETURN_IF_ERROR(app.home().AddUpdateTemplate(sql));
+  }
+  num_items_ = static_cast<int64_t>(1000 * scale);
+  num_authors_ = static_cast<int64_t>(250 * scale);
+  num_customers_ = static_cast<int64_t>(1440 * scale);
+  num_orders_ = static_cast<int64_t>(900 * scale);
+  num_carts_ = static_cast<int64_t>(120 * scale);
+  num_countries_ = 92;
+  // The default Zipf exponent 0.87 matches the log-linear Amazon
+  // sales-rank fit of Brynjolfsson et al. that the paper substitutes for
+  // TPC-W's uniform item popularity.
+  item_popularity_ = std::make_shared<ZipfDistribution>(
+      static_cast<uint64_t>(num_items_), popularity_theta_);
+  return Populate(db, *this, num_items_, num_authors_, num_customers_,
+                  num_orders_, num_carts_, num_countries_, seed);
+}
+
+// Defined at namespace scope to match the friend declaration in the header.
+class BookstoreSession : public sim::SessionGenerator {
+ public:
+  explicit BookstoreSession(const BookstoreApplication* app) : app_(app) {}
+
+  std::vector<sim::DbOp> NextPage(Rng& rng) override {
+    std::vector<sim::DbOp> ops;
+    const double roll = rng.NextDouble();
+    auto& counters = *app_->counters_;
+
+    const auto item = [&] {
+      return Value(static_cast<int64_t>(app_->item_popularity_->Sample(rng)));
+    };
+    const auto customer = [&] {
+      return Value(1 + static_cast<int64_t>(rng.NextBelow(
+                           static_cast<uint64_t>(app_->num_customers_))));
+    };
+    const auto subject = [&] {
+      return Value(
+          BookstoreSubject(static_cast<int64_t>(rng.NextBelow(24))));
+    };
+
+    if (roll < 0.18) {
+      // Home page: customer name + promotional related items.
+      ops.push_back({false, "Q1", {customer()}});
+      ops.push_back({false, "Q9", {subject()}});
+    } else if (roll < 0.44) {
+      // Product detail.
+      ops.push_back({false, "Q2", {item()}});
+      ops.push_back({false, "Q18", {item()}});
+    } else if (roll < 0.64) {
+      // Search.
+      const double kind = rng.NextDouble();
+      if (kind < 0.4) {
+        ops.push_back({false, "Q4", {subject()}});
+      } else if (kind < 0.7) {
+        ops.push_back(
+            {false, "Q5",
+             {Value("Book Title " +
+                    std::to_string(1 + rng.NextBelow(static_cast<uint64_t>(
+                                           app_->num_items_))))}});
+      } else {
+        ops.push_back(
+            {false, "Q6",
+             {Value("ALast" +
+                    std::to_string(1 + rng.NextBelow(static_cast<uint64_t>(
+                                           app_->num_authors_))))}});
+      }
+    } else if (roll < 0.76) {
+      // New products.
+      ops.push_back({false, "Q7", {subject()}});
+    } else if (roll < 0.87) {
+      // Best sellers + subject stats.
+      ops.push_back({false, "Q8", {subject()}});
+      if (rng.NextBool(0.3)) {
+        ops.push_back({false, "Q26", {Value(5.0)}});
+        ops.push_back({false, "Q27", {subject()}});
+      }
+    } else if (roll < 0.89) {
+      // Shopping cart interaction.
+      const int64_t cart = counters.next_cart_id++;
+      ops.push_back({true, "U7", {Value(cart), Value(100)}});
+      const int64_t lines = 1 + static_cast<int64_t>(rng.NextBelow(3));
+      int64_t last_line = 0;
+      for (int64_t l = 0; l < lines; ++l) {
+        last_line = counters.next_cart_line_id++;
+        ops.push_back({true,
+                       "U8",
+                       {Value(last_line), Value(cart), item(),
+                        Value(1 + static_cast<int64_t>(rng.NextBelow(3)))}});
+      }
+      if (rng.NextBool(0.4)) {
+        // Change a quantity in the cart.
+        ops.push_back({true,
+                       "U9",
+                       {Value(1 + static_cast<int64_t>(rng.NextBelow(5))),
+                        Value(last_line)}});
+      }
+      ops.push_back({false, "Q16", {Value(cart)}});
+      if (rng.NextBool(0.2)) {
+        // Abandon the cart.
+        ops.push_back({true, "U10", {Value(cart)}});
+      }
+    } else if (roll < 0.92) {
+      // Buy request: identify customer, discount, address.
+      ops.push_back(
+          {false, "Q3",
+           {Value("user" +
+                  std::to_string(1 + rng.NextBelow(static_cast<uint64_t>(
+                                         app_->num_customers_))))}});
+      ops.push_back({false, "Q19", {customer()}});
+      ops.push_back({false, "Q20", {customer()}});
+      ops.push_back({false, "Q21",
+                     {Value(1 + static_cast<int64_t>(rng.NextBelow(
+                                    static_cast<uint64_t>(
+                                        app_->num_customers_))))}});
+    } else if (roll < 0.93) {
+      // Buy confirm: create order (+lines), charge card, decrement stock.
+      const int64_t order = counters.next_order_id++;
+      ops.push_back({true,
+                     "U3",
+                     {Value(order), customer(), Value(200),
+                      Value(57.30), Value("pending")}});
+      const int64_t lines = 1 + static_cast<int64_t>(rng.NextBelow(3));
+      for (int64_t l = 0; l < lines; ++l) {
+        const Value book = item();
+        ops.push_back({true,
+                       "U4",
+                       {Value(counters.next_order_line_id++), Value(order),
+                        book, Value(1 + static_cast<int64_t>(
+                                        rng.NextBelow(3))),
+                        Value(0.0)}});
+        ops.push_back({true,
+                       "U6",
+                       {Value(static_cast<int64_t>(rng.NextBelow(200)) + 10),
+                        book}});
+      }
+      ops.push_back({true,
+                     "U5",
+                     {Value(order), Value("VISA"),
+                      Value("4000-" + std::to_string(900000 + order)),
+                      Value("CARDHOLDER X"),
+                      Value(static_cast<int64_t>(rng.NextBelow(48)) + 1),
+                      Value(57.30)}});
+      // The payment processor confirms asynchronously; mark the order.
+      ops.push_back({true, "U12", {Value("confirmed"), Value(order)}});
+    } else if (roll < 0.96) {
+      // Order inquiry on an existing (base) order.
+      const Value order = Value(1 + static_cast<int64_t>(rng.NextBelow(
+                                        static_cast<uint64_t>(
+                                            app_->num_orders_))));
+      ops.push_back(
+          {false, "Q11",
+           {Value("user" +
+                  std::to_string(1 + rng.NextBelow(static_cast<uint64_t>(
+                                         app_->num_customers_))))}});
+      ops.push_back({false, "Q13", {customer()}});
+      ops.push_back({false, "Q14", {order}});
+      ops.push_back({false, "Q15", {order}});
+      ops.push_back({false, "Q23", {order}});
+      ops.push_back({false, "Q24", {order}});
+      ops.push_back({false, "Q25", {customer()}});
+    } else if (roll < 0.965) {
+      // Admin updates an item; verify.
+      const Value book = item();
+      ops.push_back({true,
+                     "U11",
+                     {Value(12.99),
+                      Value(static_cast<int64_t>(rng.NextBelow(3650))),
+                      book}});
+      ops.push_back({false, "Q12", {book}});
+      ops.push_back({false, "Q28", {subject()}});
+    } else {
+      // Customer registration.
+      const int64_t addr = counters.next_address_id++;
+      const int64_t cust = counters.next_customer_id++;
+      ops.push_back({true,
+                     "U1",
+                     {Value(addr), Value("street x"), Value("city x"),
+                      Value(10001),
+                      Value(1 + static_cast<int64_t>(rng.NextBelow(
+                                    static_cast<uint64_t>(
+                                        app_->num_countries_))))}});
+      ops.push_back({true,
+                     "U2",
+                     {Value(cust), Value("newuser" + std::to_string(cust)),
+                      Value("pw"), Value("New"), Value("User"), Value(addr),
+                      Value("new@example.com"), Value(0.05)}});
+      ops.push_back({false, "Q10", {customer()}});
+    }
+    return ops;
+  }
+
+ private:
+  const BookstoreApplication* app_;
+};
+
+std::unique_ptr<sim::SessionGenerator> BookstoreApplication::NewSession(
+    uint64_t seed) {
+  (void)seed;
+  DSSP_CHECK(item_popularity_ != nullptr);  // Setup must run first.
+  return std::make_unique<BookstoreSession>(this);
+}
+
+analysis::CompulsoryPolicy BookstoreApplication::CompulsoryEncryption(
+    const catalog::Catalog& catalog) const {
+  analysis::CompulsoryPolicy policy;
+  // California SB 1386 (paper Section 5.4): credit-card data must be
+  // secured; we also treat stored passwords as compulsory.
+  policy.MarkTableSensitive(catalog, "cc_xacts");
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"customer", "c_passwd"});
+  return policy;
+}
+
+}  // namespace dssp::workloads

@@ -1,0 +1,64 @@
+#ifndef DSSP_WORKLOADS_BOOKSTORE_H_
+#define DSSP_WORKLOADS_BOOKSTORE_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "workloads/application.h"
+
+namespace dssp::workloads {
+
+// TPC-W-like transactional online bookstore (the paper's "bookstore"
+// benchmark): 28 query templates, 12 update templates over ten relations
+// including credit-card transaction data. Book popularity follows a Zipf
+// distribution per Brynjolfsson et al. (paper Section 5.1, footnote 5).
+class BookstoreApplication : public Application {
+ public:
+  std::string_view name() const override { return "bookstore"; }
+
+  // Overrides the Zipf exponent of the book-popularity distribution (call
+  // before Setup). The default 0.87 matches the Brynjolfsson log-linear
+  // fit the paper substitutes for TPC-W's uniform popularity; 0 restores
+  // TPC-W's original uniform distribution.
+  void set_item_popularity_theta(double theta) { popularity_theta_ = theta; }
+
+  Status Setup(service::ScalableApp& app, double scale,
+               uint64_t seed) override;
+  std::unique_ptr<sim::SessionGenerator> NewSession(uint64_t seed) override;
+  analysis::CompulsoryPolicy CompulsoryEncryption(
+      const catalog::Catalog& catalog) const override;
+
+ private:
+  friend class BookstoreSession;
+
+  // Population cardinalities (set by Setup).
+  int64_t num_items_ = 0;
+  int64_t num_authors_ = 0;
+  int64_t num_customers_ = 0;
+  int64_t num_orders_ = 0;
+  int64_t num_carts_ = 0;
+  int64_t num_countries_ = 0;
+
+  // Monotonic id allocators shared by all sessions (fresh primary keys
+  // never collide with base rows or with each other, which also upholds the
+  // paper's non-empty-result execution assumption).
+  struct Counters {
+    int64_t next_order_id = 1'000'000;
+    int64_t next_order_line_id = 1'000'000;
+    int64_t next_cart_id = 1'000'000;
+    int64_t next_cart_line_id = 1'000'000;
+    int64_t next_customer_id = 1'000'000;
+    int64_t next_address_id = 1'000'000;
+  };
+  std::shared_ptr<Counters> counters_ = std::make_shared<Counters>();
+  std::shared_ptr<ZipfDistribution> item_popularity_;
+  double popularity_theta_ = 0.87;
+};
+
+// The 24 book subject strings used by population and workload.
+inline constexpr int kBookstoreSubjects = 24;
+std::string BookstoreSubject(int64_t index);
+
+}  // namespace dssp::workloads
+
+#endif  // DSSP_WORKLOADS_BOOKSTORE_H_

@@ -1,0 +1,196 @@
+#include "workloads/toystore.h"
+
+namespace dssp::workloads {
+
+namespace {
+
+using catalog::Column;
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+Status AddToysAndCustomers(engine::Database& db) {
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "toys",
+      {{"toy_id", ColumnType::kInt64},
+       {"toy_name", ColumnType::kString},
+       {"qty", ColumnType::kInt64}},
+      {"toy_id"})));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "customers",
+      {{"cust_id", ColumnType::kInt64}, {"cust_name", ColumnType::kString}},
+      {"cust_id"})));
+  return Status::Ok();
+}
+
+Status PopulateToystore(engine::Database& db, int64_t toys,
+                        int64_t customers, bool with_cards) {
+  for (int64_t i = 1; i <= toys; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "toys", {Value(i), Value("toy" + std::to_string(i)),
+                 Value((i * 7) % 100 + 1)}));
+  }
+  for (int64_t i = 1; i <= customers; ++i) {
+    DSSP_RETURN_IF_ERROR(db.InsertRow(
+        "customers", {Value(i), Value("customer" + std::to_string(i))}));
+  }
+  if (with_cards) {
+    // Only the first half of the customers have cards on file; sessions add
+    // cards for the rest over time (fresh primary keys, so the paper's
+    // non-empty-result execution assumption is never violated).
+    for (int64_t i = 1; i <= customers / 2; ++i) {
+      DSSP_RETURN_IF_ERROR(db.InsertRow(
+          "credit_card",
+          {Value(i), Value("4000-0000-" + std::to_string(100000 + i)),
+           Value(10000 + i % 100)}));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<ToystoreBundle> MakeSimpleToystore() {
+  ToystoreBundle bundle;
+  bundle.db = std::make_unique<engine::Database>();
+  DSSP_RETURN_IF_ERROR(AddToysAndCustomers(*bundle.db));
+  const catalog::Catalog& cat = bundle.db->catalog();
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT toy_id FROM toys WHERE toy_name = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT qty FROM toys WHERE toy_id = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT cust_name FROM customers WHERE cust_id = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddUpdateSql(
+      "DELETE FROM toys WHERE toy_id = ?", cat));
+  DSSP_RETURN_IF_ERROR(PopulateToystore(*bundle.db, 50, 20, false));
+  return bundle;
+}
+
+StatusOr<ToystoreBundle> MakeToystore() {
+  ToystoreBundle bundle;
+  bundle.db = std::make_unique<engine::Database>();
+  DSSP_RETURN_IF_ERROR(AddToysAndCustomers(*bundle.db));
+  DSSP_RETURN_IF_ERROR(bundle.db->CreateTable(TableSchema(
+      "credit_card",
+      {{"cid", ColumnType::kInt64},
+       {"number", ColumnType::kString},
+       {"zip_code", ColumnType::kInt64}},
+      {"cid"}, {ForeignKey{"cid", "customers", "cust_id"}})));
+  const catalog::Catalog& cat = bundle.db->catalog();
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT toy_id FROM toys WHERE toy_name = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT qty FROM toys WHERE toy_id = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddQuerySql(
+      "SELECT cust_name FROM customers, credit_card "
+      "WHERE cust_id = cid AND zip_code = ?",
+      cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddUpdateSql(
+      "DELETE FROM toys WHERE toy_id = ?", cat));
+  DSSP_RETURN_IF_ERROR(bundle.templates.AddUpdateSql(
+      "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+      cat));
+  DSSP_RETURN_IF_ERROR(PopulateToystore(*bundle.db, 50, 20, true));
+  return bundle;
+}
+
+Status ToystoreApplication::Setup(service::ScalableApp& app, double scale,
+                                  uint64_t seed) {
+  (void)seed;
+  engine::Database& db = app.home().database();
+  DSSP_RETURN_IF_ERROR(AddToysAndCustomers(db));
+  DSSP_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      "credit_card",
+      {{"cid", ColumnType::kInt64},
+       {"number", ColumnType::kString},
+       {"zip_code", ColumnType::kInt64}},
+      {"cid"}, {ForeignKey{"cid", "customers", "cust_id"}})));
+  const catalog::Catalog& cat = db.catalog();
+  DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(
+      "SELECT toy_id FROM toys WHERE toy_name = ?"));
+  DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(
+      "SELECT qty FROM toys WHERE toy_id = ?"));
+  DSSP_RETURN_IF_ERROR(app.home().AddQueryTemplate(
+      "SELECT cust_name FROM customers, credit_card "
+      "WHERE cust_id = cid AND zip_code = ?"));
+  DSSP_RETURN_IF_ERROR(
+      app.home().AddUpdateTemplate("DELETE FROM toys WHERE toy_id = ?"));
+  DSSP_RETURN_IF_ERROR(app.home().AddUpdateTemplate(
+      "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)"));
+  (void)cat;
+  num_toys_ = static_cast<int64_t>(200 * scale);
+  num_customers_ = static_cast<int64_t>(100 * scale);
+  *next_card_id_ = num_customers_ / 2 + 1;
+  return PopulateToystore(db, num_toys_, num_customers_, true);
+}
+
+namespace {
+
+class ToystoreSession : public sim::SessionGenerator {
+ public:
+  ToystoreSession(int64_t toys, int64_t customers,
+                  std::shared_ptr<int64_t> next_card_id)
+      : toys_(toys),
+        customers_(customers),
+        next_card_id_(std::move(next_card_id)) {}
+
+  std::vector<sim::DbOp> NextPage(Rng& rng) override {
+    std::vector<sim::DbOp> ops;
+    const double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      // Browse a toy: look it up by name, then check stock.
+      const int64_t toy = rng.NextInt(1, toys_);
+      ops.push_back(
+          {false, "Q1", {Value("toy" + std::to_string(toy))}});
+      ops.push_back({false, "Q2", {Value(toy)}});
+    } else if (roll < 0.8) {
+      // Customer lookup by zip code.
+      ops.push_back({false, "Q3", {Value(10000 + rng.NextInt(0, 99))}});
+    } else if (roll < 0.95) {
+      // Admin removes a discontinued toy.
+      ops.push_back({true, "U1", {Value(rng.NextInt(1, toys_))}});
+    } else {
+      // A not-yet-carded customer puts a card on file (fresh cid).
+      const int64_t cid = (*next_card_id_)++;
+      if (cid <= customers_) {
+        ops.push_back({true,
+                       "U2",
+                       {Value(cid),
+                        Value("4000-1111-" + std::to_string(100000 + cid)),
+                        Value(10000 + cid % 100)}});
+      } else {
+        ops.push_back({false, "Q2", {Value(rng.NextInt(1, toys_))}});
+      }
+    }
+    return ops;
+  }
+
+ private:
+  int64_t toys_;
+  int64_t customers_;
+  std::shared_ptr<int64_t> next_card_id_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::SessionGenerator> ToystoreApplication::NewSession(
+    uint64_t seed) {
+  (void)seed;
+  return std::make_unique<ToystoreSession>(num_toys_, num_customers_,
+                                           next_card_id_);
+}
+
+analysis::CompulsoryPolicy ToystoreApplication::CompulsoryEncryption(
+    const catalog::Catalog& catalog) const {
+  (void)catalog;
+  // Section 3.2: "the administrator may well decide that credit card
+  // numbers are not to be exposed" — Step 1 reduces E(U2) to template.
+  analysis::CompulsoryPolicy policy;
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"credit_card", "number"});
+  return policy;
+}
+
+}  // namespace dssp::workloads

@@ -1,0 +1,47 @@
+#ifndef DSSP_WORKLOADS_TOYSTORE_H_
+#define DSSP_WORKLOADS_TOYSTORE_H_
+
+#include <memory>
+
+#include "engine/database.h"
+#include "templates/template_set.h"
+#include "workloads/application.h"
+
+namespace dssp::workloads {
+
+// The paper's running example. Two variants:
+//  - simple-toystore (Table 1): toys + customers; Q1..Q3, U1;
+//  - toystore (Table 3): adds credit_card (cid FK -> customers.cust_id);
+//    Q3 becomes the customers x credit_card join; U2 inserts card data.
+
+// Schema + templates (and a small population for the full variant), for
+// analysis-only consumers (Table 2 / Table 4 benches, tests).
+struct ToystoreBundle {
+  std::unique_ptr<engine::Database> db;
+  templates::TemplateSet templates;
+};
+
+StatusOr<ToystoreBundle> MakeSimpleToystore();
+StatusOr<ToystoreBundle> MakeToystore();
+
+// Full Application (service-path) wrapper around the Table 3 variant.
+class ToystoreApplication : public Application {
+ public:
+  std::string_view name() const override { return "toystore"; }
+  Status Setup(service::ScalableApp& app, double scale,
+               uint64_t seed) override;
+  std::unique_ptr<sim::SessionGenerator> NewSession(uint64_t seed) override;
+  analysis::CompulsoryPolicy CompulsoryEncryption(
+      const catalog::Catalog& catalog) const override;
+
+ private:
+  int64_t num_toys_ = 0;
+  int64_t num_customers_ = 0;
+  // Shared by all sessions so inserted primary keys never collide.
+  std::shared_ptr<int64_t> next_card_id_ =
+      std::make_shared<int64_t>(1'000'000);
+};
+
+}  // namespace dssp::workloads
+
+#endif  // DSSP_WORKLOADS_TOYSTORE_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "dssp/cache.h"
+
+namespace dssp::service {
+namespace {
+
+CacheEntry Entry(const std::string& key, size_t template_index,
+                 analysis::ExposureLevel level = analysis::ExposureLevel::kView) {
+  CacheEntry entry;
+  entry.key = key;
+  entry.level = level;
+  entry.template_index = template_index;
+  entry.blob = "blob:" + key;
+  return entry;
+}
+
+TEST(QueryCacheTest, InsertLookupErase) {
+  QueryCache cache;
+  cache.Insert(Entry("k1", 0));
+  EXPECT_EQ(cache.size(), 1u);
+  const CacheEntry* found = cache.Lookup("k1");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->blob, "blob:k1");
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  cache.Erase("k1");
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, EraseMissingIsNoop) {
+  QueryCache cache;
+  cache.Erase("ghost");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, InsertOverwrites) {
+  QueryCache cache;
+  cache.Insert(Entry("k", 0));
+  CacheEntry updated = Entry("k", 1);
+  updated.blob = "new";
+  cache.Insert(updated);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("k")->blob, "new");
+  // The group index follows the overwrite.
+  EXPECT_TRUE(cache.GroupEntryKeys(0).empty());
+  EXPECT_EQ(cache.GroupEntryKeys(1).size(), 1u);
+}
+
+TEST(QueryCacheTest, GroupsTrackTemplates) {
+  QueryCache cache;
+  cache.Insert(Entry("a1", 0));
+  cache.Insert(Entry("a2", 0));
+  cache.Insert(Entry("b1", 1));
+  cache.Insert(Entry("blind", CacheEntry::kNoTemplate,
+                     analysis::ExposureLevel::kBlind));
+  const std::vector<size_t> groups = cache.GroupKeys();
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(cache.GroupEntryKeys(0).size(), 2u);
+  EXPECT_EQ(cache.GroupEntryKeys(1).size(), 1u);
+  EXPECT_EQ(cache.GroupEntryKeys(CacheEntry::kNoTemplate).size(), 1u);
+  EXPECT_TRUE(cache.GroupEntryKeys(42).empty());
+}
+
+TEST(QueryCacheTest, EraseGroup) {
+  QueryCache cache;
+  cache.Insert(Entry("a1", 0));
+  cache.Insert(Entry("a2", 0));
+  cache.Insert(Entry("b1", 1));
+  EXPECT_EQ(cache.EraseGroup(0), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a1"), nullptr);
+  EXPECT_NE(cache.Lookup("b1"), nullptr);
+  EXPECT_EQ(cache.EraseGroup(0), 0u);
+}
+
+TEST(QueryCacheTest, Clear) {
+  QueryCache cache;
+  cache.Insert(Entry("a", 0));
+  cache.Insert(Entry("b", 1));
+  EXPECT_EQ(cache.Clear(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_TRUE(cache.GroupKeys().empty());
+}
+
+TEST(QueryCacheTest, PeekDoesNotTouchLru) {
+  QueryCache cache;
+  cache.SetCapacity(2);
+  cache.Insert(Entry("old", 0));
+  cache.Insert(Entry("new", 0));
+  // Peek must not rescue "old" from eviction.
+  EXPECT_NE(cache.Peek("old"), nullptr);
+  cache.Insert(Entry("newest", 0));
+  EXPECT_EQ(cache.Peek("old"), nullptr);
+  EXPECT_NE(cache.Peek("new"), nullptr);
+}
+
+TEST(QueryCacheTest, LruEvictionOrder) {
+  QueryCache cache;
+  cache.SetCapacity(3);
+  cache.Insert(Entry("a", 0));
+  cache.Insert(Entry("b", 0));
+  cache.Insert(Entry("c", 1));
+  // Touch "a": it becomes most recent; "b" is now the LRU victim.
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  cache.Insert(Entry("d", 1));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Peek("b"), nullptr);
+  EXPECT_NE(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Group index stays consistent with the eviction.
+  EXPECT_EQ(cache.GroupEntryKeys(0).size(), 1u);
+  EXPECT_EQ(cache.GroupEntryKeys(1).size(), 2u);
+}
+
+TEST(QueryCacheTest, ShrinkingCapacityEvictsImmediately) {
+  QueryCache cache;
+  for (int i = 0; i < 10; ++i) {
+    cache.Insert(Entry("k" + std::to_string(i), 0));
+  }
+  cache.SetCapacity(4);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 6u);
+  // The four most recent survive.
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(cache.Peek("k" + std::to_string(i)), nullptr) << i;
+  }
+}
+
+TEST(QueryCacheTest, ZeroCapacityMeansUnlimited) {
+  QueryCache cache;
+  cache.SetCapacity(0);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Insert(Entry("k" + std::to_string(i), 0));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(QueryCacheTest, EraseGroupMaintainsLru) {
+  QueryCache cache;
+  cache.SetCapacity(3);
+  cache.Insert(Entry("a", 0));
+  cache.Insert(Entry("b", 1));
+  cache.Insert(Entry("c", 0));
+  EXPECT_EQ(cache.EraseGroup(0), 2u);
+  // LRU list no longer references erased keys; inserting past capacity
+  // evicts the true survivor order without crashing.
+  cache.Insert(Entry("d", 1));
+  cache.Insert(Entry("e", 1));
+  cache.Insert(Entry("f", 1));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Peek("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace dssp::service

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+
+namespace dssp::catalog {
+namespace {
+
+TableSchema Toys() {
+  return TableSchema("toys",
+                     {{"toy_id", ColumnType::kInt64},
+                      {"toy_name", ColumnType::kString},
+                      {"qty", ColumnType::kInt64}},
+                     {"toy_id"});
+}
+
+TEST(TableSchemaTest, ColumnLookup) {
+  const TableSchema toys = Toys();
+  EXPECT_EQ(toys.ColumnIndex("toy_id"), 0u);
+  EXPECT_EQ(toys.ColumnIndex("qty"), 2u);
+  EXPECT_FALSE(toys.ColumnIndex("nope").has_value());
+  EXPECT_TRUE(toys.HasColumn("toy_name"));
+  EXPECT_EQ(toys.num_columns(), 3u);
+}
+
+TEST(TableSchemaTest, PrimaryKeyPredicates) {
+  const TableSchema toys = Toys();
+  EXPECT_TRUE(toys.IsPrimaryKeyColumn("toy_id"));
+  EXPECT_FALSE(toys.IsPrimaryKeyColumn("qty"));
+  EXPECT_TRUE(toys.IsSingleColumnPrimaryKey("toy_id"));
+  EXPECT_FALSE(toys.IsSingleColumnPrimaryKey("qty"));
+
+  const TableSchema composite(
+      "t", {{"a", ColumnType::kInt64}, {"b", ColumnType::kInt64}},
+      {"a", "b"});
+  EXPECT_TRUE(composite.IsPrimaryKeyColumn("a"));
+  EXPECT_FALSE(composite.IsSingleColumnPrimaryKey("a"));
+}
+
+TEST(ValueFitsColumnTest, Rules) {
+  EXPECT_TRUE(ValueFitsColumn(sql::ValueType::kNull, ColumnType::kInt64));
+  EXPECT_TRUE(ValueFitsColumn(sql::ValueType::kInt64, ColumnType::kInt64));
+  EXPECT_TRUE(ValueFitsColumn(sql::ValueType::kInt64, ColumnType::kDouble));
+  EXPECT_FALSE(ValueFitsColumn(sql::ValueType::kDouble, ColumnType::kInt64));
+  EXPECT_TRUE(ValueFitsColumn(sql::ValueType::kString, ColumnType::kString));
+  EXPECT_FALSE(ValueFitsColumn(sql::ValueType::kString, ColumnType::kInt64));
+  EXPECT_FALSE(ValueFitsColumn(sql::ValueType::kInt64, ColumnType::kString));
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Toys()).ok());
+  EXPECT_NE(catalog.FindTable("toys"), nullptr);
+  EXPECT_EQ(catalog.FindTable("nope"), nullptr);
+  EXPECT_EQ(catalog.GetTable("toys").name(), "toys");
+  EXPECT_EQ(catalog.num_tables(), 1u);
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"toys"});
+}
+
+TEST(CatalogTest, RejectsDuplicateTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Toys()).ok());
+  EXPECT_EQ(catalog.AddTable(Toys()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsUnknownPrimaryKeyColumn) {
+  Catalog catalog;
+  const TableSchema bad("t", {{"a", ColumnType::kInt64}}, {"nope"});
+  EXPECT_EQ(catalog.AddTable(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(Toys()).ok());
+
+  // FK column must exist locally.
+  EXPECT_FALSE(catalog
+                   .AddTable(TableSchema(
+                       "a", {{"x", ColumnType::kInt64}}, {"x"},
+                       {ForeignKey{"missing", "toys", "toy_id"}}))
+                   .ok());
+  // FK must reference an existing table.
+  EXPECT_FALSE(catalog
+                   .AddTable(TableSchema(
+                       "b", {{"x", ColumnType::kInt64}}, {"x"},
+                       {ForeignKey{"x", "ghost", "toy_id"}}))
+                   .ok());
+  // FK must reference the single-column primary key.
+  EXPECT_FALSE(catalog
+                   .AddTable(TableSchema(
+                       "c", {{"x", ColumnType::kInt64}}, {"x"},
+                       {ForeignKey{"x", "toys", "qty"}}))
+                   .ok());
+  // Correct FK works.
+  EXPECT_TRUE(catalog
+                  .AddTable(TableSchema(
+                      "d", {{"x", ColumnType::kInt64}}, {"x"},
+                      {ForeignKey{"x", "toys", "toy_id"}}))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace dssp::catalog

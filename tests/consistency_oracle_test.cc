@@ -1,0 +1,115 @@
+// Service-level consistency oracle: whatever the exposure configuration,
+// the DSSP must NEVER serve a stale answer. We run real traces through the
+// full stack and, after every page, re-issue a panel of previously-seen
+// query instances through the DSSP and compare each answer against direct
+// execution on the master database at that moment. This exercises the whole
+// pipeline — cache keys, group-indexed invalidation, the mixed strategy
+// dispatch, encryption round trips — under the exposure assignment the
+// methodology actually produces.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "analysis/methodology.h"
+#include "crypto/keyring.h"
+#include "sim/workload.h"
+#include "workloads/application.h"
+
+namespace dssp::service {
+namespace {
+
+struct Panel {
+  std::string template_id;
+  std::vector<sql::Value> params;
+};
+
+class ConsistencyOracleTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ConsistencyOracleTest, DsspNeverServesStaleAnswers) {
+  const std::string app_name = std::get<0>(GetParam());
+  const int exposure_mode = std::get<1>(GetParam());
+
+  DsspNode node;
+  ScalableApp app(app_name, &node,
+                  crypto::KeyRing::FromPassphrase("consistency"));
+  auto workload = workloads::MakeApplication(app_name);
+  ASSERT_TRUE(workload->Setup(app, 0.25, 41).ok());
+  ASSERT_TRUE(app.Finalize().ok());
+
+  // Exposure: 0 = full view, 1 = methodology outcome, 2 = uniform
+  // template-level (heavy encryption).
+  if (exposure_mode == 1) {
+    const auto& catalog = app.home().database().catalog();
+    ASSERT_TRUE(
+        app.SetExposure(analysis::RunMethodology(
+                            app.templates(), catalog,
+                            workload->CompulsoryEncryption(catalog))
+                            .final)
+            .ok());
+  } else if (exposure_mode == 2) {
+    auto exposure = analysis::ExposureAssignment::FullExposure(
+        app.templates().num_queries(), app.templates().num_updates());
+    for (auto& level : exposure.query_levels) {
+      level = analysis::ExposureLevel::kTemplate;
+    }
+    for (auto& level : exposure.update_levels) {
+      level = analysis::ExposureLevel::kTemplate;
+    }
+    ASSERT_TRUE(app.SetExposure(exposure).ok());
+  }
+
+  auto session = workload->NewSession(8);
+  Rng rng(55);
+  std::map<std::string, Panel> panel;  // Distinct seen query instances.
+  constexpr size_t kPanelCap = 60;
+  size_t checks = 0;
+
+  for (int page = 0; page < 120; ++page) {
+    for (const sim::DbOp& op : session->NextPage(rng)) {
+      if (op.is_update) {
+        ASSERT_TRUE(app.Update(op.template_id, op.params).ok());
+        continue;
+      }
+      ASSERT_TRUE(app.Query(op.template_id, op.params).ok());
+      if (panel.size() < kPanelCap) {
+        const size_t index = app.templates().QueryIndex(op.template_id);
+        const std::string key =
+            sql::ToSql(app.templates().queries()[index].Bind(op.params));
+        panel.emplace(key, Panel{op.template_id, op.params});
+      }
+    }
+
+    // Audit the panel: DSSP answers vs. master database truth.
+    for (const auto& [key, probe] : panel) {
+      auto via_dssp = app.Query(probe.template_id, probe.params);
+      ASSERT_TRUE(via_dssp.ok());
+      const size_t index = app.templates().QueryIndex(probe.template_id);
+      auto direct = app.home().database().ExecuteQuery(
+          app.templates().queries()[index].Bind(probe.params));
+      ASSERT_TRUE(direct.ok());
+      EXPECT_TRUE(via_dssp->SameResult(*direct))
+          << app_name << " exposure_mode=" << exposure_mode << " " << key;
+      ++checks;
+    }
+  }
+  EXPECT_GT(checks, 1000u);
+}
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<std::string, int>>& info) {
+  static constexpr const char* kModes[] = {"view", "methodology",
+                                           "template"};
+  return std::get<0>(info.param) + "_" + kModes[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConsistencyOracleTest,
+    ::testing::Combine(::testing::Values("toystore", "auction", "bboard",
+                                         "bookstore"),
+                       ::testing::Values(0, 1, 2)),
+    CaseName);
+
+}  // namespace
+}  // namespace dssp::service

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "crypto/cipher.h"
+#include "crypto/keyring.h"
+
+namespace dssp::crypto {
+namespace {
+
+Key TestKey() { return Key{0x1234567890abcdefULL, 0xfedcba0987654321ULL}; }
+
+TEST(CipherTest, RoundTripBasic) {
+  DeterministicCipher cipher(TestKey());
+  const std::string plaintext = "SELECT qty FROM toys WHERE toy_id = 5";
+  const std::string ciphertext = cipher.Encrypt(plaintext);
+  EXPECT_NE(ciphertext, plaintext);
+  EXPECT_EQ(cipher.Decrypt(ciphertext), plaintext);
+}
+
+TEST(CipherTest, LengthPreserving) {
+  DeterministicCipher cipher(TestKey());
+  for (size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 255u, 4096u}) {
+    const std::string plaintext(len, 'a');
+    EXPECT_EQ(cipher.Encrypt(plaintext).size(), len) << "len=" << len;
+  }
+}
+
+// Round-trip across a sweep of lengths, including the short-input special
+// cases (0 and 1 byte) and odd/even Feistel splits.
+class CipherRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CipherRoundTripTest, RoundTrip) {
+  DeterministicCipher cipher(TestKey());
+  Rng rng(GetParam() + 1);
+  std::string plaintext;
+  for (size_t i = 0; i < GetParam(); ++i) {
+    plaintext.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  EXPECT_EQ(cipher.Decrypt(cipher.Encrypt(plaintext)), plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CipherRoundTripTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 31, 32, 33, 63, 100, 101, 255,
+                                           256, 1000, 4095, 4096));
+
+TEST(CipherTest, Deterministic) {
+  DeterministicCipher cipher(TestKey());
+  EXPECT_EQ(cipher.Encrypt("same input"), cipher.Encrypt("same input"));
+}
+
+TEST(CipherTest, DifferentKeysGiveDifferentCiphertexts) {
+  DeterministicCipher a(Key{1, 2});
+  DeterministicCipher b(Key{1, 3});
+  EXPECT_NE(a.Encrypt("some plaintext here"),
+            b.Encrypt("some plaintext here"));
+}
+
+TEST(CipherTest, DifferentPlaintextsGiveDifferentCiphertexts) {
+  DeterministicCipher cipher(TestKey());
+  EXPECT_NE(cipher.Encrypt("plaintext one!"), cipher.Encrypt("plaintext 2!!"));
+}
+
+TEST(CipherTest, CiphertextLooksUnstructured) {
+  // A crude avalanche check: flipping one plaintext byte changes many
+  // ciphertext bytes.
+  DeterministicCipher cipher(TestKey());
+  std::string a(64, 'a');
+  std::string b = a;
+  b[10] = 'b';
+  const std::string ca = cipher.Encrypt(a);
+  const std::string cb = cipher.Encrypt(b);
+  int differing = 0;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i] != cb[i]) ++differing;
+  }
+  EXPECT_GT(differing, 16);
+}
+
+TEST(CipherTest, TagIsDeterministicAndKeyed) {
+  DeterministicCipher a(TestKey());
+  DeterministicCipher b(Key{9, 9});
+  EXPECT_EQ(a.Tag("data"), a.Tag("data"));
+  EXPECT_NE(a.Tag("data"), b.Tag("data"));
+  EXPECT_NE(a.Tag("data"), a.Tag("datb"));
+}
+
+TEST(KeyDerivationTest, LabelsAreIndependent) {
+  const Key master = TestKey();
+  const Key a = DeriveKey(master, "statement");
+  const Key b = DeriveKey(master, "params");
+  const Key c = DeriveKey(master, "statement");
+  EXPECT_EQ(a, c);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(KeyRingTest, FromPassphraseIsDeterministic) {
+  const KeyRing a = KeyRing::FromPassphrase("secret");
+  const KeyRing b = KeyRing::FromPassphrase("secret");
+  const KeyRing c = KeyRing::FromPassphrase("other");
+  EXPECT_EQ(a.master(), b.master());
+  EXPECT_FALSE(a.master() == c.master());
+}
+
+TEST(KeyRingTest, CipherForPurposeSeparation) {
+  const KeyRing ring = KeyRing::FromPassphrase("secret");
+  const std::string pt = "the same plaintext";
+  EXPECT_EQ(ring.CipherFor("result").Encrypt(pt),
+            ring.CipherFor("result").Encrypt(pt));
+  EXPECT_NE(ring.CipherFor("result").Encrypt(pt),
+            ring.CipherFor("statement").Encrypt(pt));
+}
+
+TEST(KeyRingTest, CrossAppIsolation) {
+  // Two applications derive from different passphrases; their ciphertexts
+  // never decrypt to each other's plaintexts.
+  const KeyRing a = KeyRing::FromPassphrase("app-a");
+  const KeyRing b = KeyRing::FromPassphrase("app-b");
+  const std::string pt = "sensitive customer record";
+  const std::string ct = a.CipherFor("result").Encrypt(pt);
+  EXPECT_NE(b.CipherFor("result").Decrypt(ct), pt);
+}
+
+}  // namespace
+}  // namespace dssp::crypto

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "workloads/toystore.h"
+
+namespace dssp::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, PopulationLoaded) {
+  EXPECT_EQ(db_->GetTable("toys").num_rows(), 50u);
+  EXPECT_EQ(db_->GetTable("customers").num_rows(), 20u);
+  // Only the first half of the customers have cards on file.
+  EXPECT_EQ(db_->GetTable("credit_card").num_rows(), 10u);
+  EXPECT_EQ(db_->TotalRows(), 80u);
+}
+
+TEST_F(DatabaseTest, InsertStatementRequiresAllColumns) {
+  EXPECT_FALSE(db_->Update("INSERT INTO toys (toy_id) VALUES (99)").ok());
+  EXPECT_FALSE(
+      db_->Update("INSERT INTO toys (toy_id, toy_name, qty, toy_id) "
+                  "VALUES (99, 'x', 1, 99)")
+          .ok());
+  EXPECT_TRUE(
+      db_->Update("INSERT INTO toys (toy_id, toy_name, qty) "
+                  "VALUES (99, 'x', 1)")
+          .ok());
+}
+
+TEST_F(DatabaseTest, InsertChecksForeignKeys) {
+  // Customer 999 does not exist.
+  const auto bad = db_->Update(
+      "INSERT INTO credit_card (cid, number, zip_code) "
+      "VALUES (999, 'n', 10000)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kConstraintViolation);
+
+  // Customer 1 exists but already has a card (cid is the primary key).
+  EXPECT_EQ(db_->Update("INSERT INTO credit_card (cid, number, zip_code) "
+                        "VALUES (1, 'n', 10000)")
+                .status()
+                .code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(DatabaseTest, InsertNullFkAllowed) {
+  ASSERT_TRUE(db_->CreateTable(TableSchema(
+                     "wishlist",
+                     {{"w_id", ColumnType::kInt64},
+                      {"w_toy", ColumnType::kInt64}},
+                     {"w_id"}, {ForeignKey{"w_toy", "toys", "toy_id"}}))
+                  .ok());
+  EXPECT_TRUE(
+      db_->Update("INSERT INTO wishlist (w_id, w_toy) VALUES (1, NULL)")
+          .ok());
+}
+
+TEST_F(DatabaseTest, DeleteByPredicate) {
+  auto effect = db_->Update("DELETE FROM toys WHERE toy_id = 5");
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->rows_affected, 1u);
+  EXPECT_TRUE(effect->changed());
+
+  effect = db_->Update("DELETE FROM toys WHERE toy_id = 5");
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->rows_affected, 0u);
+  EXPECT_FALSE(effect->changed());
+}
+
+TEST_F(DatabaseTest, DeleteWithRangePredicate) {
+  // qty values are (i*7)%100+1 for i in 1..50.
+  const auto before = db_->Query("SELECT COUNT(*) FROM toys WHERE qty <= 20");
+  ASSERT_TRUE(before.ok());
+  const int64_t matching = before->rows()[0][0].AsInt64();
+  ASSERT_GT(matching, 0);
+
+  const auto effect = db_->Update("DELETE FROM toys WHERE qty <= 20");
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(static_cast<int64_t>(effect->rows_affected), matching);
+  EXPECT_EQ(db_->GetTable("toys").num_rows(),
+            50u - static_cast<size_t>(matching));
+}
+
+TEST_F(DatabaseTest, ModificationUpdatesRow) {
+  auto effect = db_->Update("UPDATE toys SET qty = 777 WHERE toy_id = 3");
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->rows_affected, 1u);
+  const auto check = db_->Query("SELECT qty FROM toys WHERE toy_id = 3");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows()[0][0], Value(777));
+}
+
+TEST_F(DatabaseTest, ModificationRejectsPrimaryKeyChange) {
+  const auto bad = db_->Update("UPDATE toys SET toy_id = 99 WHERE qty = 8");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, ModificationTypeChecked) {
+  EXPECT_FALSE(db_->Update("UPDATE toys SET qty = 'lots' WHERE toy_id = 1")
+                   .ok());
+}
+
+TEST_F(DatabaseTest, ModificationWithNonKeyPredicate) {
+  const auto effect =
+      db_->Update("UPDATE toys SET qty = 1 WHERE toy_name = 'toy7'");
+  ASSERT_TRUE(effect.ok());
+  EXPECT_EQ(effect->rows_affected, 1u);
+}
+
+TEST_F(DatabaseTest, UpdateRejectsSelect) {
+  EXPECT_FALSE(db_->Update("SELECT toy_id FROM toys WHERE toy_id = 1").ok());
+}
+
+TEST_F(DatabaseTest, QueryRejectsUpdates) {
+  EXPECT_FALSE(db_->Query("DELETE FROM toys WHERE toy_id = 1").ok());
+}
+
+TEST_F(DatabaseTest, UnknownTableErrors) {
+  EXPECT_FALSE(db_->Update("DELETE FROM ghosts WHERE a = 1").ok());
+  EXPECT_FALSE(db_->Update("UPDATE ghosts SET a = 1 WHERE b = 2").ok());
+  EXPECT_FALSE(db_->Update("INSERT INTO ghosts (a) VALUES (1)").ok());
+  EXPECT_FALSE(db_->InsertRow("ghosts", {Value(1)}).ok());
+}
+
+TEST_F(DatabaseTest, QueryAfterDeleteReflectsState) {
+  ASSERT_TRUE(db_->Update("DELETE FROM toys WHERE toy_id = 1").ok());
+  const auto r = db_->Query("SELECT toy_id FROM toys WHERE toy_id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace dssp::engine

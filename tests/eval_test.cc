@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "engine/eval.h"
+#include "sql/parser.h"
+
+namespace dssp::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+using sql::CompareOp;
+using sql::Value;
+
+// ----- CompareValues over the full operator/outcome grid. -----
+
+struct CompareCase {
+  Value lhs;
+  CompareOp op;
+  Value rhs;
+  bool expected;
+};
+
+class CompareValuesTest : public ::testing::TestWithParam<CompareCase> {};
+
+TEST_P(CompareValuesTest, Evaluates) {
+  const CompareCase& c = GetParam();
+  EXPECT_EQ(CompareValues(c.lhs, c.op, c.rhs), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompareValuesTest,
+    ::testing::Values(
+        CompareCase{Value(1), CompareOp::kEq, Value(1), true},
+        CompareCase{Value(1), CompareOp::kEq, Value(2), false},
+        CompareCase{Value(1), CompareOp::kLt, Value(2), true},
+        CompareCase{Value(2), CompareOp::kLt, Value(2), false},
+        CompareCase{Value(2), CompareOp::kLe, Value(2), true},
+        CompareCase{Value(3), CompareOp::kLe, Value(2), false},
+        CompareCase{Value(3), CompareOp::kGt, Value(2), true},
+        CompareCase{Value(2), CompareOp::kGt, Value(2), false},
+        CompareCase{Value(2), CompareOp::kGe, Value(2), true},
+        CompareCase{Value(1), CompareOp::kGe, Value(2), false},
+        // Cross numeric types.
+        CompareCase{Value(2), CompareOp::kEq, Value(2.0), true},
+        CompareCase{Value(1.5), CompareOp::kLt, Value(2), true},
+        // Strings.
+        CompareCase{Value("a"), CompareOp::kLt, Value("b"), true},
+        CompareCase{Value("b"), CompareOp::kGe, Value("b"), true},
+        CompareCase{Value("ba"), CompareOp::kGt, Value("b"), true},
+        // NULL makes every comparison false.
+        CompareCase{Value::Null(), CompareOp::kEq, Value::Null(), false},
+        CompareCase{Value::Null(), CompareOp::kLe, Value(1), false},
+        CompareCase{Value(1), CompareOp::kGe, Value::Null(), false}));
+
+// ----- EvalPredicateOnRow. -----
+
+class EvalPredicateTest : public ::testing::Test {
+ protected:
+  EvalPredicateTest()
+      : schema_("toys",
+                {{"toy_id", ColumnType::kInt64},
+                 {"toy_name", ColumnType::kString},
+                 {"qty", ColumnType::kInt64}},
+                {"toy_id"}) {}
+
+  std::vector<sql::Comparison> Where(const std::string& sql) {
+    // Parse a DELETE just to reuse the WHERE grammar.
+    return sql::ParseOrDie("DELETE FROM toys WHERE " + sql).del().where;
+  }
+
+  TableSchema schema_;
+  Row row_{Value(5), Value("car"), Value(10)};
+};
+
+TEST_F(EvalPredicateTest, SingleConjunct) {
+  EXPECT_TRUE(*EvalPredicateOnRow(schema_, Where("toy_id = 5"), row_));
+  EXPECT_FALSE(*EvalPredicateOnRow(schema_, Where("toy_id = 6"), row_));
+}
+
+TEST_F(EvalPredicateTest, ConjunctionShortCircuitsToFalse) {
+  EXPECT_FALSE(*EvalPredicateOnRow(
+      schema_, Where("toy_id = 5 AND qty > 50"), row_));
+  EXPECT_TRUE(*EvalPredicateOnRow(
+      schema_, Where("toy_id = 5 AND qty > 5 AND toy_name = 'car'"), row_));
+}
+
+TEST_F(EvalPredicateTest, EmptyPredicateIsTrue) {
+  EXPECT_TRUE(*EvalPredicateOnRow(schema_, {}, row_));
+}
+
+TEST_F(EvalPredicateTest, ColumnVsColumn) {
+  EXPECT_TRUE(*EvalPredicateOnRow(schema_, Where("qty > toy_id"), row_));
+  EXPECT_FALSE(*EvalPredicateOnRow(schema_, Where("qty < toy_id"), row_));
+}
+
+TEST_F(EvalPredicateTest, ReversedOperandOrder) {
+  EXPECT_TRUE(*EvalPredicateOnRow(schema_, Where("5 = toy_id"), row_));
+  EXPECT_TRUE(*EvalPredicateOnRow(schema_, Where("20 > qty"), row_));
+}
+
+TEST_F(EvalPredicateTest, QualifiedColumnsAndAliases) {
+  EXPECT_TRUE(
+      *EvalPredicateOnRow(schema_, Where("toys.toy_id = 5"), row_));
+  auto aliased =
+      EvalPredicateOnRow(schema_, Where("t.toy_id = 5"), row_, "t");
+  ASSERT_TRUE(aliased.ok());
+  EXPECT_TRUE(*aliased);
+  // Wrong qualifier is an error, not false.
+  EXPECT_FALSE(
+      EvalPredicateOnRow(schema_, Where("other.toy_id = 5"), row_).ok());
+}
+
+TEST_F(EvalPredicateTest, NullValuedColumnsNeverMatch) {
+  const Row with_null{Value(5), Value::Null(), Value(10)};
+  EXPECT_FALSE(
+      *EvalPredicateOnRow(schema_, Where("toy_name = 'car'"), with_null));
+}
+
+TEST_F(EvalPredicateTest, Errors) {
+  // Unknown column.
+  EXPECT_FALSE(EvalPredicateOnRow(schema_, Where("ghost = 1"), row_).ok());
+  // Unbound parameter.
+  EXPECT_FALSE(
+      EvalPredicateOnRow(schema_, Where("toy_id = ?"), row_).ok());
+  // Incomparable types.
+  EXPECT_FALSE(
+      EvalPredicateOnRow(schema_, Where("toy_name > 5"), row_).ok());
+}
+
+}  // namespace
+}  // namespace dssp::engine

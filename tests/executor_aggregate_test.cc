@@ -1,0 +1,157 @@
+// Deeper coverage of the aggregation path: typing, NULL handling, grouping
+// on multiple columns, interaction with ORDER BY / LIMIT, and rejection of
+// shapes outside the supported language.
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+
+namespace dssp::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+using sql::Value;
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("sales",
+                                            {{"region", ColumnType::kString},
+                                             {"product", ColumnType::kString},
+                                             {"units", ColumnType::kInt64},
+                                             {"price", ColumnType::kDouble}},
+                                            /*primary_key=*/{}))
+                    .ok());
+    Insert({Value("east"), Value("widget"), Value(10), Value(2.5)});
+    Insert({Value("east"), Value("widget"), Value(5), Value(2.0)});
+    Insert({Value("east"), Value("gadget"), Value(1), Value(10.0)});
+    Insert({Value("west"), Value("widget"), Value(7), Value(3.0)});
+    Insert({Value("west"), Value("gadget"), Value::Null(), Value::Null()});
+  }
+
+  void Insert(Row row) {
+    ASSERT_TRUE(db_.InsertRow("sales", std::move(row)).ok());
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult();
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, SumTyping) {
+  // SUM over ints stays integral; SUM over doubles is double.
+  const QueryResult ints =
+      Run("SELECT SUM(units) FROM sales WHERE region = 'east'");
+  EXPECT_EQ(ints.rows()[0][0].type(), sql::ValueType::kInt64);
+  EXPECT_EQ(ints.rows()[0][0], Value(16));
+  const QueryResult doubles =
+      Run("SELECT SUM(price) FROM sales WHERE region = 'east'");
+  EXPECT_EQ(doubles.rows()[0][0].type(), sql::ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(doubles.rows()[0][0].AsDouble(), 14.5);
+}
+
+TEST_F(AggregateTest, AvgIsAlwaysDouble) {
+  const QueryResult r =
+      Run("SELECT AVG(units) FROM sales WHERE region = 'east'");
+  EXPECT_EQ(r.rows()[0][0].type(), sql::ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.rows()[0][0].AsDouble(), 16.0 / 3.0);
+}
+
+TEST_F(AggregateTest, MinMaxOnStrings) {
+  const QueryResult r = Run(
+      "SELECT MIN(product), MAX(product) FROM sales WHERE units >= 1");
+  EXPECT_EQ(r.rows()[0][0], Value("gadget"));
+  EXPECT_EQ(r.rows()[0][1], Value("widget"));
+}
+
+TEST_F(AggregateTest, CountColumnSkipsNullsCountStarDoesNot) {
+  const QueryResult r = Run(
+      "SELECT COUNT(*), COUNT(units), COUNT(price) FROM sales "
+      "WHERE region = 'west'");
+  EXPECT_EQ(r.rows()[0][0], Value(2));
+  EXPECT_EQ(r.rows()[0][1], Value(1));
+  EXPECT_EQ(r.rows()[0][2], Value(1));
+}
+
+TEST_F(AggregateTest, NullOnlyGroupAggregates) {
+  const QueryResult r = Run(
+      "SELECT SUM(units), AVG(units), MIN(units) FROM sales "
+      "WHERE region = 'west' AND product = 'gadget'");
+  EXPECT_TRUE(r.rows()[0][0].is_null());
+  EXPECT_TRUE(r.rows()[0][1].is_null());
+  EXPECT_TRUE(r.rows()[0][2].is_null());
+}
+
+TEST_F(AggregateTest, GroupByTwoColumns) {
+  const QueryResult r = Run(
+      "SELECT region, product, SUM(units) FROM sales WHERE units >= 0 "
+      "GROUP BY region, product ORDER BY region, product");
+  // The NULL-units west/gadget row is filtered by units >= 0 (NULL
+  // comparisons are false), so only three groups remain.
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.rows()[0][0], Value("east"));
+  EXPECT_EQ(r.rows()[0][1], Value("gadget"));
+  EXPECT_EQ(r.rows()[1][2], Value(15));  // east/widget.
+  EXPECT_EQ(r.rows()[2][0], Value("west"));
+  EXPECT_EQ(r.rows()[2][1], Value("widget"));
+  EXPECT_EQ(r.rows()[2][2], Value(7));
+}
+
+TEST_F(AggregateTest, GroupByWithLimitAfterOrdering) {
+  const QueryResult r = Run(
+      "SELECT product, COUNT(*) FROM sales WHERE price >= 0.0 "
+      "GROUP BY product ORDER BY product LIMIT 1");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value("gadget"));
+}
+
+TEST_F(AggregateTest, DuplicateAggregatesInOneQuery) {
+  const QueryResult r = Run(
+      "SELECT MIN(units), MAX(units), MIN(units) FROM sales "
+      "WHERE region = 'east'");
+  EXPECT_EQ(r.rows()[0][0], Value(1));
+  EXPECT_EQ(r.rows()[0][1], Value(10));
+  EXPECT_EQ(r.rows()[0][2], Value(1));
+}
+
+TEST_F(AggregateTest, OrderByAggregateValueIsRejected) {
+  // ORDER BY on grouped output must use projected GROUP BY columns.
+  EXPECT_FALSE(db_.Query("SELECT product, SUM(units) FROM sales "
+                         "WHERE units >= 0 GROUP BY product ORDER BY units")
+                   .ok());
+}
+
+TEST_F(AggregateTest, OrderByUnprojectedGroupColumnIsRejected) {
+  EXPECT_FALSE(db_.Query("SELECT SUM(units) FROM sales WHERE units >= 0 "
+                         "GROUP BY product ORDER BY product")
+                   .ok());
+}
+
+TEST_F(AggregateTest, StarMixedWithAggregateIsRejected) {
+  EXPECT_FALSE(
+      db_.Query("SELECT *, COUNT(*) FROM sales WHERE units >= 0").ok());
+}
+
+TEST_F(AggregateTest, AggregateOverJoin) {
+  ASSERT_TRUE(db_.CreateTable(TableSchema("regions",
+                                          {{"name", ColumnType::kString},
+                                           {"tier", ColumnType::kInt64}},
+                                          /*primary_key=*/{"name"}))
+                  .ok());
+  ASSERT_TRUE(db_.InsertRow("regions", {Value("east"), Value(1)}).ok());
+  ASSERT_TRUE(db_.InsertRow("regions", {Value("west"), Value(2)}).ok());
+  const QueryResult r = Run(
+      "SELECT tier, SUM(units) FROM sales, regions "
+      "WHERE region = name GROUP BY tier ORDER BY tier");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows()[0][1], Value(16));  // Tier 1 = east.
+  EXPECT_EQ(r.rows()[1][1], Value(7));   // Tier 2 = west (NULL skipped).
+}
+
+}  // namespace
+}  // namespace dssp::engine

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "sql/parser.h"
+
+namespace dssp::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::ForeignKey;
+using catalog::TableSchema;
+using sql::Value;
+
+// A small fixture database with toys, customers, and orders.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema("toys",
+                                            {{"toy_id", ColumnType::kInt64},
+                                             {"toy_name", ColumnType::kString},
+                                             {"qty", ColumnType::kInt64},
+                                             {"price", ColumnType::kDouble}},
+                                            {"toy_id"}))
+                    .ok());
+    ASSERT_TRUE(
+        db_.CreateTable(TableSchema("customers",
+                                    {{"cust_id", ColumnType::kInt64},
+                                     {"cust_name", ColumnType::kString}},
+                                    {"cust_id"}))
+            .ok());
+    ASSERT_TRUE(db_.CreateTable(TableSchema(
+                       "orders",
+                       {{"o_id", ColumnType::kInt64},
+                        {"o_cust", ColumnType::kInt64},
+                        {"o_toy", ColumnType::kInt64},
+                        {"o_qty", ColumnType::kInt64}},
+                       {"o_id"},
+                       {ForeignKey{"o_cust", "customers", "cust_id"},
+                        ForeignKey{"o_toy", "toys", "toy_id"}}))
+                    .ok());
+
+    Insert("toys", {Value(1), Value("car"), Value(10), Value(9.99)});
+    Insert("toys", {Value(2), Value("doll"), Value(5), Value(19.99)});
+    Insert("toys", {Value(3), Value("ball"), Value(50), Value(4.99)});
+    Insert("toys", {Value(4), Value("car"), Value(2), Value(14.99)});
+    Insert("customers", {Value(1), Value("alice")});
+    Insert("customers", {Value(2), Value("bob")});
+    Insert("orders", {Value(1), Value(1), Value(1), Value(2)});
+    Insert("orders", {Value(2), Value(1), Value(3), Value(1)});
+    Insert("orders", {Value(3), Value(2), Value(2), Value(4)});
+  }
+
+  void Insert(const std::string& table, Row row) {
+    ASSERT_TRUE(db_.InsertRow(table, std::move(row)).ok());
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto result = db_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : QueryResult();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, EqualitySelection) {
+  const QueryResult r = Run("SELECT qty FROM toys WHERE toy_id = 2");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value(5));
+}
+
+TEST_F(ExecutorTest, EqualityOnNonKeyColumnMultipleMatches) {
+  const QueryResult r = Run("SELECT toy_id FROM toys WHERE toy_name = 'car'");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, InequalitySelections) {
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty > 5").num_rows(), 2u);
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty >= 5").num_rows(), 3u);
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty < 5").num_rows(), 1u);
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty <= 5").num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, ConjunctivePredicates) {
+  const QueryResult r = Run(
+      "SELECT toy_id FROM toys WHERE toy_name = 'car' AND qty > 5");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value(1));
+}
+
+TEST_F(ExecutorTest, DoubleComparisons) {
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE price < 10.0").num_rows(), 2u);
+  // Int literal compares against double column numerically.
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE price > 10").num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, SelectStarExpandsAllColumns) {
+  const QueryResult r = Run("SELECT * FROM toys WHERE toy_id = 1");
+  ASSERT_EQ(r.num_columns(), 4u);
+  EXPECT_EQ(r.column_names()[0], "toys.toy_id");
+  EXPECT_EQ(r.column_names()[3], "toys.price");
+}
+
+TEST_F(ExecutorTest, EquiJoinViaHashJoin) {
+  const QueryResult r = Run(
+      "SELECT cust_name, o_qty FROM customers, orders "
+      "WHERE cust_id = o_cust AND o_toy = 1");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value("alice"));
+  EXPECT_EQ(r.rows()[0][1], Value(2));
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  const QueryResult r = Run(
+      "SELECT cust_name, toy_name FROM customers, orders, toys "
+      "WHERE cust_id = o_cust AND o_toy = toy_id AND cust_name = 'alice'");
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  // Pairs of distinct toys with the same name.
+  const QueryResult r = Run(
+      "SELECT t1.toy_id, t2.toy_id FROM toys AS t1, toys AS t2 "
+      "WHERE t1.toy_name = t2.toy_name AND t1.toy_id < t2.toy_id");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value(1));
+  EXPECT_EQ(r.rows()[0][1], Value(4));
+}
+
+TEST_F(ExecutorTest, InequalityJoinNestedLoop) {
+  const QueryResult r = Run(
+      "SELECT t1.toy_id, t2.toy_id FROM toys AS t1, toys AS t2 "
+      "WHERE t1.qty > t2.qty AND t2.toy_name = 'doll'");
+  // Toys with qty > 5: ids 1 (10) and 3 (50).
+  EXPECT_EQ(r.num_rows(), 2u);
+}
+
+TEST_F(ExecutorTest, OrderByAscendingAndDescending) {
+  const QueryResult asc = Run(
+      "SELECT toy_id FROM toys WHERE qty >= 0 ORDER BY qty");
+  ASSERT_EQ(asc.num_rows(), 4u);
+  EXPECT_TRUE(asc.ordered());
+  EXPECT_EQ(asc.rows()[0][0], Value(4));
+  EXPECT_EQ(asc.rows()[3][0], Value(3));
+
+  const QueryResult desc = Run(
+      "SELECT toy_id FROM toys WHERE qty >= 0 ORDER BY qty DESC");
+  EXPECT_EQ(desc.rows()[0][0], Value(3));
+}
+
+TEST_F(ExecutorTest, OrderByUnprojectedColumn) {
+  const QueryResult r = Run(
+      "SELECT toy_name FROM toys WHERE qty >= 0 ORDER BY price DESC LIMIT 1");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value("doll"));
+}
+
+TEST_F(ExecutorTest, OrderByMultipleKeysStable) {
+  const QueryResult r = Run(
+      "SELECT toy_id FROM toys WHERE qty >= 0 ORDER BY toy_name, qty DESC");
+  ASSERT_EQ(r.num_rows(), 4u);
+  // ball(50), car(10), car(2), doll(5).
+  EXPECT_EQ(r.rows()[0][0], Value(3));
+  EXPECT_EQ(r.rows()[1][0], Value(1));
+  EXPECT_EQ(r.rows()[2][0], Value(4));
+  EXPECT_EQ(r.rows()[3][0], Value(2));
+}
+
+TEST_F(ExecutorTest, TopK) {
+  const QueryResult r = Run(
+      "SELECT toy_id FROM toys WHERE qty >= 0 ORDER BY qty DESC LIMIT 2");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows()[0][0], Value(3));
+  EXPECT_EQ(r.rows()[1][0], Value(1));
+}
+
+TEST_F(ExecutorTest, LimitZeroAndOversized) {
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty >= 0 LIMIT 0").num_rows(),
+            0u);
+  EXPECT_EQ(
+      Run("SELECT toy_id FROM toys WHERE qty >= 0 LIMIT 100").num_rows(), 4u);
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  const QueryResult r = Run(
+      "SELECT COUNT(*), SUM(qty), MIN(qty), MAX(qty), AVG(qty) FROM toys "
+      "WHERE qty >= 0");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value(4));
+  EXPECT_EQ(r.rows()[0][1], Value(67));
+  EXPECT_EQ(r.rows()[0][2], Value(2));
+  EXPECT_EQ(r.rows()[0][3], Value(50));
+  EXPECT_DOUBLE_EQ(r.rows()[0][4].AsDouble(), 67.0 / 4);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  const QueryResult r = Run(
+      "SELECT COUNT(*), MAX(qty) FROM toys WHERE qty > 1000");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.rows()[0][0], Value(0));
+  EXPECT_TRUE(r.rows()[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  const QueryResult r = Run(
+      "SELECT toy_name, COUNT(toy_id), SUM(qty) FROM toys WHERE qty >= 0 "
+      "GROUP BY toy_name ORDER BY toy_name");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.rows()[0][0], Value("ball"));
+  EXPECT_EQ(r.rows()[1][0], Value("car"));
+  EXPECT_EQ(r.rows()[1][1], Value(2));
+  EXPECT_EQ(r.rows()[1][2], Value(12));
+  EXPECT_EQ(r.rows()[2][0], Value("doll"));
+}
+
+TEST_F(ExecutorTest, GroupByOverEmptyInputYieldsNoRows) {
+  const QueryResult r = Run(
+      "SELECT toy_name, COUNT(toy_id) FROM toys WHERE qty > 1000 "
+      "GROUP BY toy_name");
+  EXPECT_EQ(r.num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, GroupByWithJoin) {
+  const QueryResult r = Run(
+      "SELECT cust_name, SUM(o_qty) FROM customers, orders "
+      "WHERE cust_id = o_cust GROUP BY cust_name ORDER BY cust_name");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.rows()[0][1], Value(3));  // alice: 2 + 1.
+  EXPECT_EQ(r.rows()[1][1], Value(4));  // bob.
+}
+
+TEST_F(ExecutorTest, NonAggregatedColumnMustBeGrouped) {
+  EXPECT_FALSE(
+      db_.Query("SELECT toy_name, qty FROM toys WHERE qty > 0 "
+                "GROUP BY toy_name")
+          .ok());
+}
+
+TEST_F(ExecutorTest, MultisetSemanticsKeepDuplicates) {
+  const QueryResult r = Run("SELECT toy_name FROM toys WHERE qty >= 0");
+  EXPECT_EQ(r.num_rows(), 4u);  // 'car' appears twice; no dedup.
+}
+
+TEST_F(ExecutorTest, NullComparisonsAreFalse) {
+  ASSERT_TRUE(
+      db_.InsertRow("toys", {Value(9), Value::Null(), Value::Null(),
+                             Value::Null()})
+          .ok());
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE qty >= 0").num_rows(), 4u);
+  EXPECT_EQ(Run("SELECT toy_id FROM toys WHERE toy_name = 'car'").num_rows(),
+            2u);
+}
+
+TEST_F(ExecutorTest, AggregatesSkipNulls) {
+  ASSERT_TRUE(
+      db_.InsertRow("toys", {Value(9), Value("x"), Value::Null(),
+                             Value::Null()})
+          .ok());
+  const QueryResult r = Run(
+      "SELECT COUNT(*), COUNT(qty), SUM(qty) FROM toys WHERE toy_id >= 1");
+  EXPECT_EQ(r.rows()[0][0], Value(5));
+  EXPECT_EQ(r.rows()[0][1], Value(4));
+  EXPECT_EQ(r.rows()[0][2], Value(67));
+}
+
+TEST_F(ExecutorTest, BinderErrors) {
+  EXPECT_FALSE(db_.Query("SELECT nope FROM toys WHERE toy_id = 1").ok());
+  EXPECT_FALSE(db_.Query("SELECT toy_id FROM ghost WHERE toy_id = 1").ok());
+  // Ambiguous column across a self join.
+  EXPECT_FALSE(
+      db_.Query("SELECT toy_id FROM toys AS a, toys AS b "
+                "WHERE a.toy_id = b.toy_id")
+          .ok());
+  // Duplicate effective name.
+  EXPECT_FALSE(
+      db_.Query("SELECT a.toy_id FROM toys AS a, toys AS a "
+                "WHERE a.toy_id = 1")
+          .ok());
+  // Unbound parameter.
+  EXPECT_FALSE(db_.Query("SELECT toy_id FROM toys WHERE toy_id = ?").ok());
+  // Incomparable types.
+  EXPECT_FALSE(db_.Query("SELECT toy_id FROM toys WHERE toy_name > 5").ok());
+}
+
+TEST_F(ExecutorTest, CrossProductWhenNoPredicates) {
+  // The engine supports it even though the analysis model forbids it.
+  const QueryResult r = Run("SELECT cust_id, toy_id FROM customers, toys");
+  EXPECT_EQ(r.num_rows(), 8u);
+}
+
+TEST_F(ExecutorTest, JoinColumnOrderInsensitive) {
+  const QueryResult a = Run(
+      "SELECT o_id FROM customers, orders WHERE cust_id = o_cust");
+  const QueryResult b = Run(
+      "SELECT o_id FROM customers, orders WHERE o_cust = cust_id");
+  EXPECT_TRUE(a.SameResult(b));
+}
+
+TEST_F(ExecutorTest, EmptyTableQueries) {
+  ASSERT_TRUE(db_.CreateTable(TableSchema("void",
+                                          {{"v", ColumnType::kInt64}},
+                                          {"v"}))
+                  .ok());
+  EXPECT_EQ(Run("SELECT v FROM void WHERE v = 1").num_rows(), 0u);
+  EXPECT_EQ(Run("SELECT v, toy_id FROM void, toys WHERE v = toy_id")
+                .num_rows(),
+            0u);
+}
+
+}  // namespace
+}  // namespace dssp::engine

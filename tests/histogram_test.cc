@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "sim/histogram.h"
+
+namespace dssp::sim {
+namespace {
+
+TEST(HistogramTest, EmptyReturnsZeros) {
+  LatencyHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.9), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(0.25);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.25);
+  // Single sample: every quantile is that sample (within bucket error,
+  // clamped to the observed range -> exact here).
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.25);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(6.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+}
+
+TEST(HistogramTest, QuantilesWithinRelativeError) {
+  // Uniform samples 1..1000 ms: nearest-rank quantiles are known.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i / 1000.0);
+  for (double p : {0.10, 0.50, 0.90, 0.99}) {
+    const double expected = p;  // Nearest rank of uniform grid ~ p seconds.
+    const double actual = h.Percentile(p);
+    EXPECT_NEAR(actual, expected, expected * 0.03) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, SkewedDistributionTail) {
+  // 99 fast samples and one slow one: p99 must land near the slow tail
+  // boundary, p90 in the fast mass.
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(0.010);
+  h.Record(5.0);
+  EXPECT_NEAR(h.Percentile(0.90), 0.010, 0.001);
+  EXPECT_NEAR(h.Percentile(0.999), 5.0, 5.0 * 0.03);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+}
+
+TEST(HistogramTest, OutOfRangeValuesAreClamped) {
+  LatencyHistogram h;
+  h.Record(0.0);        // Below 1 µs.
+  h.Record(1e-9);       // Below 1 µs.
+  h.Record(5000.0);     // Above 1000 s.
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Max(), 5000.0);  // Exact extremes still tracked.
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(7);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.NextExponential(0.3);
+    if (i % 2 == 0) a.Record(v);
+    else b.Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+  for (double p : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(1.5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.Max(), 1.5);
+  // Merging an empty histogram is a no-op.
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.Percentile(0.9), 0.0);
+  h.Record(2.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 2.0);
+}
+
+TEST(HistogramTest, MonotoneQuantiles) {
+  Rng rng(11);
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) h.Record(rng.NextExponential(0.5));
+  double previous = 0;
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = h.Percentile(p);
+    EXPECT_GE(q, previous);
+    previous = q;
+  }
+}
+
+}  // namespace
+}  // namespace dssp::sim

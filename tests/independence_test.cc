@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "invalidation/independence.h"
+#include "sql/parser.h"
+#include "workloads/toystore.h"
+
+namespace dssp::invalidation {
+namespace {
+
+using sql::CompareOp;
+using sql::Value;
+using templates::QueryTemplate;
+using templates::UpdateTemplate;
+
+// ----- UnaryConjunctionSatisfiable (the interval solver). -----
+
+TEST(IntervalSolverTest, EmptyIsSatisfiable) {
+  EXPECT_TRUE(UnaryConjunctionSatisfiable({}));
+}
+
+TEST(IntervalSolverTest, ContradictoryEqualities) {
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(1)}, {"a", CompareOp::kEq, Value(2)}}));
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(1)}, {"a", CompareOp::kEq, Value(1)}}));
+}
+
+TEST(IntervalSolverTest, DifferentColumnsIndependent) {
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(1)}, {"b", CompareOp::kEq, Value(2)}}));
+}
+
+TEST(IntervalSolverTest, RangeIntersections) {
+  // a > 5 AND a < 10: satisfiable.
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kGt, Value(5)}, {"a", CompareOp::kLt, Value(10)}}));
+  // a > 5 AND a < 5: empty.
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kGt, Value(5)}, {"a", CompareOp::kLt, Value(5)}}));
+  // a >= 5 AND a <= 5: the point 5.
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kGe, Value(5)}, {"a", CompareOp::kLe, Value(5)}}));
+  // a > 5 AND a <= 5: empty (half-open).
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kGt, Value(5)}, {"a", CompareOp::kLe, Value(5)}}));
+  // a >= 10 AND a < 5: empty.
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kGe, Value(10)}, {"a", CompareOp::kLt, Value(5)}}));
+}
+
+TEST(IntervalSolverTest, EqualityVsRange) {
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(3)}, {"a", CompareOp::kGt, Value(7)}}));
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(9)}, {"a", CompareOp::kGt, Value(7)}}));
+}
+
+TEST(IntervalSolverTest, StringsCompareLexicographically) {
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"s", CompareOp::kEq, Value("abc")},
+       {"s", CompareOp::kEq, Value("abd")}}));
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"s", CompareOp::kGe, Value("abc")},
+       {"s", CompareOp::kLt, Value("abz")}}));
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"s", CompareOp::kGt, Value("b")}, {"s", CompareOp::kLt, Value("a")}}));
+}
+
+TEST(IntervalSolverTest, MixedNumericTypes) {
+  // Int and double constraints interoperate.
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(3)}, {"a", CompareOp::kLt, Value(2.5)}}));
+  EXPECT_TRUE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value(3)}, {"a", CompareOp::kGt, Value(2.5)}}));
+}
+
+TEST(IntervalSolverTest, IncomparableTypesUnsatisfiable) {
+  // A column cannot equal both a string and a number.
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value("x")}, {"a", CompareOp::kEq, Value(1)}}));
+}
+
+TEST(IntervalSolverTest, NullConstraintUnsatisfiable) {
+  EXPECT_FALSE(UnaryConjunctionSatisfiable(
+      {{"a", CompareOp::kEq, Value::Null()}}));
+}
+
+// Parameterized sweep: for every operator pair (op1 with bound 5, op2 with
+// bound 7) check against a brute-force evaluation over a sample grid.
+struct OpPair {
+  CompareOp op1;
+  CompareOp op2;
+};
+
+class SolverSweepTest : public ::testing::TestWithParam<OpPair> {};
+
+bool Holds(double x, CompareOp op, double bound) {
+  switch (op) {
+    case CompareOp::kEq:
+      return x == bound;
+    case CompareOp::kLt:
+      return x < bound;
+    case CompareOp::kLe:
+      return x <= bound;
+    case CompareOp::kGt:
+      return x > bound;
+    case CompareOp::kGe:
+      return x >= bound;
+  }
+  return false;
+}
+
+TEST_P(SolverSweepTest, MatchesBruteForceOnGrid) {
+  const OpPair p = GetParam();
+  const bool solver = UnaryConjunctionSatisfiable(
+      {{"a", p.op1, Value(5.0)}, {"a", p.op2, Value(7.0)}});
+  bool brute = false;
+  for (double x = 0; x <= 12; x += 0.25) {
+    if (Holds(x, p.op1, 5.0) && Holds(x, p.op2, 7.0)) {
+      brute = true;
+      break;
+    }
+  }
+  // The solver is exact for these dense-domain cases.
+  EXPECT_EQ(solver, brute)
+      << sql::CompareOpSymbol(p.op1) << " 5 and "
+      << sql::CompareOpSymbol(p.op2) << " 7";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpPairs, SolverSweepTest, ::testing::ValuesIn([] {
+      std::vector<OpPair> pairs;
+      const CompareOp ops[] = {CompareOp::kEq, CompareOp::kLt, CompareOp::kLe,
+                               CompareOp::kGt, CompareOp::kGe};
+      for (CompareOp a : ops) {
+        for (CompareOp b : ops) pairs.push_back({a, b});
+      }
+      return pairs;
+    }()));
+
+// ----- ProvablyIndependent. -----
+
+class IndependenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+  }
+
+  const catalog::Catalog& catalog() const { return db_->catalog(); }
+
+  QueryTemplate Query(const std::string& sql) {
+    auto tmpl = QueryTemplate::Create("Qx", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  UpdateTemplate Update(const std::string& sql) {
+    auto tmpl = UpdateTemplate::Create("Ux", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  bool Independent(const UpdateTemplate& u, const std::vector<Value>& up,
+                   const QueryTemplate& q, const std::vector<Value>& qp) {
+    return ProvablyIndependent(u, u.Bind(up), q, q.Bind(qp), catalog());
+  }
+
+  std::unique_ptr<engine::Database> db_;
+};
+
+TEST_F(IndependenceTest, DeletionDifferentKeyIsIndependent) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate q = Query("SELECT qty FROM toys WHERE toy_id = ?");
+  EXPECT_TRUE(Independent(del, {Value(5)}, q, {Value(7)}));
+  EXPECT_FALSE(Independent(del, {Value(5)}, q, {Value(5)}));
+}
+
+TEST_F(IndependenceTest, DeletionRangeOverlap) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE qty < ?");
+  const QueryTemplate q = Query("SELECT toy_name FROM toys WHERE qty > ?");
+  // Delete qty < 5 vs query qty > 10: disjoint ranges.
+  EXPECT_TRUE(Independent(del, {Value(5)}, q, {Value(10)}));
+  // Delete qty < 20 vs query qty > 10: overlap.
+  EXPECT_FALSE(Independent(del, {Value(20)}, q, {Value(10)}));
+}
+
+TEST_F(IndependenceTest, InsertionValueFailsPredicate) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate q = Query("SELECT toy_id FROM toys WHERE toy_name = ?");
+  EXPECT_TRUE(Independent(insert, {Value(99), Value("boat"), Value(1)}, q,
+                          {Value("car")}));
+  EXPECT_FALSE(Independent(insert, {Value(99), Value("car"), Value(1)}, q,
+                           {Value("car")}));
+}
+
+TEST_F(IndependenceTest, InsertionRangePredicate) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate q = Query("SELECT toy_id FROM toys WHERE qty >= ?");
+  EXPECT_TRUE(Independent(insert, {Value(99), Value("x"), Value(3)}, q,
+                          {Value(10)}));
+  EXPECT_FALSE(Independent(insert, {Value(99), Value("x"), Value(10)}, q,
+                           {Value(10)}));
+}
+
+TEST_F(IndependenceTest, ModificationPaperExample) {
+  // Section 4.4: UPDATE toys SET qty=10 WHERE toy_id=5 vs
+  // SELECT toy_id FROM toys WHERE qty > 100. A statement-inspection
+  // strategy must invalidate: the row with toy_id=5 might currently have
+  // qty > 100 and be in the result.
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  const QueryTemplate q = Query("SELECT toy_id FROM toys WHERE qty > ?");
+  EXPECT_FALSE(Independent(mod, {Value(10), Value(5)}, q, {Value(100)}));
+}
+
+TEST_F(IndependenceTest, ModificationCannotEnterOrLeave) {
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET toy_name = ? WHERE qty < ?");
+  const QueryTemplate q =
+      Query("SELECT toy_name FROM toys WHERE qty > ?");
+  // Modified rows have qty < 5 (unchanged by the SET); the query wants
+  // qty > 10. They can neither be in the result nor enter it.
+  EXPECT_TRUE(Independent(mod, {Value("renamed"), Value(5)}, q, {Value(10)}));
+  // Overlapping ranges: dependent.
+  EXPECT_FALSE(
+      Independent(mod, {Value("renamed"), Value(50)}, q, {Value(10)}));
+}
+
+TEST_F(IndependenceTest, ModificationNewValueCannotEnter) {
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  const QueryTemplate q =
+      Query("SELECT toy_name FROM toys WHERE qty = ?");
+  // New qty = 10, query wants qty = 10: the row enters -> dependent.
+  EXPECT_FALSE(Independent(mod, {Value(10), Value(5)}, q, {Value(10)}));
+  // New qty = 3, query wants qty = 10: cannot enter, but the row might be
+  // leaving the result (it might have had qty = 10) -> still dependent.
+  EXPECT_FALSE(Independent(mod, {Value(3), Value(5)}, q, {Value(10)}));
+}
+
+TEST_F(IndependenceTest, ModificationOfUnqueriedColumnIsIgnorable) {
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  const QueryTemplate q =
+      Query("SELECT toy_name FROM toys WHERE toy_name = ?");
+  // qty is neither selected nor preserved: template-level ignorable.
+  EXPECT_TRUE(Independent(mod, {Value(1), Value(1)}, q, {Value("car")}));
+}
+
+TEST_F(IndependenceTest, ModificationCannotEnterHelper) {
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  const QueryTemplate q = Query("SELECT toy_id FROM toys WHERE qty > ?");
+  const sql::Statement query_stmt = q.Bind({Value(100)});
+  // New qty = 10 cannot enter "qty > 100".
+  EXPECT_TRUE(ModificationCannotEnter(mod, mod.Bind({Value(10), Value(5)}),
+                                      query_stmt, catalog()));
+  // New qty = 200 can.
+  EXPECT_FALSE(ModificationCannotEnter(mod, mod.Bind({Value(200), Value(5)}),
+                                       query_stmt, catalog()));
+}
+
+TEST_F(IndependenceTest, JoinQuerySlotScoping) {
+  // Deleting a toy is independent of the customers/credit_card join.
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate join = Query(
+      "SELECT cust_name FROM customers, credit_card "
+      "WHERE cust_id = cid AND zip_code = ?");
+  EXPECT_TRUE(Independent(del, {Value(1)}, join, {Value(10001)}));
+}
+
+TEST_F(IndependenceTest, SelfJoinRequiresBothSlotsExcluded) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate self_join = Query(
+      "SELECT t1.toy_id FROM toys AS t1, toys AS t2 "
+      "WHERE t1.toy_id = ? AND t2.toy_id = ? AND t1.qty = t2.qty");
+  // Delete toy 9; query pins t1=1, t2=2: both slots excluded.
+  EXPECT_TRUE(Independent(del, {Value(9)}, self_join, {Value(1), Value(2)}));
+  // Delete toy 2: the t2 slot matches.
+  EXPECT_FALSE(Independent(del, {Value(2)}, self_join, {Value(1), Value(2)}));
+}
+
+TEST_F(IndependenceTest, IntegrityConstraintToggle) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)");
+  const QueryTemplate q3 = Query(
+      "SELECT cust_name FROM customers, credit_card "
+      "WHERE cust_id = cid AND zip_code = ?");
+  const sql::Statement u = insert.Bind({Value(999), Value("eve")});
+  const sql::Statement qs = q3.Bind({Value(10001)});
+  EXPECT_TRUE(ProvablyIndependent(insert, u, q3, qs, catalog(),
+                                  /*use_integrity_constraints=*/true));
+  EXPECT_FALSE(ProvablyIndependent(insert, u, q3, qs, catalog(),
+                                   /*use_integrity_constraints=*/false));
+}
+
+}  // namespace
+}  // namespace dssp::invalidation

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "analysis/ipm.h"
+#include "workloads/toystore.h"
+
+namespace dssp::analysis {
+namespace {
+
+using templates::QueryTemplate;
+using templates::UpdateTemplate;
+
+class IpmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+    templates_ = std::move(bundle->templates);
+    ipm_ = IpmCharacterization::Compute(templates_, db_->catalog());
+  }
+
+  const catalog::Catalog& catalog() const { return db_->catalog(); }
+
+  const PairCharacterization& Pair(int u, int q) {
+    return ipm_.pair(u - 1, q - 1);
+  }
+
+  QueryTemplate Query(const std::string& sql) {
+    auto tmpl = QueryTemplate::Create("Qx", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  UpdateTemplate Update(const std::string& sql) {
+    auto tmpl = UpdateTemplate::Create("Ux", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  templates::TemplateSet templates_;
+  IpmCharacterization ipm_{};
+};
+
+// ----- Table 4: the paper's IPM characterization of the toystore. -----
+
+TEST_F(IpmTest, Table4Row1) {
+  // U1 x Q1: A=1, B=A, C<B.
+  EXPECT_FALSE(Pair(1, 1).a_is_zero);
+  EXPECT_TRUE(Pair(1, 1).b_equals_a);
+  EXPECT_FALSE(Pair(1, 1).c_equals_b);
+  // U1 x Q2: A=1, B<A, C=B.
+  EXPECT_FALSE(Pair(1, 2).a_is_zero);
+  EXPECT_FALSE(Pair(1, 2).b_equals_a);
+  EXPECT_TRUE(Pair(1, 2).c_equals_b);
+  // U1 x Q3: A=0 (hence B=A, C=B).
+  EXPECT_TRUE(Pair(1, 3).a_is_zero);
+  EXPECT_TRUE(Pair(1, 3).b_equals_a);
+  EXPECT_TRUE(Pair(1, 3).c_equals_b);
+}
+
+TEST_F(IpmTest, Table4Row2) {
+  // U2 x Q1 and U2 x Q2: A=0.
+  EXPECT_TRUE(Pair(2, 1).a_is_zero);
+  EXPECT_TRUE(Pair(2, 2).a_is_zero);
+  // U2 x Q3: A=1, B<A, C=B.
+  EXPECT_FALSE(Pair(2, 3).a_is_zero);
+  EXPECT_FALSE(Pair(2, 3).b_equals_a);
+  EXPECT_TRUE(Pair(2, 3).c_equals_b);
+}
+
+TEST_F(IpmTest, Summary) {
+  const IpmCharacterization::Summary summary = ipm_.Summarize();
+  EXPECT_EQ(summary.total(), 6u);
+  EXPECT_EQ(summary.all_zero, 3u);
+  EXPECT_EQ(summary.b_eq_a_c_lt_b, 1u);  // U1/Q1.
+  EXPECT_EQ(summary.b_lt_a_c_eq_b, 2u);  // U1/Q2, U2/Q3.
+  EXPECT_EQ(summary.b_lt_a_c_lt_b, 0u);
+  EXPECT_EQ(summary.b_eq_a_c_eq_b, 0u);
+}
+
+// ----- Section 4.5: integrity-constraint refinements. -----
+
+TEST_F(IpmTest, PrimaryKeyConstraintMakesInsertionIrrelevant) {
+  // Insert into toys vs "SELECT qty FROM toys WHERE toy_id = ?": a cached
+  // non-empty instance pins an existing pk, so the insertion cannot match.
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate by_pk = Query("SELECT qty FROM toys WHERE toy_id = ?");
+  EXPECT_TRUE(InsertionIrrelevantByConstraints(insert, by_pk, catalog()));
+  const PairCharacterization pc = CharacterizePair(insert, by_pk, catalog());
+  EXPECT_TRUE(pc.a_is_zero);
+
+  // Not so for a non-key equality.
+  const QueryTemplate by_name =
+      Query("SELECT qty FROM toys WHERE toy_name = ?");
+  EXPECT_FALSE(InsertionIrrelevantByConstraints(insert, by_name, catalog()));
+  EXPECT_FALSE(CharacterizePair(insert, by_name, catalog()).a_is_zero);
+}
+
+TEST_F(IpmTest, ForeignKeyConstraintMakesInsertionIrrelevant) {
+  // Paper Section 4.5: inserting a customer cannot affect Q3 because
+  // credit_card.cid is a foreign key into customers — a fresh cust_id
+  // cannot be referenced by any existing card.
+  const UpdateTemplate insert = Update(
+      "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  ASSERT_NE(q3, nullptr);
+  EXPECT_TRUE(InsertionIrrelevantByConstraints(insert, *q3, catalog()));
+  EXPECT_TRUE(CharacterizePair(insert, *q3, catalog()).a_is_zero);
+}
+
+TEST_F(IpmTest, FkRuleDoesNotApplyInWrongDirection) {
+  // Inserting a credit_card CAN affect Q3 (cid joins an existing customer).
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  EXPECT_FALSE(InsertionIrrelevantByConstraints(*u2, *q3, catalog()));
+}
+
+TEST_F(IpmTest, ConstraintRefinementCanBeDisabled) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate by_pk = Query("SELECT qty FROM toys WHERE toy_id = ?");
+  IpmOptions options;
+  options.use_integrity_constraints = false;
+  EXPECT_FALSE(CharacterizePair(insert, by_pk, catalog(), options).a_is_zero);
+}
+
+TEST_F(IpmTest, ConstraintsOnlyApplyToInsertions) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate by_pk = Query("SELECT qty FROM toys WHERE toy_id = ?");
+  EXPECT_FALSE(InsertionIrrelevantByConstraints(del, by_pk, catalog()));
+}
+
+// ----- Section 4.3: B = A rules. -----
+
+TEST_F(IpmTest, DeletionDisjointSelectionsGiveBEqualsA) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate by_name =
+      Query("SELECT toy_id FROM toys WHERE toy_name = ?");
+  const PairCharacterization pc = CharacterizePair(del, by_name, catalog());
+  EXPECT_FALSE(pc.a_is_zero);
+  EXPECT_TRUE(pc.b_equals_a);
+}
+
+TEST_F(IpmTest, InsertionWithParamPredicateGivesBLessThanA) {
+  // Q has zip_code = ? over the inserted table: statement inspection can
+  // compare the inserted zip against the instance constant, so B < A.
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  EXPECT_FALSE(CharacterizePair(*u2, *q3, catalog()).b_equals_a);
+}
+
+TEST_F(IpmTest, InsertionWithoutParamPredicateGivesBEqualsA) {
+  // The query's only predicate on credit_card is the join; inserted values
+  // cannot be tested against anything, so B = A.
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate join_only = Query(
+      "SELECT cust_name FROM customers, credit_card "
+      "WHERE cust_id = cid AND cust_name = ?");
+  const PairCharacterization pc =
+      CharacterizePair(*u2, join_only, catalog());
+  EXPECT_FALSE(pc.a_is_zero);
+  EXPECT_TRUE(pc.b_equals_a);
+}
+
+// ----- Section 4.4: C = B rules. -----
+
+TEST_F(IpmTest, InsertionIntoENQueryGivesCEqualsB) {
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");  // E and N.
+  EXPECT_TRUE(CharacterizePair(*u2, *q3, catalog()).c_equals_b);
+}
+
+TEST_F(IpmTest, InsertionVsTopKQueryNoClaim) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate topk = Query(
+      "SELECT toy_id FROM toys WHERE toy_name = ? ORDER BY qty DESC LIMIT 1");
+  const PairCharacterization pc = CharacterizePair(insert, topk, catalog());
+  EXPECT_FALSE(pc.a_is_zero);  // toy_name = ? defeats the pk rule.
+  EXPECT_FALSE(pc.c_equals_b);
+}
+
+TEST_F(IpmTest, InsertionVsInequalityJoinNoClaim) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  const QueryTemplate ineq = Query(
+      "SELECT t1.toy_id, t2.toy_id FROM toys AS t1, toys AS t2 "
+      "WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty > t2.qty");
+  EXPECT_FALSE(CharacterizePair(insert, ineq, catalog()).c_equals_b);
+}
+
+TEST_F(IpmTest, DeletionResultUnhelpfulGivesCEqualsB) {
+  // Table 4: C12 = B12 because Q2 is result-unhelpful for U1.
+  EXPECT_TRUE(Pair(1, 2).c_equals_b);
+  // And C11 < B11 because Q1 preserves toy_id.
+  EXPECT_FALSE(Pair(1, 1).c_equals_b);
+}
+
+TEST_F(IpmTest, ModificationResultUnhelpfulGivesCEqualsB) {
+  const UpdateTemplate mod =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  // Q preserves toy_name only; S(U) = {toy_id} not preserved -> H -> C=B.
+  const QueryTemplate unhelpful =
+      Query("SELECT toy_name FROM toys WHERE toy_name = ?");
+  EXPECT_TRUE(CharacterizePair(mod, unhelpful, catalog()).c_equals_b);
+  // Paper Section 4.4 counterexample shape: toy_id preserved -> no claim.
+  const QueryTemplate helpful =
+      Query("SELECT toy_id FROM toys WHERE qty > ?");
+  EXPECT_FALSE(CharacterizePair(mod, helpful, catalog()).c_equals_b);
+}
+
+// ----- Conservative handling. -----
+
+TEST_F(IpmTest, AssumptionViolationIsConservative) {
+  const UpdateTemplate del = Update("DELETE FROM toys WHERE toy_id = ?");
+  const QueryTemplate violating =
+      Query("SELECT cust_name FROM customers");  // Empty predicate.
+  const PairCharacterization pc = CharacterizePair(del, violating, catalog());
+  // Even though the pair is ignorable, the paper's treatment recommends no
+  // encryption for violating templates.
+  EXPECT_FALSE(pc.a_is_zero);
+  EXPECT_FALSE(pc.b_equals_a);
+  EXPECT_FALSE(pc.c_equals_b);
+
+  IpmOptions options;
+  options.conservative_on_assumption_violations = false;
+  EXPECT_TRUE(CharacterizePair(del, violating, catalog(), options).a_is_zero);
+}
+
+TEST_F(IpmTest, AggregatesBlockCEqualsBOnly) {
+  const UpdateTemplate insert = Update(
+      "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)");
+  // The paper's Section 4.4(b) counterexample: MAX over an insertion.
+  const QueryTemplate max_query =
+      Query("SELECT MAX(qty) FROM toys WHERE toy_name = ?");
+  const PairCharacterization pc =
+      CharacterizePair(insert, max_query, catalog());
+  EXPECT_FALSE(pc.c_equals_b);
+
+  IpmOptions options;
+  options.conservative_aggregates = false;
+  EXPECT_TRUE(
+      CharacterizePair(insert, max_query, catalog(), options).c_equals_b);
+}
+
+// ----- Canonical value classes (Property 1-3 of Section 2.3). -----
+
+TEST_F(IpmTest, CanonicalRespectsGradient) {
+  for (int u = 1; u <= 2; ++u) {
+    for (int q = 1; q <= 3; ++q) {
+      const PairCharacterization& pc = Pair(u, q);
+      using VC = PairCharacterization::ValueClass;
+      // Blind is always probability one (Property 1).
+      EXPECT_EQ(pc.Canonical(IpmSymbol::kOne), VC::kOne);
+      // A zero pair collapses A, B, C to zero.
+      if (pc.a_is_zero) {
+        EXPECT_EQ(pc.Canonical(IpmSymbol::kA), VC::kZero);
+        EXPECT_EQ(pc.Canonical(IpmSymbol::kB), VC::kZero);
+        EXPECT_EQ(pc.Canonical(IpmSymbol::kC), VC::kZero);
+      }
+      // B = A collapses the B cell to the A value.
+      if (!pc.a_is_zero && pc.b_equals_a) {
+        EXPECT_EQ(pc.Canonical(IpmSymbol::kB), pc.Canonical(IpmSymbol::kA));
+      }
+      if (!pc.a_is_zero && pc.c_equals_b) {
+        EXPECT_EQ(pc.Canonical(IpmSymbol::kC), pc.Canonical(IpmSymbol::kB));
+      }
+    }
+  }
+}
+
+TEST_F(IpmTest, RationaleIsPopulated) {
+  for (int u = 1; u <= 2; ++u) {
+    for (int q = 1; q <= 3; ++q) {
+      EXPECT_FALSE(Pair(u, q).rationale.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dssp::analysis

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/methodology.h"
+#include "workloads/toystore.h"
+
+namespace dssp::analysis {
+namespace {
+
+class MethodologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+    templates_ = std::move(bundle->templates);
+    ipm_ = IpmCharacterization::Compute(templates_, db_->catalog());
+    // Paper Section 3.2: credit-card numbers must not be exposed.
+    policy_.sensitive_attributes.insert(
+        templates::AttributeId{"credit_card", "number"});
+  }
+
+  const catalog::Catalog& catalog() const { return db_->catalog(); }
+
+  std::unique_ptr<engine::Database> db_;
+  templates::TemplateSet templates_;
+  IpmCharacterization ipm_{};
+  CompulsoryPolicy policy_;
+};
+
+// ----- SymbolFor (Figure 6). -----
+
+TEST(ExposureTest, SymbolForMatchesFigure6) {
+  using EL = ExposureLevel;
+  EXPECT_EQ(SymbolFor(EL::kBlind, EL::kView), IpmSymbol::kOne);
+  EXPECT_EQ(SymbolFor(EL::kStmt, EL::kBlind), IpmSymbol::kOne);
+  EXPECT_EQ(SymbolFor(EL::kTemplate, EL::kView), IpmSymbol::kA);
+  EXPECT_EQ(SymbolFor(EL::kStmt, EL::kTemplate), IpmSymbol::kA);
+  EXPECT_EQ(SymbolFor(EL::kTemplate, EL::kTemplate), IpmSymbol::kA);
+  EXPECT_EQ(SymbolFor(EL::kStmt, EL::kStmt), IpmSymbol::kB);
+  EXPECT_EQ(SymbolFor(EL::kStmt, EL::kView), IpmSymbol::kC);
+}
+
+TEST(ExposureTest, Names) {
+  EXPECT_STREQ(ExposureLevelName(ExposureLevel::kBlind), "blind");
+  EXPECT_STREQ(ExposureLevelName(ExposureLevel::kView), "view");
+  EXPECT_STREQ(IpmSymbolName(IpmSymbol::kA), "A");
+}
+
+TEST(ExposureTest, FactoryAssignments) {
+  const ExposureAssignment full = ExposureAssignment::FullExposure(2, 3);
+  EXPECT_EQ(full.query_levels,
+            (std::vector<ExposureLevel>{ExposureLevel::kView,
+                                        ExposureLevel::kView}));
+  EXPECT_EQ(full.update_levels.size(), 3u);
+  EXPECT_EQ(full.update_levels[0], ExposureLevel::kStmt);
+  const ExposureAssignment none = ExposureAssignment::FullEncryption(1, 1);
+  EXPECT_EQ(none.query_levels[0], ExposureLevel::kBlind);
+}
+
+// ----- Step 1 (compulsory encryption). -----
+
+TEST_F(MethodologyTest, Step1CapsCreditCardInsert) {
+  const ExposureAssignment initial =
+      ComputeInitialExposure(templates_, catalog(), policy_);
+  // U2 inserts the card number as a parameter: capped to template.
+  EXPECT_EQ(initial.update_levels[1], ExposureLevel::kTemplate);
+  // U1 is untouched.
+  EXPECT_EQ(initial.update_levels[0], ExposureLevel::kStmt);
+  // No query touches the number: all start at view.
+  for (ExposureLevel level : initial.query_levels) {
+    EXPECT_EQ(level, ExposureLevel::kView);
+  }
+}
+
+TEST_F(MethodologyTest, Step1CapsSensitiveResults) {
+  CompulsoryPolicy policy;
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"customers", "cust_name"});
+  const ExposureAssignment initial =
+      ComputeInitialExposure(templates_, catalog(), policy);
+  // Q3 preserves cust_name: results must be encrypted (<= stmt).
+  EXPECT_EQ(initial.query_levels[2], ExposureLevel::kStmt);
+}
+
+TEST_F(MethodologyTest, Step1CapsSensitiveParameters) {
+  CompulsoryPolicy policy;
+  policy.sensitive_attributes.insert(
+      templates::AttributeId{"credit_card", "zip_code"});
+  const ExposureAssignment initial =
+      ComputeInitialExposure(templates_, catalog(), policy);
+  // Q3 compares zip_code against a parameter: parameters encrypted too.
+  EXPECT_EQ(initial.query_levels[2], ExposureLevel::kTemplate);
+}
+
+TEST_F(MethodologyTest, MarkTableSensitiveCoversAllColumns) {
+  CompulsoryPolicy policy;
+  policy.MarkTableSensitive(catalog(), "credit_card");
+  EXPECT_EQ(policy.sensitive_attributes.size(), 3u);
+}
+
+// ----- Step 2b (greedy exposure reduction) on the paper's example. -----
+
+TEST_F(MethodologyTest, ReproducesSection32Example) {
+  const SecurityReport report =
+      RunMethodology(templates_, catalog(), policy_);
+  // Step 1: E(U2) = template.
+  EXPECT_EQ(report.initial.update_levels[1], ExposureLevel::kTemplate);
+  // Step 2b: Q3 view -> template, Q2 view -> stmt, Q1 stays at view.
+  EXPECT_EQ(report.final.query_levels[0], ExposureLevel::kView);
+  EXPECT_EQ(report.final.query_levels[1], ExposureLevel::kStmt);
+  EXPECT_EQ(report.final.query_levels[2], ExposureLevel::kTemplate);
+  // U1 stays at stmt (its parameters help Q2's invalidation).
+  EXPECT_EQ(report.final.update_levels[0], ExposureLevel::kStmt);
+  EXPECT_EQ(report.final.update_levels[1], ExposureLevel::kTemplate);
+}
+
+TEST_F(MethodologyTest, ReductionNeverRaisesExposure) {
+  const SecurityReport report =
+      RunMethodology(templates_, catalog(), policy_);
+  for (size_t j = 0; j < templates_.num_queries(); ++j) {
+    EXPECT_LE(ExposureRank(report.final.query_levels[j]),
+              ExposureRank(report.initial.query_levels[j]));
+  }
+  for (size_t i = 0; i < templates_.num_updates(); ++i) {
+    EXPECT_LE(ExposureRank(report.final.update_levels[i]),
+              ExposureRank(report.initial.update_levels[i]));
+  }
+}
+
+TEST_F(MethodologyTest, ReducedAssignmentKeepsProbabilities) {
+  const SecurityReport report =
+      RunMethodology(templates_, catalog(), policy_);
+  EXPECT_TRUE(SameInvalidationProbabilities(templates_, ipm_, report.initial,
+                                            report.final));
+}
+
+TEST_F(MethodologyTest, GreedyIsIdempotent) {
+  const ExposureAssignment initial =
+      ComputeInitialExposure(templates_, catalog(), policy_);
+  const ExposureAssignment once = ReduceExposure(templates_, ipm_, initial);
+  const ExposureAssignment twice = ReduceExposure(templates_, ipm_, once);
+  EXPECT_EQ(once, twice);
+}
+
+TEST_F(MethodologyTest, FurtherReductionWouldChangeProbabilities) {
+  // Minimality of the outcome: lowering any single template one more step
+  // changes some pair's canonical probability.
+  const SecurityReport report =
+      RunMethodology(templates_, catalog(), policy_);
+  for (size_t j = 0; j < templates_.num_queries(); ++j) {
+    if (report.final.query_levels[j] == ExposureLevel::kBlind) continue;
+    ExposureAssignment lowered = report.final;
+    lowered.query_levels[j] = static_cast<ExposureLevel>(
+        ExposureRank(lowered.query_levels[j]) - 1);
+    EXPECT_FALSE(SameInvalidationProbabilities(templates_, ipm_,
+                                               report.final, lowered))
+        << "query " << j;
+  }
+  for (size_t i = 0; i < templates_.num_updates(); ++i) {
+    if (report.final.update_levels[i] == ExposureLevel::kBlind) continue;
+    ExposureAssignment lowered = report.final;
+    lowered.update_levels[i] = static_cast<ExposureLevel>(
+        ExposureRank(lowered.update_levels[i]) - 1);
+    EXPECT_FALSE(SameInvalidationProbabilities(templates_, ipm_,
+                                               report.final, lowered))
+        << "update " << i;
+  }
+}
+
+TEST_F(MethodologyTest, FullyIgnorableAppReducesToTemplateLevel) {
+  // If every pair is A=0, statements and results can be fully encrypted.
+  // Templates themselves must stay exposed: by Property 1, a blind exposure
+  // forces probability-one invalidation regardless of the IPM. Build such
+  // an app: the only update touches toys, the only query reads customers.
+  templates::TemplateSet set;
+  ASSERT_TRUE(set.AddQuerySql(
+                     "SELECT cust_name FROM customers WHERE cust_id = ?",
+                     catalog())
+                  .ok());
+  ASSERT_TRUE(
+      set.AddUpdateSql("DELETE FROM toys WHERE toy_id = ?", catalog()).ok());
+  const IpmCharacterization ipm =
+      IpmCharacterization::Compute(set, catalog());
+  const ExposureAssignment reduced = ReduceExposure(
+      set, ipm, ExposureAssignment::FullExposure(1, 1));
+  EXPECT_EQ(reduced.query_levels[0], ExposureLevel::kTemplate);
+  EXPECT_EQ(reduced.update_levels[0], ExposureLevel::kTemplate);
+}
+
+TEST_F(MethodologyTest, ReportCountsEncryptedResults) {
+  const SecurityReport report =
+      RunMethodology(templates_, catalog(), policy_);
+  // Q2 and Q3 end below view.
+  EXPECT_EQ(report.QueriesWithEncryptedResults(), 2u);
+  EXPECT_EQ(report.QueriesWithEncryptedResultsInitial(), 0u);
+  EXPECT_EQ(report.changes.size(), 5u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+}  // namespace
+}  // namespace dssp::analysis

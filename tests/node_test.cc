@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "dssp/node.h"
+#include "workloads/toystore.h"
+
+namespace dssp::service {
+namespace {
+
+using analysis::ExposureAssignment;
+using analysis::ExposureLevel;
+using sql::Value;
+
+class NodeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = std::make_unique<ScalableApp>(
+        "toystore", &node_, crypto::KeyRing::FromPassphrase("node-test"));
+    ASSERT_TRUE(toystore_.Setup(*app_, 1.0, 7).ok());
+    ASSERT_TRUE(app_->Finalize().ok());
+  }
+
+  DsspNode node_;
+  std::unique_ptr<ScalableApp> app_;
+  workloads::ToystoreApplication toystore_;
+};
+
+TEST_F(NodeTest, BlindUpdateNoticeInvalidatesEverything) {
+  // Even entries of ignorable templates must die when the update reveals
+  // nothing.
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+  ASSERT_TRUE(app_->Query("Q3", {Value(10001)}).ok());
+  ASSERT_EQ(node_.CacheSize("toystore"), 2u);
+
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kBlind;
+  EXPECT_EQ(node_.OnUpdate("toystore", notice), 2u);
+  EXPECT_EQ(node_.CacheSize("toystore"), 0u);
+}
+
+TEST_F(NodeTest, TemplateNoticeUsesIgnorability) {
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+  ASSERT_TRUE(app_->Query("Q3", {Value(10001)}).ok());
+
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kTemplate;
+  notice.template_index = 0;  // U1: DELETE FROM toys.
+  // Q2 (toys) invalidated, Q3 (customers x credit_card) spared.
+  EXPECT_EQ(node_.OnUpdate("toystore", notice), 1u);
+  EXPECT_EQ(node_.CacheSize("toystore"), 1u);
+}
+
+TEST_F(NodeTest, StatementNoticeSparesIndependentInstances) {
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+  ASSERT_TRUE(app_->Query("Q2", {Value(9)}).ok());
+
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kStmt;
+  notice.template_index = 0;
+  notice.statement =
+      app_->templates().updates()[0].Bind({Value(7)});
+  EXPECT_EQ(node_.OnUpdate("toystore", notice), 1u);
+  // Q2(9) survived.
+  EXPECT_EQ(node_.CacheSize("toystore"), 1u);
+}
+
+TEST_F(NodeTest, BlindEntriesDieOnAnyUpdate) {
+  ExposureAssignment exposure = ExposureAssignment::FullExposure(
+      app_->templates().num_queries(), app_->templates().num_updates());
+  exposure.query_levels[2] = ExposureLevel::kBlind;  // Q3 blind.
+  ASSERT_TRUE(app_->SetExposure(exposure).ok());
+  ASSERT_TRUE(app_->Query("Q3", {Value(10001)}).ok());
+
+  // U1 is ignorable for Q3, but the DSSP cannot know which template the
+  // blind entry belongs to.
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kStmt;
+  notice.template_index = 0;
+  notice.statement = app_->templates().updates()[0].Bind({Value(7)});
+  EXPECT_EQ(node_.OnUpdate("toystore", notice), 1u);
+}
+
+TEST_F(NodeTest, StatsCountOperations) {
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kBlind;
+  node_.OnUpdate("toystore", notice);
+  const DsspStats& stats = node_.stats("toystore");
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.updates_observed, 1u);
+  EXPECT_EQ(stats.entries_invalidated, 1u);
+}
+
+TEST_F(NodeTest, CapacityBoundsOneTenant) {
+  node_.SetCacheCapacity("toystore", 3);
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(app_->Query("Q2", {Value(i)}).ok());
+  }
+  EXPECT_EQ(node_.CacheSize("toystore"), 3u);
+  EXPECT_EQ(node_.CacheEvictions("toystore"), 7u);
+  // The most recent entries are the survivors: Q2(10) hits...
+  AccessStats stats;
+  ASSERT_TRUE(app_->Query("Q2", {Value(10)}, &stats).ok());
+  EXPECT_TRUE(stats.cache_hit);
+  // ...and an evicted one misses.
+  ASSERT_TRUE(app_->Query("Q2", {Value(1)}, &stats).ok());
+  EXPECT_FALSE(stats.cache_hit);
+}
+
+TEST_F(NodeTest, TotalCacheSizeSpansApps) {
+  ScalableApp other("toystore-b", &node_,
+                    crypto::KeyRing::FromPassphrase("other"));
+  workloads::ToystoreApplication toystore2;
+  ASSERT_TRUE(toystore2.Setup(other, 1.0, 8).ok());
+  ASSERT_TRUE(other.Finalize().ok());
+  ASSERT_TRUE(app_->Query("Q2", {Value(1)}).ok());
+  ASSERT_TRUE(other.Query("Q2", {Value(1)}).ok());
+  ASSERT_TRUE(other.Query("Q2", {Value(2)}).ok());
+  EXPECT_EQ(node_.TotalCacheSize(), 3u);
+}
+
+TEST_F(NodeTest, UpdateNoticeForUnknownAppIsAProgrammingError) {
+  // Registration checks.
+  EXPECT_FALSE(node_.HasApp("ghost"));
+  EXPECT_TRUE(node_.HasApp("toystore"));
+}
+
+}  // namespace
+}  // namespace dssp::service

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/tokenizer.h"
+
+namespace dssp::sql {
+namespace {
+
+// ----- Tokenizer -----
+
+TEST(TokenizerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT toy_id FROM toys WHERE qty >= 10");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + end.
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "toy_id");
+  EXPECT_EQ((*tokens)[6].type, TokenType::kSymbol);
+  EXPECT_EQ((*tokens)[6].text, ">=");
+  EXPECT_EQ((*tokens)[7].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kEnd);
+}
+
+TEST(TokenizerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(TokenizerTest, StringLiteralsWithEscapedQuotes) {
+  auto tokens = Tokenize("'it''s a test'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's a test");
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(TokenizerTest, NumericLiterals) {
+  auto tokens = Tokenize("1 -2 3.5 -4.25 1e3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].text, "-2");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kDoubleLiteral);
+}
+
+TEST(TokenizerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+  EXPECT_FALSE(Tokenize("SELECT a; SELECT b").ok());
+}
+
+// ----- Parser: structure -----
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = Parse("SELECT toy_id FROM toys WHERE toy_name = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind(), StatementKind::kSelect);
+  EXPECT_EQ(stmt->num_params, 1);
+  const SelectStatement& select = stmt->select();
+  ASSERT_EQ(select.items.size(), 1u);
+  EXPECT_EQ(select.items[0].column.column, "toy_id");
+  ASSERT_EQ(select.from.size(), 1u);
+  EXPECT_EQ(select.from[0].table, "toys");
+  ASSERT_EQ(select.where.size(), 1u);
+  EXPECT_EQ(select.where[0].op, CompareOp::kEq);
+  EXPECT_TRUE(IsParameter(select.where[0].rhs));
+}
+
+TEST(ParserTest, JoinWithAliases) {
+  auto stmt = Parse(
+      "SELECT t1.toy_id, t2.qty FROM toys AS t1, toys t2 "
+      "WHERE t1.toy_id = t2.toy_id");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStatement& select = stmt->select();
+  ASSERT_EQ(select.from.size(), 2u);
+  EXPECT_EQ(select.from[0].alias, "t1");
+  EXPECT_EQ(select.from[1].alias, "t2");  // Implicit alias.
+  EXPECT_EQ(select.items[0].column.table, "t1");
+}
+
+TEST(ParserTest, OrderByLimitGroupByAggregates) {
+  auto stmt = Parse(
+      "SELECT i_subject, COUNT(i_id), MAX(i_cost) FROM item "
+      "WHERE i_cost >= ? GROUP BY i_subject "
+      "ORDER BY i_subject DESC LIMIT 5");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStatement& select = stmt->select();
+  EXPECT_TRUE(select.has_aggregate());
+  ASSERT_EQ(select.items.size(), 3u);
+  EXPECT_EQ(select.items[1].func, AggregateFunc::kCount);
+  EXPECT_EQ(select.items[2].func, AggregateFunc::kMax);
+  ASSERT_EQ(select.group_by.size(), 1u);
+  ASSERT_EQ(select.order_by.size(), 1u);
+  EXPECT_TRUE(select.order_by[0].descending);
+  ASSERT_TRUE(select.limit.has_value());
+  EXPECT_TRUE(IsLiteral(*select.limit));
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = Parse("SELECT COUNT(*) FROM toys WHERE qty > ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select().items[0].star);
+  EXPECT_EQ(stmt->select().items[0].func, AggregateFunc::kCount);
+}
+
+TEST(ParserTest, StarOnlyForCount) {
+  EXPECT_FALSE(Parse("SELECT SUM(*) FROM toys WHERE qty > ?").ok());
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = Parse("SELECT * FROM toys WHERE toy_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->select().items[0].star);
+  EXPECT_EQ(stmt->select().items[0].func, AggregateFunc::kNone);
+}
+
+TEST(ParserTest, ParameterNumberingLeftToRight) {
+  auto stmt = Parse(
+      "SELECT a FROM t WHERE b = ? AND c > ? AND d <= ? LIMIT ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->num_params, 4);
+  const SelectStatement& select = stmt->select();
+  EXPECT_EQ(std::get<Parameter>(select.where[0].rhs).index, 0);
+  EXPECT_EQ(std::get<Parameter>(select.where[1].rhs).index, 1);
+  EXPECT_EQ(std::get<Parameter>(select.where[2].rhs).index, 2);
+  EXPECT_EQ(std::get<Parameter>(*select.limit).index, 3);
+}
+
+TEST(ParserTest, Insert) {
+  auto stmt = Parse("INSERT INTO toys (toy_id, toy_name, qty) "
+                    "VALUES (?, ?, 10)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind(), StatementKind::kInsert);
+  const InsertStatement& insert = stmt->insert();
+  EXPECT_EQ(insert.table, "toys");
+  ASSERT_EQ(insert.columns.size(), 3u);
+  EXPECT_TRUE(IsParameter(insert.values[0]));
+  EXPECT_TRUE(IsLiteral(insert.values[2]));
+}
+
+TEST(ParserTest, InsertArityMismatchFails) {
+  EXPECT_FALSE(Parse("INSERT INTO toys (a, b) VALUES (1)").ok());
+}
+
+TEST(ParserTest, InsertRejectsColumnOperands) {
+  EXPECT_FALSE(Parse("INSERT INTO toys (a) VALUES (other_col)").ok());
+}
+
+TEST(ParserTest, Delete) {
+  auto stmt = Parse("DELETE FROM toys WHERE toy_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind(), StatementKind::kDelete);
+  EXPECT_EQ(stmt->del().table, "toys");
+  ASSERT_EQ(stmt->del().where.size(), 1u);
+}
+
+TEST(ParserTest, DeleteWithoutWhere) {
+  auto stmt = Parse("DELETE FROM toys");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->del().where.empty());
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = Parse("UPDATE toys SET qty = ?, toy_name = 'x' "
+                    "WHERE toy_id = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->kind(), StatementKind::kUpdate);
+  const UpdateStatement& update = stmt->update();
+  ASSERT_EQ(update.set.size(), 2u);
+  EXPECT_EQ(update.set[0].first, "qty");
+  EXPECT_TRUE(IsParameter(update.set[0].second));
+  EXPECT_TRUE(IsLiteral(update.set[1].second));
+}
+
+TEST(ParserTest, NullLiteral) {
+  auto stmt = Parse("INSERT INTO t (a) VALUES (NULL)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<Value>(stmt->insert().values[0]).is_null());
+}
+
+TEST(ParserTest, ErrorsOnGarbage) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELEC a FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a <> 1").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t 42").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM t WHERE a = 1 42").ok());
+  EXPECT_FALSE(Parse("UPDATE t WHERE a = 1").ok());
+  EXPECT_FALSE(Parse("INSERT INTO t VALUES (1)").ok());
+}
+
+// ----- Round-trip property: ToSql(Parse(x)) re-parses to the same text. -----
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParsePrintParse) {
+  auto stmt = Parse(GetParam());
+  ASSERT_TRUE(stmt.ok()) << GetParam() << ": " << stmt.status().ToString();
+  const std::string printed = ToSql(*stmt);
+  auto reparsed = Parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+  EXPECT_EQ(ToSql(*reparsed), printed);
+  EXPECT_EQ(reparsed->num_params, stmt->num_params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT toy_id FROM toys WHERE toy_name = ?",
+        "SELECT * FROM customer WHERE c_uname = ?",
+        "SELECT t1.qty, t2.qty FROM toys AS t1, toys AS t2 "
+        "WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty > t2.qty",
+        "SELECT i_id, i_title FROM item, author "
+        "WHERE item.i_a_id = author.a_id AND i_subject = ? "
+        "ORDER BY i_title LIMIT 50",
+        "SELECT MAX(qty) FROM toys WHERE qty >= ?",
+        "SELECT i_subject, COUNT(i_id) FROM item WHERE i_cost >= ? "
+        "GROUP BY i_subject ORDER BY i_subject",
+        "SELECT a, b FROM t WHERE c < 3.5 AND d >= 'x' ORDER BY a DESC, b "
+        "LIMIT ?",
+        "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+        "INSERT INTO t (a, b, c) VALUES (1, 2.5, 'three')",
+        "DELETE FROM toys WHERE toy_id = ?",
+        "DELETE FROM bids WHERE b_date < ?",
+        "UPDATE toys SET qty = ? WHERE toy_id = ?",
+        "UPDATE items SET it_max_bid = ?, it_nb_bids = ? WHERE it_id = ?"));
+
+// ----- BindParameters -----
+
+TEST(BindParametersTest, BindsAllSites) {
+  Statement stmt = ParseOrDie(
+      "SELECT a FROM t WHERE b = ? AND c > ? ORDER BY a LIMIT ?");
+  Statement bound =
+      BindParameters(stmt, {Value("x"), Value(10), Value(5)});
+  EXPECT_EQ(bound.num_params, 0);
+  EXPECT_EQ(ToSql(bound),
+            "SELECT a FROM t WHERE b = 'x' AND c > 10 ORDER BY a LIMIT 5");
+}
+
+TEST(BindParametersTest, BindsUpdateKinds) {
+  EXPECT_EQ(ToSql(BindParameters(
+                ParseOrDie("INSERT INTO t (a, b) VALUES (?, ?)"),
+                {Value(1), Value("z")})),
+            "INSERT INTO t (a, b) VALUES (1, 'z')");
+  EXPECT_EQ(ToSql(BindParameters(ParseOrDie("DELETE FROM t WHERE a = ?"),
+                                 {Value(3)})),
+            "DELETE FROM t WHERE a = 3");
+  EXPECT_EQ(ToSql(BindParameters(
+                ParseOrDie("UPDATE t SET a = ? WHERE b = ?"),
+                {Value(1.5), Value("k")})),
+            "UPDATE t SET a = 1.5 WHERE b = 'k'");
+}
+
+TEST(BindParametersTest, StringParameterQuoting) {
+  Statement bound = BindParameters(
+      ParseOrDie("SELECT a FROM t WHERE b = ?"), {Value("o'brien")});
+  EXPECT_EQ(ToSql(bound), "SELECT a FROM t WHERE b = 'o''brien'");
+  // The bound statement round-trips through the parser.
+  auto reparsed = Parse(ToSql(bound));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(std::get<Value>(reparsed->select().where[0].rhs).AsString(),
+            "o'brien");
+}
+
+}  // namespace
+}  // namespace dssp::sql

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/report_export.h"
+#include "workloads/toystore.h"
+
+namespace dssp::analysis {
+namespace {
+
+class ReportExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+    templates_ = std::move(bundle->templates);
+    ipm_ = IpmCharacterization::Compute(templates_, db_->catalog());
+    CompulsoryPolicy policy;
+    policy.sensitive_attributes.insert(
+        templates::AttributeId{"credit_card", "number"});
+    report_ = RunMethodology(templates_, db_->catalog(), policy);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  templates::TemplateSet templates_;
+  IpmCharacterization ipm_{};
+  SecurityReport report_;
+};
+
+TEST_F(ReportExportTest, IpmMarkdownHasAllPairs) {
+  const std::string md = IpmToMarkdown(templates_, ipm_);
+  // Header + separator + 6 pairs.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 8);
+  EXPECT_NE(md.find("| U1 | Q1 | A=1, B=A, C<B |"), std::string::npos);
+  EXPECT_NE(md.find("| U1 | Q3 | A=B=C=0 |"), std::string::npos);
+  EXPECT_NE(md.find("| U2 | Q3 | A=1, B<A, C=B |"), std::string::npos);
+}
+
+TEST_F(ReportExportTest, IpmCsvParsesBackToSixRows) {
+  const std::string csv = IpmToCsv(templates_, ipm_);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);  // Header + 6.
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "update,query,a_is_zero,b_equals_a,c_equals_b,rationale");
+  EXPECT_NE(csv.find("\"U1\",\"Q2\",0,0,1,"), std::string::npos);
+  EXPECT_NE(csv.find("\"U2\",\"Q1\",1,1,1,"), std::string::npos);
+}
+
+TEST_F(ReportExportTest, SecurityReportMarkdown) {
+  const std::string md = SecurityReportToMarkdown(templates_, report_);
+  EXPECT_NE(md.find("| Q3 | query |"), std::string::npos);
+  EXPECT_NE(md.find("| view | template | yes |"), std::string::npos);
+  EXPECT_NE(md.find("SELECT qty FROM toys WHERE toy_id = ?"),
+            std::string::npos);
+  // 5 templates + header + separator.
+  EXPECT_EQ(std::count(md.begin(), md.end(), '\n'), 7);
+}
+
+TEST_F(ReportExportTest, SecurityReportCsv) {
+  const std::string csv = SecurityReportToCsv(report_);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+  EXPECT_NE(csv.find("\"Q2\",query,view,stmt,1"), std::string::npos);
+  EXPECT_NE(csv.find("\"U1\",update,stmt,stmt,0"), std::string::npos);
+}
+
+TEST_F(ReportExportTest, CsvQuotingEscapesQuotes) {
+  // Rationales never contain quotes today, but the quoting rule must hold.
+  IpmCharacterization ipm = ipm_;
+  const std::string csv = IpmToCsv(templates_, ipm);
+  // Every line has an even number of quote characters (balanced fields).
+  size_t start = 0;
+  while (start < csv.size()) {
+    size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string line = csv.substr(start, end - start);
+    EXPECT_EQ(std::count(line.begin(), line.end(), '"') % 2, 0) << line;
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace dssp::analysis

@@ -1,0 +1,134 @@
+// Whole-stack properties across exposure levels, exercised through the real
+// service path (client logic -> DSSP -> wire protocol -> home server):
+//
+//  1. Answer correctness: at EVERY exposure level, every query answered via
+//     the DSSP matches a direct master-database execution at that moment.
+//  2. Exposure monotonicity: replaying the same trace, the DSSP hit rate is
+//     non-increasing as exposure shrinks view -> stmt -> template -> blind
+//     (less information => more conservative invalidation => fewer hits).
+//  3. Simulation determinism per application.
+
+#include <gtest/gtest.h>
+
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "sim/simulator.h"
+#include "workloads/application.h"
+
+namespace dssp::service {
+namespace {
+
+using analysis::ExposureAssignment;
+using analysis::ExposureLevel;
+
+struct Trace {
+  std::vector<sim::DbOp> ops;
+};
+
+Trace RecordTrace(workloads::Application& workload, int pages,
+                  uint64_t seed) {
+  Trace trace;
+  auto session = workload.NewSession(seed);
+  Rng rng(seed);
+  for (int page = 0; page < pages; ++page) {
+    for (sim::DbOp& op : session->NextPage(rng)) {
+      trace.ops.push_back(std::move(op));
+    }
+  }
+  return trace;
+}
+
+class StackPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StackPropertyTest, AnswersMatchMasterAndHitsAreMonotone) {
+  // Record one trace (template ids + params) from a throwaway instance so
+  // every exposure level replays identical operations.
+  Trace trace;
+  {
+    DsspNode node;
+    ScalableApp app(GetParam(), &node,
+                    crypto::KeyRing::FromPassphrase("trace"));
+    auto workload = workloads::MakeApplication(GetParam());
+    ASSERT_TRUE(workload->Setup(app, 0.25, 31).ok());
+    trace = RecordTrace(*workload, 120, 5);
+  }
+
+  const ExposureLevel levels[] = {ExposureLevel::kView, ExposureLevel::kStmt,
+                                  ExposureLevel::kTemplate,
+                                  ExposureLevel::kBlind};
+  double previous_hit_rate = 1.1;
+  for (ExposureLevel level : levels) {
+    DsspNode node;
+    ScalableApp app(GetParam(), &node,
+                    crypto::KeyRing::FromPassphrase("replay"));
+    auto workload = workloads::MakeApplication(GetParam());
+    ASSERT_TRUE(workload->Setup(app, 0.25, 31).ok());
+    ASSERT_TRUE(app.Finalize().ok());
+    ExposureAssignment exposure = ExposureAssignment::FullExposure(
+        app.templates().num_queries(), app.templates().num_updates());
+    for (auto& l : exposure.query_levels) l = level;
+    for (auto& l : exposure.update_levels) {
+      l = level == ExposureLevel::kView ? ExposureLevel::kStmt : level;
+    }
+    ASSERT_TRUE(app.SetExposure(exposure).ok());
+
+    for (const sim::DbOp& op : trace.ops) {
+      if (op.is_update) {
+        ASSERT_TRUE(app.Update(op.template_id, op.params).ok())
+            << op.template_id;
+        continue;
+      }
+      auto via_dssp = app.Query(op.template_id, op.params);
+      ASSERT_TRUE(via_dssp.ok()) << op.template_id;
+      // Property 1: the DSSP-served answer equals direct execution.
+      const size_t index = app.templates().QueryIndex(op.template_id);
+      const sql::Statement bound =
+          app.templates().queries()[index].Bind(op.params);
+      auto direct = app.home().database().ExecuteQuery(bound);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_TRUE(via_dssp->SameResult(*direct))
+          << GetParam() << " " << op.template_id << " at "
+          << ExposureLevelName(level);
+    }
+
+    // Property 2: hit rates shrink with exposure.
+    const double hit_rate = node.stats(GetParam()).hit_rate();
+    EXPECT_LE(hit_rate, previous_hit_rate + 1e-9)
+        << "at " << ExposureLevelName(level);
+    previous_hit_rate = hit_rate;
+  }
+  // The extremes genuinely differ on these workloads.
+  EXPECT_LT(previous_hit_rate, 0.2);  // Blind hit rate is tiny.
+}
+
+TEST_P(StackPropertyTest, SimulationIsDeterministic) {
+  sim::SimConfig config;
+  config.duration_s = 40;
+  auto run = [&]() {
+    DsspNode node;
+    ScalableApp app(GetParam(), &node,
+                    crypto::KeyRing::FromPassphrase("det"));
+    auto workload = workloads::MakeApplication(GetParam());
+    DSSP_CHECK_OK(workload->Setup(app, 0.25, 11));
+    DSSP_CHECK_OK(app.Finalize());
+    auto generator = workload->NewSession(2);
+    auto result = sim::RunSimulation(app, *generator, 25, config);
+    DSSP_CHECK(result.ok());
+    return *result;
+  };
+  const sim::SimResult a = run();
+  const sim::SimResult b = run();
+  EXPECT_EQ(a.pages_completed, b.pages_completed);
+  EXPECT_EQ(a.db_ops, b.db_ops);
+  EXPECT_DOUBLE_EQ(a.p90_response_s, b.p90_response_s);
+  EXPECT_DOUBLE_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  EXPECT_EQ(a.entries_invalidated, b.entries_invalidated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, StackPropertyTest,
+                         ::testing::Values("toystore", "auction", "bboard",
+                                           "bookstore"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace dssp::service

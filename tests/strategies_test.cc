@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "engine/database.h"
+#include "invalidation/strategies.h"
+#include "workloads/toystore.h"
+
+namespace dssp::invalidation {
+namespace {
+
+using analysis::ExposureLevel;
+using sql::Value;
+using templates::QueryTemplate;
+using templates::UpdateTemplate;
+
+// Shared fixture: the Table 3 toystore plus helpers that build fully
+// populated views (as if everything were exposed) and let each test gate
+// what a strategy may see.
+class StrategiesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = workloads::MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+    templates_ = std::move(bundle->templates);
+  }
+
+  const catalog::Catalog& catalog() const { return db_->catalog(); }
+
+  // Builds an UpdateView at `level` for template `id` with `params`.
+  UpdateView MakeUpdate(const std::string& id, std::vector<Value> params,
+                        ExposureLevel level = ExposureLevel::kStmt) {
+    const UpdateTemplate* tmpl = templates_.FindUpdate(id);
+    EXPECT_NE(tmpl, nullptr);
+    update_stmt_ = tmpl->Bind(params);
+    UpdateView view;
+    view.level = level;
+    if (level != ExposureLevel::kBlind) view.tmpl = tmpl;
+    if (level == ExposureLevel::kStmt) view.statement = &update_stmt_;
+    return view;
+  }
+
+  // Builds a CachedQueryView at `level`, executing the query to obtain the
+  // real result when the level exposes it.
+  CachedQueryView MakeQuery(const std::string& id, std::vector<Value> params,
+                            ExposureLevel level = ExposureLevel::kView) {
+    const QueryTemplate* tmpl = templates_.FindQuery(id);
+    EXPECT_NE(tmpl, nullptr);
+    query_stmt_ = tmpl->Bind(params);
+    auto result = db_->ExecuteQuery(query_stmt_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    query_result_ = std::move(result).value();
+    CachedQueryView view;
+    view.level = level;
+    if (level != ExposureLevel::kBlind) view.tmpl = tmpl;
+    if (level == ExposureLevel::kStmt || level == ExposureLevel::kView) {
+      view.statement = &query_stmt_;
+    }
+    if (level == ExposureLevel::kView) view.result = &query_result_;
+    return view;
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  templates::TemplateSet templates_;
+  sql::Statement update_stmt_;
+  sql::Statement query_stmt_;
+  engine::QueryResult query_result_;
+};
+
+// ----- Table 2: invalidations under the four information regimes. -----
+// Update U1 with parameter 5 against cached Q1/Q2/Q3 instances.
+
+TEST_F(StrategiesTest, Table2BlindRowInvalidatesEverything) {
+  BlindStrategy blind;
+  const UpdateView u = MakeUpdate("U1", {Value(5)}, ExposureLevel::kBlind);
+  EXPECT_EQ(blind.Decide(u, MakeQuery("Q1", {Value("toy3")},
+                                      ExposureLevel::kBlind)),
+            Decision::kInvalidate);
+  EXPECT_EQ(blind.Decide(u, MakeQuery("Q2", {Value(5)},
+                                      ExposureLevel::kBlind)),
+            Decision::kInvalidate);
+  EXPECT_EQ(blind.Decide(u, MakeQuery("Q3", {Value(10001)},
+                                      ExposureLevel::kBlind)),
+            Decision::kInvalidate);
+}
+
+TEST_F(StrategiesTest, Table2TemplateRowSparesQ3) {
+  TemplateInspectionStrategy tis(catalog());
+  const UpdateView u = MakeUpdate("U1", {Value(5)}, ExposureLevel::kTemplate);
+  // All of Q1, all of Q2 invalidated; Q3 untouched (ignorable).
+  EXPECT_EQ(tis.Decide(u, MakeQuery("Q1", {Value("toy3")},
+                                    ExposureLevel::kTemplate)),
+            Decision::kInvalidate);
+  EXPECT_EQ(tis.Decide(u, MakeQuery("Q2", {Value(7)},
+                                    ExposureLevel::kTemplate)),
+            Decision::kInvalidate);
+  EXPECT_EQ(tis.Decide(u, MakeQuery("Q3", {Value(10001)},
+                                    ExposureLevel::kTemplate)),
+            Decision::kDoNotInvalidate);
+}
+
+TEST_F(StrategiesTest, Table2StatementRowSparesOtherKeys) {
+  StatementInspectionStrategy sis(catalog());
+  const UpdateView u = MakeUpdate("U1", {Value(5)});
+  // Q2 invalidated only if toy_id = 5.
+  EXPECT_EQ(sis.Decide(u, MakeQuery("Q2", {Value(5)}, ExposureLevel::kStmt)),
+            Decision::kInvalidate);
+  EXPECT_EQ(sis.Decide(u, MakeQuery("Q2", {Value(7)}, ExposureLevel::kStmt)),
+            Decision::kDoNotInvalidate);
+  // All of Q1 still invalidated (name unknown for deleted toy).
+  EXPECT_EQ(sis.Decide(u, MakeQuery("Q1", {Value("toy3")},
+                                    ExposureLevel::kStmt)),
+            Decision::kInvalidate);
+}
+
+TEST_F(StrategiesTest, Table2ViewRowChecksResultContent) {
+  ViewInspectionStrategy vis(catalog());
+  const UpdateView u = MakeUpdate("U1", {Value(5)});
+  // Q1('toy5') preserves toy_id: its result contains toy 5 -> invalidate.
+  EXPECT_EQ(vis.Decide(u, MakeQuery("Q1", {Value("toy5")})),
+            Decision::kInvalidate);
+  // Q1('toy3') yields toy 3 only -> the deletion of toy 5 cannot matter.
+  EXPECT_EQ(vis.Decide(u, MakeQuery("Q1", {Value("toy3")})),
+            Decision::kDoNotInvalidate);
+  // Q2(5): statement-level match -> invalidate.
+  EXPECT_EQ(vis.Decide(u, MakeQuery("Q2", {Value(5)})),
+            Decision::kInvalidate);
+}
+
+// ----- Strategy hierarchy (Figure 4): more information never invalidates
+// more. -----
+
+TEST_F(StrategiesTest, HierarchyIsMonotone) {
+  BlindStrategy blind;
+  TemplateInspectionStrategy tis(catalog());
+  StatementInspectionStrategy sis(catalog());
+  ViewInspectionStrategy vis(catalog());
+
+  const struct {
+    const char* update;
+    std::vector<Value> update_params;
+    const char* query;
+    std::vector<Value> query_params;
+  } cases[] = {
+      {"U1", {Value(5)}, "Q1", {Value("toy3")}},
+      {"U1", {Value(5)}, "Q1", {Value("toy5")}},
+      {"U1", {Value(5)}, "Q2", {Value(5)}},
+      {"U1", {Value(5)}, "Q2", {Value(7)}},
+      {"U1", {Value(5)}, "Q3", {Value(10001)}},
+      {"U2", {Value(15), Value("n"), Value(10001)}, "Q3", {Value(10001)}},
+      {"U2", {Value(15), Value("n"), Value(10002)}, "Q3", {Value(10001)}},
+      {"U2", {Value(15), Value("n"), Value(10001)}, "Q2", {Value(5)}},
+  };
+  for (const auto& c : cases) {
+    const UpdateView u = MakeUpdate(c.update, c.update_params);
+    // Rebuild the query view fresh for each strategy level.
+    const int blind_inv =
+        blind.Decide(u, MakeQuery(c.query, c.query_params,
+                                  ExposureLevel::kBlind)) ==
+        Decision::kInvalidate;
+    const int tis_inv =
+        tis.Decide(u, MakeQuery(c.query, c.query_params,
+                                ExposureLevel::kTemplate)) ==
+        Decision::kInvalidate;
+    const int sis_inv = sis.Decide(u, MakeQuery(c.query, c.query_params,
+                                                ExposureLevel::kStmt)) ==
+                        Decision::kInvalidate;
+    const int vis_inv =
+        vis.Decide(u, MakeQuery(c.query, c.query_params)) ==
+        Decision::kInvalidate;
+    EXPECT_GE(blind_inv, tis_inv) << c.update << "/" << c.query;
+    EXPECT_GE(tis_inv, sis_inv) << c.update << "/" << c.query;
+    EXPECT_GE(sis_inv, vis_inv) << c.update << "/" << c.query;
+  }
+}
+
+// ----- VIS refinements. -----
+
+TEST_F(StrategiesTest, VisModificationPaperExample) {
+  // Section 4.4: SET qty=10 WHERE toy_id=5 vs SELECT toy_id WHERE qty>100.
+  // Create the templates fresh (not part of the toystore set).
+  auto mod = UpdateTemplate::Create(
+      "Um", "UPDATE toys SET qty = ? WHERE toy_id = ?", catalog());
+  ASSERT_TRUE(mod.ok());
+  auto q = QueryTemplate::Create(
+      "Qm", "SELECT toy_id FROM toys WHERE qty > ?", catalog());
+  ASSERT_TRUE(q.ok());
+
+  const sql::Statement update_stmt = mod->Bind({Value(10), Value(5)});
+  const sql::Statement query_stmt = q->Bind({Value(100)});
+  const auto result = db_->ExecuteQuery(query_stmt);
+  ASSERT_TRUE(result.ok());
+  // No toy has qty > 100 in the fixture (qty <= 100), and in particular
+  // toy 5 is absent from the result.
+  ASSERT_TRUE(std::none_of(result->rows().begin(), result->rows().end(),
+                           [](const engine::Row& row) {
+                             return row[0] == Value(5);
+                           }));
+
+  UpdateView uv;
+  uv.level = ExposureLevel::kStmt;
+  uv.tmpl = &*mod;
+  uv.statement = &update_stmt;
+  CachedQueryView qv;
+  qv.level = ExposureLevel::kView;
+  qv.tmpl = &*q;
+  qv.statement = &query_stmt;
+  qv.result = &*result;
+
+  StatementInspectionStrategy sis(catalog());
+  ViewInspectionStrategy vis(catalog());
+  // MSIS must invalidate; MVIS must not (the paper's exact scenario).
+  EXPECT_EQ(sis.Decide(uv, qv), Decision::kInvalidate);
+  EXPECT_EQ(vis.Decide(uv, qv), Decision::kDoNotInvalidate);
+}
+
+TEST_F(StrategiesTest, VisModificationEntryForcesInvalidation) {
+  auto mod = UpdateTemplate::Create(
+      "Um", "UPDATE toys SET qty = ? WHERE toy_id = ?", catalog());
+  ASSERT_TRUE(mod.ok());
+  auto q = QueryTemplate::Create(
+      "Qm", "SELECT toy_id FROM toys WHERE qty > ?", catalog());
+  ASSERT_TRUE(q.ok());
+  // New qty 500 > 100: the modified row enters the result.
+  const sql::Statement update_stmt = mod->Bind({Value(500), Value(5)});
+  const sql::Statement query_stmt = q->Bind({Value(100)});
+  const auto result = db_->ExecuteQuery(query_stmt);
+  ASSERT_TRUE(result.ok());
+
+  UpdateView uv{ExposureLevel::kStmt, &*mod, &update_stmt};
+  CachedQueryView qv{ExposureLevel::kView, &*q, &query_stmt, &*result};
+  ViewInspectionStrategy vis(catalog());
+  EXPECT_EQ(vis.Decide(uv, qv), Decision::kInvalidate);
+}
+
+TEST_F(StrategiesTest, VisFallsBackWhenPredicateAttrsNotPreserved) {
+  // Q2 preserves only qty; a deletion keyed on toy_id cannot be checked
+  // against the view, so VIS falls back to the statement decision.
+  ViewInspectionStrategy vis(catalog());
+  const UpdateView u = MakeUpdate("U1", {Value(5)});
+  EXPECT_EQ(vis.Decide(u, MakeQuery("Q2", {Value(5)})),
+            Decision::kInvalidate);
+  EXPECT_EQ(vis.Decide(u, MakeQuery("Q2", {Value(7)})),
+            Decision::kDoNotInvalidate);  // Statement-level independence.
+}
+
+// ----- Gated information: strategies never peek beyond the exposure. -----
+
+TEST_F(StrategiesTest, StrategiesInvalidateWhenInformationHidden) {
+  TemplateInspectionStrategy tis(catalog());
+  StatementInspectionStrategy sis(catalog());
+  // Blind update: even TIS must invalidate everything.
+  const UpdateView blind_update =
+      MakeUpdate("U1", {Value(5)}, ExposureLevel::kBlind);
+  EXPECT_EQ(tis.Decide(blind_update, MakeQuery("Q3", {Value(10001)},
+                                               ExposureLevel::kTemplate)),
+            Decision::kInvalidate);
+  // Blind query entry: must be invalidated by any update.
+  const UpdateView u = MakeUpdate("U1", {Value(5)});
+  EXPECT_EQ(sis.Decide(u, MakeQuery("Q3", {Value(10001)},
+                                    ExposureLevel::kBlind)),
+            Decision::kInvalidate);
+  // Template-level update: SIS has no parameters, cannot prove independence
+  // for same-template pairs.
+  const UpdateView template_update =
+      MakeUpdate("U1", {Value(5)}, ExposureLevel::kTemplate);
+  EXPECT_EQ(sis.Decide(template_update,
+                       MakeQuery("Q2", {Value(7)}, ExposureLevel::kStmt)),
+            Decision::kInvalidate);
+}
+
+// ----- MixedStrategy dispatch (Figure 6 shaded cells). -----
+
+TEST_F(StrategiesTest, MixedDispatchesByExposure) {
+  MixedStrategy mixed(catalog());
+  // (stmt, stmt) -> SIS: independent instance spared.
+  EXPECT_EQ(mixed.Decide(MakeUpdate("U1", {Value(5)}),
+                         MakeQuery("Q2", {Value(7)}, ExposureLevel::kStmt)),
+            Decision::kDoNotInvalidate);
+  // (stmt, template) -> TIS: same pair now invalidated.
+  EXPECT_EQ(
+      mixed.Decide(MakeUpdate("U1", {Value(5)}),
+                   MakeQuery("Q2", {Value(7)}, ExposureLevel::kTemplate)),
+      Decision::kInvalidate);
+  // (blind, view) -> blind.
+  EXPECT_EQ(mixed.Decide(MakeUpdate("U1", {Value(5)}, ExposureLevel::kBlind),
+                         MakeQuery("Q3", {Value(10001)})),
+            Decision::kInvalidate);
+  // (stmt, view) -> VIS.
+  EXPECT_EQ(mixed.Decide(MakeUpdate("U1", {Value(5)}),
+                         MakeQuery("Q1", {Value("toy3")})),
+            Decision::kDoNotInvalidate);
+}
+
+TEST_F(StrategiesTest, StrategyNames) {
+  EXPECT_EQ(BlindStrategy().name(), "MBS");
+  EXPECT_EQ(TemplateInspectionStrategy(catalog()).name(), "MTIS");
+  EXPECT_EQ(StatementInspectionStrategy(catalog()).name(), "MSIS");
+  EXPECT_EQ(ViewInspectionStrategy(catalog()).name(), "MVIS");
+  EXPECT_EQ(MixedStrategy(catalog()).name(), "mixed");
+}
+
+}  // namespace
+}  // namespace dssp::invalidation

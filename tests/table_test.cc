@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "engine/table.h"
+
+namespace dssp::engine {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+using sql::Value;
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : schema_("toys",
+                {{"toy_id", ColumnType::kInt64},
+                 {"toy_name", ColumnType::kString},
+                 {"qty", ColumnType::kInt64}},
+                {"toy_id"}),
+        table_(schema_) {}
+
+  catalog::TableSchema schema_;
+  Table table_;
+};
+
+TEST_F(TableTest, InsertAndLookup) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("car"), Value(5)}).ok());
+  ASSERT_TRUE(table_.Insert({Value(2), Value("doll"), Value(7)}).ok());
+  EXPECT_EQ(table_.num_rows(), 2u);
+  const auto slots = table_.SlotsWithValue(1, Value("car"));
+  ASSERT_EQ(slots.size(), 1u);
+  EXPECT_EQ(table_.RowAt(slots[0])[2], Value(5));
+}
+
+TEST_F(TableTest, RejectsArityMismatch) {
+  EXPECT_FALSE(table_.Insert({Value(1), Value("car")}).ok());
+}
+
+TEST_F(TableTest, RejectsTypeMismatch) {
+  EXPECT_FALSE(table_.Insert({Value("x"), Value("car"), Value(1)}).ok());
+  EXPECT_FALSE(table_.Insert({Value(1), Value(2), Value(3)}).ok());
+  EXPECT_FALSE(table_.Insert({Value(1), Value("car"), Value(1.5)}).ok());
+}
+
+TEST_F(TableTest, AllowsNulls) {
+  EXPECT_TRUE(table_.Insert({Value(1), Value::Null(), Value::Null()}).ok());
+}
+
+TEST_F(TableTest, EnforcesPrimaryKeyUniqueness) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("car"), Value(5)}).ok());
+  const Status dup = table_.Insert({Value(1), Value("boat"), Value(9)});
+  EXPECT_EQ(dup.code(), StatusCode::kConstraintViolation);
+  EXPECT_EQ(table_.num_rows(), 1u);
+}
+
+TEST_F(TableTest, DeleteMaintainsIndexes) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("car"), Value(5)}).ok());
+  ASSERT_TRUE(table_.Insert({Value(2), Value("car"), Value(6)}).ok());
+  const auto slots = table_.SlotsWithValue(1, Value("car"));
+  ASSERT_EQ(slots.size(), 2u);
+  table_.DeleteSlot(slots[0]);
+  EXPECT_EQ(table_.num_rows(), 1u);
+  EXPECT_EQ(table_.SlotsWithValue(1, Value("car")).size(), 1u);
+  EXPECT_FALSE(table_.IsLive(slots[0]));
+}
+
+TEST_F(TableTest, SlotReuseAfterDelete) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("a"), Value(1)}).ok());
+  const auto slots = table_.SlotsWithValue(0, Value(1));
+  table_.DeleteSlot(slots[0]);
+  // Primary key is free again.
+  ASSERT_TRUE(table_.Insert({Value(1), Value("b"), Value(2)}).ok());
+  EXPECT_EQ(table_.num_rows(), 1u);
+  const auto again = table_.SlotsWithValue(0, Value(1));
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(table_.RowAt(again[0])[1], Value("b"));
+}
+
+TEST_F(TableTest, UpdateSlotReindexes) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("car"), Value(5)}).ok());
+  const auto slots = table_.SlotsWithValue(0, Value(1));
+  table_.UpdateSlot(slots[0], 2, Value(99));
+  EXPECT_TRUE(table_.SlotsWithValue(2, Value(5)).empty());
+  ASSERT_EQ(table_.SlotsWithValue(2, Value(99)).size(), 1u);
+  EXPECT_EQ(table_.RowAt(slots[0])[2], Value(99));
+}
+
+TEST_F(TableTest, ContainsValue) {
+  ASSERT_TRUE(table_.Insert({Value(1), Value("car"), Value(5)}).ok());
+  EXPECT_TRUE(table_.ContainsValue(1, Value("car")));
+  EXPECT_FALSE(table_.ContainsValue(1, Value("boat")));
+}
+
+TEST_F(TableTest, AllSlotsAscending) {
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        table_.Insert({Value(i), Value("t"), Value(i)}).ok());
+  }
+  const auto slots = table_.AllSlots();
+  ASSERT_EQ(slots.size(), 5u);
+  for (size_t i = 1; i < slots.size(); ++i) {
+    EXPECT_LT(slots[i - 1], slots[i]);
+  }
+}
+
+TEST_F(TableTest, CompositePrimaryKey) {
+  catalog::TableSchema schema(
+      "ol", {{"o", ColumnType::kInt64}, {"l", ColumnType::kInt64}},
+      {"o", "l"});
+  Table table(schema);
+  EXPECT_TRUE(table.Insert({Value(1), Value(1)}).ok());
+  EXPECT_TRUE(table.Insert({Value(1), Value(2)}).ok());
+  EXPECT_TRUE(table.Insert({Value(2), Value(1)}).ok());
+  EXPECT_EQ(table.Insert({Value(1), Value(2)}).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST_F(TableTest, ManyRowsIndexScale) {
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(table_
+                    .Insert({Value(i), Value("name" + std::to_string(i % 97)),
+                             Value(i % 13)})
+                    .ok());
+  }
+  EXPECT_EQ(table_.num_rows(), 5000u);
+  // 5000/97 ~ 51 rows share each name.
+  const auto by_name = table_.SlotsWithValue(1, Value("name13"));
+  EXPECT_GE(by_name.size(), 50u);
+  const auto by_qty = table_.SlotsWithValue(2, Value(7));
+  EXPECT_GE(by_qty.size(), 300u);
+}
+
+}  // namespace
+}  // namespace dssp::engine

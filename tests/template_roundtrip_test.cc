@@ -1,0 +1,99 @@
+// Cross-module property: every benchmark application template survives a
+// print -> parse -> re-analyze round trip with identical derived analysis
+// artifacts (attribute sets, classes, assumption flags, IPM relations).
+// This pins down the parser/printer pair and guarantees the static analysis
+// is a function of the SQL text, not of incidental AST shape.
+
+#include <gtest/gtest.h>
+
+#include "analysis/ipm.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "workloads/application.h"
+
+namespace dssp::templates {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    app_ = std::make_unique<service::ScalableApp>(
+        GetParam(), &node_, crypto::KeyRing::FromPassphrase("rt"));
+    workload_ = workloads::MakeApplication(GetParam());
+    ASSERT_TRUE(workload_->Setup(*app_, 0.1, 2).ok());
+  }
+
+  service::DsspNode node_;
+  std::unique_ptr<service::ScalableApp> app_;
+  std::unique_ptr<workloads::Application> workload_;
+};
+
+TEST_P(RoundTripTest, QueryTemplatesRoundTrip) {
+  const catalog::Catalog& catalog = app_->home().database().catalog();
+  for (const QueryTemplate& q : app_->templates().queries()) {
+    auto reparsed = QueryTemplate::Create(q.id(), q.ToSql(), catalog);
+    ASSERT_TRUE(reparsed.ok()) << q.ToSql();
+    EXPECT_EQ(reparsed->ToSql(), q.ToSql());
+    EXPECT_EQ(reparsed->num_params(), q.num_params());
+    EXPECT_EQ(reparsed->selection_attributes(), q.selection_attributes())
+        << q.id();
+    EXPECT_EQ(reparsed->preserved_attributes(), q.preserved_attributes())
+        << q.id();
+    EXPECT_EQ(reparsed->only_equality_joins(), q.only_equality_joins());
+    EXPECT_EQ(reparsed->no_top_k(), q.no_top_k());
+    EXPECT_EQ(reparsed->has_aggregation(), q.has_aggregation());
+    EXPECT_EQ(reparsed->assumptions().ok(), q.assumptions().ok());
+    EXPECT_EQ(reparsed->output_columns().size(), q.output_columns().size());
+  }
+}
+
+TEST_P(RoundTripTest, UpdateTemplatesRoundTrip) {
+  const catalog::Catalog& catalog = app_->home().database().catalog();
+  for (const UpdateTemplate& u : app_->templates().updates()) {
+    auto reparsed = UpdateTemplate::Create(u.id(), u.ToSql(), catalog);
+    ASSERT_TRUE(reparsed.ok()) << u.ToSql();
+    EXPECT_EQ(reparsed->ToSql(), u.ToSql());
+    EXPECT_EQ(reparsed->update_class(), u.update_class());
+    EXPECT_EQ(reparsed->table(), u.table());
+    EXPECT_EQ(reparsed->selection_attributes(), u.selection_attributes());
+    EXPECT_EQ(reparsed->modified_attributes(), u.modified_attributes());
+    EXPECT_EQ(reparsed->assumptions().ok(), u.assumptions().ok());
+  }
+}
+
+TEST_P(RoundTripTest, IpmIsAFunctionOfTheSqlText) {
+  const catalog::Catalog& catalog = app_->home().database().catalog();
+  // Rebuild the whole template set from printed SQL and compare every pair
+  // characterization.
+  TemplateSet rebuilt;
+  for (const QueryTemplate& q : app_->templates().queries()) {
+    auto t = QueryTemplate::Create(q.id(), q.ToSql(), catalog);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(rebuilt.AddQuery(std::move(*t)).ok());
+  }
+  for (const UpdateTemplate& u : app_->templates().updates()) {
+    auto t = UpdateTemplate::Create(u.id(), u.ToSql(), catalog);
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(rebuilt.AddUpdate(std::move(*t)).ok());
+  }
+  const auto original =
+      analysis::IpmCharacterization::Compute(app_->templates(), catalog);
+  const auto again = analysis::IpmCharacterization::Compute(rebuilt, catalog);
+  ASSERT_EQ(original.num_updates(), again.num_updates());
+  ASSERT_EQ(original.num_queries(), again.num_queries());
+  for (size_t i = 0; i < original.num_updates(); ++i) {
+    for (size_t j = 0; j < original.num_queries(); ++j) {
+      EXPECT_EQ(original.pair(i, j).a_is_zero, again.pair(i, j).a_is_zero);
+      EXPECT_EQ(original.pair(i, j).b_equals_a, again.pair(i, j).b_equals_a);
+      EXPECT_EQ(original.pair(i, j).c_equals_b, again.pair(i, j).c_equals_b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, RoundTripTest,
+                         ::testing::Values("toystore", "auction", "bboard",
+                                           "bookstore"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace dssp::templates

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "templates/template.h"
+#include "templates/template_set.h"
+#include "workloads/toystore.h"
+
+namespace dssp::templates {
+namespace {
+
+using workloads::MakeToystore;
+
+AttributeSet Attrs(std::initializer_list<AttributeId> list) {
+  return AttributeSet(list);
+}
+
+class TemplateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto bundle = MakeToystore();
+    ASSERT_TRUE(bundle.ok());
+    db_ = std::move(bundle->db);
+    templates_ = std::move(bundle->templates);
+  }
+
+  const catalog::Catalog& catalog() const { return db_->catalog(); }
+
+  QueryTemplate Query(const std::string& sql) {
+    auto tmpl = QueryTemplate::Create("Qx", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << sql << ": " << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  UpdateTemplate Update(const std::string& sql) {
+    auto tmpl = UpdateTemplate::Create("Ux", sql, catalog());
+    EXPECT_TRUE(tmpl.ok()) << sql << ": " << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  TemplateSet templates_;
+};
+
+// ----- Attribute sets (paper Section 4.1 worked examples). -----
+
+TEST_F(TemplateTest, ToystoreQ1AttributeSets) {
+  // S(Q1) = {toys.toy_name}, P(Q1) = {toys.toy_id}.
+  const QueryTemplate* q1 = templates_.FindQuery("Q1");
+  ASSERT_NE(q1, nullptr);
+  EXPECT_EQ(q1->selection_attributes(), Attrs({{"toys", "toy_name"}}));
+  EXPECT_EQ(q1->preserved_attributes(), Attrs({{"toys", "toy_id"}}));
+}
+
+TEST_F(TemplateTest, ToystoreU1AttributeSets) {
+  // S(U1) = {toys.toy_id}, M(U1) = all attributes of toys.
+  const UpdateTemplate* u1 = templates_.FindUpdate("U1");
+  ASSERT_NE(u1, nullptr);
+  EXPECT_EQ(u1->update_class(), UpdateClass::kDeletion);
+  EXPECT_EQ(u1->selection_attributes(), Attrs({{"toys", "toy_id"}}));
+  EXPECT_EQ(u1->modified_attributes(),
+            Attrs({{"toys", "toy_id"}, {"toys", "toy_name"}, {"toys", "qty"}}));
+}
+
+TEST_F(TemplateTest, InsertionModifiesAllAttributes) {
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  ASSERT_NE(u2, nullptr);
+  EXPECT_EQ(u2->update_class(), UpdateClass::kInsertion);
+  EXPECT_TRUE(u2->selection_attributes().empty());
+  EXPECT_EQ(u2->modified_attributes(),
+            Attrs({{"credit_card", "cid"},
+                   {"credit_card", "number"},
+                   {"credit_card", "zip_code"}}));
+}
+
+TEST_F(TemplateTest, JoinQueryAttributeSets) {
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  ASSERT_NE(q3, nullptr);
+  EXPECT_EQ(q3->selection_attributes(),
+            Attrs({{"customers", "cust_id"},
+                   {"credit_card", "cid"},
+                   {"credit_card", "zip_code"}}));
+  EXPECT_EQ(q3->preserved_attributes(), Attrs({{"customers", "cust_name"}}));
+}
+
+TEST_F(TemplateTest, ModificationAttributeSets) {
+  const UpdateTemplate u =
+      Update("UPDATE toys SET qty = ? WHERE toy_id = ?");
+  EXPECT_EQ(u.update_class(), UpdateClass::kModification);
+  EXPECT_EQ(u.selection_attributes(), Attrs({{"toys", "toy_id"}}));
+  EXPECT_EQ(u.modified_attributes(), Attrs({{"toys", "qty"}}));
+}
+
+TEST_F(TemplateTest, OrderByAttributesBelongToS) {
+  const QueryTemplate q = Query(
+      "SELECT toy_id FROM toys WHERE toy_name = ? ORDER BY qty DESC");
+  EXPECT_EQ(q.selection_attributes(),
+            Attrs({{"toys", "toy_name"}, {"toys", "qty"}}));
+}
+
+TEST_F(TemplateTest, StarPreservesEverything) {
+  const QueryTemplate q = Query("SELECT * FROM toys WHERE toy_id = ?");
+  EXPECT_EQ(q.preserved_attributes(),
+            Attrs({{"toys", "toy_id"}, {"toys", "toy_name"}, {"toys", "qty"}}));
+}
+
+TEST_F(TemplateTest, AliasResolvesToPhysicalTable) {
+  const QueryTemplate q =
+      Query("SELECT t.qty FROM toys AS t WHERE t.toy_id = ?");
+  EXPECT_EQ(q.preserved_attributes(), Attrs({{"toys", "qty"}}));
+  EXPECT_EQ(q.selection_attributes(), Attrs({{"toys", "toy_id"}}));
+}
+
+// ----- Classes E and N (Table 6). -----
+
+TEST_F(TemplateTest, EqualityJoinClass) {
+  EXPECT_TRUE(Query("SELECT cust_name FROM customers, credit_card "
+                    "WHERE cust_id = cid AND zip_code = ?")
+                  .only_equality_joins());
+  EXPECT_FALSE(Query("SELECT t1.toy_id FROM toys AS t1, toys AS t2 "
+                     "WHERE t1.qty > t2.qty AND t1.toy_name = ? "
+                     "AND t2.toy_name = ?")
+                   .only_equality_joins());
+}
+
+TEST_F(TemplateTest, TopKClass) {
+  EXPECT_TRUE(Query("SELECT qty FROM toys WHERE toy_id = ?").no_top_k());
+  EXPECT_FALSE(
+      Query("SELECT qty FROM toys WHERE toy_id >= ? LIMIT 5").no_top_k());
+}
+
+TEST_F(TemplateTest, AggregationDetection) {
+  EXPECT_FALSE(Query("SELECT qty FROM toys WHERE toy_id = ?")
+                   .has_aggregation());
+  EXPECT_TRUE(Query("SELECT MAX(qty) FROM toys WHERE toy_id >= ?")
+                  .has_aggregation());
+  EXPECT_TRUE(Query("SELECT toy_name, COUNT(toy_id) FROM toys "
+                    "WHERE qty >= ? GROUP BY toy_name")
+                  .has_aggregation());
+}
+
+// ----- Assumption checking (Section 2.1.1). -----
+
+TEST_F(TemplateTest, CleanTemplatePassesAssumptions) {
+  EXPECT_TRUE(
+      Query("SELECT qty FROM toys WHERE toy_id = ?").assumptions().ok());
+  EXPECT_TRUE(
+      Update("DELETE FROM toys WHERE toy_id = ?").assumptions().ok());
+}
+
+TEST_F(TemplateTest, EmbeddedConstantViolation) {
+  EXPECT_TRUE(Query("SELECT qty FROM toys WHERE toy_name = 'car'")
+                  .assumptions()
+                  .has_embedded_constants);
+  EXPECT_TRUE(Update("UPDATE toys SET qty = 0 WHERE toy_id = ?")
+                  .assumptions()
+                  .has_embedded_constants);
+  EXPECT_TRUE(Update("INSERT INTO toys (toy_id, toy_name, qty) "
+                     "VALUES (?, ?, 10)")
+                  .assumptions()
+                  .has_embedded_constants);
+}
+
+TEST_F(TemplateTest, WithinRelationComparisonViolation) {
+  // toy_id = qty compares two attributes of one relation instance.
+  EXPECT_TRUE(Query("SELECT toy_id FROM toys WHERE toy_id = qty")
+                  .assumptions()
+                  .compares_within_relation);
+  // A self-join across two instances of the same table is fine.
+  EXPECT_FALSE(Query("SELECT t1.toy_id FROM toys AS t1, toys AS t2 "
+                     "WHERE t1.qty = t2.qty AND t1.toy_name = ?")
+                   .assumptions()
+                   .compares_within_relation);
+}
+
+TEST_F(TemplateTest, EmptyPredicateViolation) {
+  EXPECT_TRUE(
+      Query("SELECT toy_id FROM toys").assumptions().cartesian_product);
+  EXPECT_FALSE(Query("SELECT toy_id FROM toys WHERE qty >= ?")
+                   .assumptions()
+                   .cartesian_product);
+}
+
+// ----- Pair properties G (ignorable) and H (result-unhelpful). -----
+
+TEST_F(TemplateTest, IgnorablePairs) {
+  const UpdateTemplate* u1 = templates_.FindUpdate("U1");
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate* q1 = templates_.FindQuery("Q1");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  // U1 (delete toys) is ignorable for Q3 (customers x credit_card).
+  EXPECT_TRUE(IsIgnorable(*u1, *q3));
+  EXPECT_FALSE(IsIgnorable(*u1, *q1));
+  // U2 (insert credit_card) is ignorable for Q1 (toys) but not Q3.
+  EXPECT_TRUE(IsIgnorable(*u2, *q1));
+  EXPECT_FALSE(IsIgnorable(*u2, *q3));
+}
+
+TEST_F(TemplateTest, ResultUnhelpfulPairs) {
+  const UpdateTemplate* u1 = templates_.FindUpdate("U1");
+  const UpdateTemplate* u2 = templates_.FindUpdate("U2");
+  const QueryTemplate* q1 = templates_.FindQuery("Q1");
+  const QueryTemplate* q2 = templates_.FindQuery("Q2");
+  const QueryTemplate* q3 = templates_.FindQuery("Q3");
+  // S(U1) = {toy_id} is preserved by Q1 -> result helpful.
+  EXPECT_FALSE(IsResultUnhelpful(*u1, *q1));
+  // Q2 preserves only qty -> result unhelpful for U1.
+  EXPECT_TRUE(IsResultUnhelpful(*u1, *q2));
+  // Q3 is result-unhelpful for U2 (paper Section 4.1).
+  EXPECT_TRUE(IsResultUnhelpful(*u2, *q3));
+}
+
+// ----- Output column provenance. -----
+
+TEST_F(TemplateTest, OutputColumnsPlain) {
+  const QueryTemplate q =
+      Query("SELECT toy_id, qty FROM toys WHERE toy_name = ?");
+  ASSERT_EQ(q.output_columns().size(), 2u);
+  EXPECT_EQ(q.output_columns()[0].slot, 0u);
+  EXPECT_EQ(q.output_columns()[0].attribute->column, "toy_id");
+  EXPECT_EQ(q.output_columns()[1].attribute->column, "qty");
+}
+
+TEST_F(TemplateTest, OutputColumnsStarMatchesEngineExpansion) {
+  const QueryTemplate q = Query(
+      "SELECT * FROM customers, credit_card WHERE cust_id = cid");
+  // customers has 2 columns, credit_card 3.
+  ASSERT_EQ(q.output_columns().size(), 5u);
+  EXPECT_EQ(q.output_columns()[0].attribute->table, "customers");
+  EXPECT_EQ(q.output_columns()[2].attribute->table, "credit_card");
+  EXPECT_EQ(q.output_columns()[2].slot, 1u);
+}
+
+TEST_F(TemplateTest, OutputColumnsAggregatesAreDerived) {
+  const QueryTemplate q = Query(
+      "SELECT toy_name, COUNT(toy_id) FROM toys WHERE qty >= ? "
+      "GROUP BY toy_name");
+  ASSERT_EQ(q.output_columns().size(), 2u);
+  EXPECT_TRUE(q.output_columns()[0].attribute.has_value());
+  EXPECT_FALSE(q.output_columns()[1].attribute.has_value());
+}
+
+// ----- Creation errors. -----
+
+TEST_F(TemplateTest, CreationErrors) {
+  EXPECT_FALSE(QueryTemplate::Create("Q", "DELETE FROM toys", catalog()).ok());
+  EXPECT_FALSE(
+      UpdateTemplate::Create("U", "SELECT qty FROM toys WHERE toy_id = ?",
+                             catalog())
+          .ok());
+  EXPECT_FALSE(
+      QueryTemplate::Create("Q", "SELECT x FROM ghost WHERE y = ?", catalog())
+          .ok());
+  EXPECT_FALSE(
+      QueryTemplate::Create("Q", "SELECT nope FROM toys WHERE toy_id = ?",
+                            catalog())
+          .ok());
+  EXPECT_FALSE(UpdateTemplate::Create(
+                   "U", "UPDATE toys SET nope = ? WHERE toy_id = ?", catalog())
+                   .ok());
+}
+
+// ----- TemplateSet. -----
+
+TEST_F(TemplateTest, TemplateSetLookup) {
+  EXPECT_EQ(templates_.num_queries(), 3u);
+  EXPECT_EQ(templates_.num_updates(), 2u);
+  EXPECT_NE(templates_.FindQuery("Q2"), nullptr);
+  EXPECT_EQ(templates_.FindQuery("Q9"), nullptr);
+  EXPECT_EQ(templates_.QueryIndex("Q3"), 2u);
+  EXPECT_EQ(templates_.UpdateIndex("U2"), 1u);
+  EXPECT_EQ(templates_.QueryIndex("nope"), TemplateSet::kNpos);
+}
+
+TEST_F(TemplateTest, TemplateSetRejectsDuplicateIds) {
+  TemplateSet set;
+  auto q = QueryTemplate::Create("Q1", "SELECT qty FROM toys WHERE toy_id = ?",
+                                 catalog());
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(set.AddQuery(*q).ok());
+  EXPECT_EQ(set.AddQuery(*q).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TemplateTest, BindProducesExecutableInstance) {
+  const QueryTemplate* q2 = templates_.FindQuery("Q2");
+  const sql::Statement bound = q2->Bind({sql::Value(5)});
+  EXPECT_EQ(bound.num_params, 0);
+  EXPECT_EQ(sql::ToSql(bound), "SELECT qty FROM toys WHERE toy_id = 5");
+}
+
+}  // namespace
+}  // namespace dssp::templates

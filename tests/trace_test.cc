@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keyring.h"
+#include "sim/trace.h"
+#include "workloads/application.h"
+
+namespace dssp::sim {
+namespace {
+
+using sql::Value;
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  std::vector<DbOp> trace = {
+      {false, "Q4", {Value("SCIFI")}},
+      {true, "U6", {Value(55), Value(417)}},
+      {false, "Q26", {Value(5.0)}},
+      {false, "Q5", {Value("it's quoted")}},
+      {true, "U9", {Value::Null(), Value(-3)}},
+      {false, "Q1", {}},
+  };
+  const std::string text = SerializeTrace(trace);
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].is_update, trace[i].is_update) << i;
+    EXPECT_EQ((*parsed)[i].template_id, trace[i].template_id) << i;
+    ASSERT_EQ((*parsed)[i].params.size(), trace[i].params.size()) << i;
+    for (size_t p = 0; p < trace[i].params.size(); ++p) {
+      EXPECT_EQ((*parsed)[i].params[p].type(), trace[i].params[p].type());
+      if (!trace[i].params[p].is_null()) {
+        EXPECT_TRUE((*parsed)[i].params[p] == trace[i].params[p]);
+      }
+    }
+  }
+}
+
+TEST(TraceTest, ParserSkipsCommentsAndBlankLines) {
+  auto parsed = ParseTrace("# header\n\nQ Q1 1\n   \n# tail\nU U1 2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(TraceTest, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(ParseTrace("X Q1 1").ok());
+  EXPECT_FALSE(ParseTrace("Q ").ok());
+  EXPECT_FALSE(ParseTrace("Q Q1 'unterminated").ok());
+  EXPECT_FALSE(ParseTrace("Q Q1 SELECT").ok());
+  EXPECT_FALSE(ParseTrace("Q Q1 ??").ok());
+}
+
+TEST(TraceTest, RecordAndReplayAgainstLiveService) {
+  service::DsspNode node;
+  service::ScalableApp app("toystore", &node,
+                           crypto::KeyRing::FromPassphrase("trace"));
+  auto workload = workloads::MakeApplication("toystore");
+  ASSERT_TRUE(workload->Setup(app, 1.0, 7).ok());
+  ASSERT_TRUE(app.Finalize().ok());
+
+  auto generator = workload->NewSession(1);
+  Rng rng(42);
+  const std::vector<DbOp> trace = RecordPages(*generator, rng, 60);
+  ASSERT_GT(trace.size(), 60u);
+
+  auto stats = ReplayTrace(app, trace);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->queries + stats->updates, trace.size());
+  EXPECT_GT(stats->queries, stats->updates);
+  EXPECT_GT(stats->cache_hits, 0u);
+  EXPECT_GT(stats->hit_rate(), 0.0);
+}
+
+TEST(TraceTest, TextRoundTripReplaysIdentically) {
+  // Replaying a trace and replaying its serialize->parse image produce the
+  // same cache behaviour on fresh systems.
+  auto build = [](const std::string& tag) {
+    struct Sys {
+      service::DsspNode node;
+      std::unique_ptr<service::ScalableApp> app;
+      std::unique_ptr<workloads::Application> workload;
+    };
+    auto sys = std::make_unique<Sys>();
+    sys->app = std::make_unique<service::ScalableApp>(
+        "toystore", &sys->node, crypto::KeyRing::FromPassphrase(tag));
+    sys->workload = workloads::MakeApplication("toystore");
+    DSSP_CHECK_OK(sys->workload->Setup(*sys->app, 1.0, 7));
+    DSSP_CHECK_OK(sys->app->Finalize());
+    return sys;
+  };
+
+  auto original_system = build("one");
+  auto generator = original_system->workload->NewSession(1);
+  Rng rng(9);
+  const std::vector<DbOp> trace = RecordPages(*generator, rng, 40);
+  auto parsed = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok());
+
+  auto original = ReplayTrace(*original_system->app, trace);
+  auto round_tripped_system = build("two");
+  auto round_tripped = ReplayTrace(*round_tripped_system->app, *parsed);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(round_tripped.ok());
+  EXPECT_EQ(original->cache_hits, round_tripped->cache_hits);
+  EXPECT_EQ(original->entries_invalidated,
+            round_tripped->entries_invalidated);
+  EXPECT_EQ(original->rows_returned, round_tripped->rows_returned);
+  EXPECT_EQ(original->rows_affected, round_tripped->rows_affected);
+}
+
+}  // namespace
+}  // namespace dssp::sim

@@ -1,0 +1,141 @@
+// UNIQUE single-column constraints: catalog validation, engine enforcement
+// (insert and modify), and the Section 4.5-style analysis refinement (a
+// cached instance of "unique_col = ?" pins an existing value, so an
+// insertion can never affect it).
+
+#include <gtest/gtest.h>
+
+#include "analysis/ipm.h"
+#include "engine/database.h"
+#include "templates/template.h"
+
+namespace dssp {
+namespace {
+
+using catalog::ColumnType;
+using catalog::TableSchema;
+using sql::Value;
+
+class UniqueConstraintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.CreateTable(TableSchema(
+                       "accounts",
+                       {{"id", ColumnType::kInt64},
+                        {"email", ColumnType::kString},
+                        {"balance", ColumnType::kInt64}},
+                       {"id"}, /*foreign_keys=*/{},
+                       /*unique_columns=*/{"email"}))
+                    .ok());
+    ASSERT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                           "VALUES (1, 'a@x.com', 10)")
+                    .ok());
+    ASSERT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                           "VALUES (2, 'b@x.com', 20)")
+                    .ok());
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(UniqueConstraintTest, CatalogValidatesUniqueColumns) {
+  catalog::Catalog catalog;
+  EXPECT_FALSE(catalog
+                   .AddTable(TableSchema("t", {{"a", ColumnType::kInt64}},
+                                         {"a"}, {}, {"ghost"}))
+                   .ok());
+  EXPECT_TRUE(catalog
+                  .AddTable(TableSchema("t", {{"a", ColumnType::kInt64}},
+                                        {"a"}, {}, {"a"}))
+                  .ok());
+}
+
+TEST_F(UniqueConstraintTest, IsUniqueColumnCoversPkAndDeclared) {
+  const catalog::TableSchema& schema = db_.catalog().GetTable("accounts");
+  EXPECT_TRUE(schema.IsUniqueColumn("id"));      // Single-column PK.
+  EXPECT_TRUE(schema.IsUniqueColumn("email"));   // Declared UNIQUE.
+  EXPECT_FALSE(schema.IsUniqueColumn("balance"));
+}
+
+TEST_F(UniqueConstraintTest, InsertRejectsDuplicates) {
+  const auto dup = db_.Update(
+      "INSERT INTO accounts (id, email, balance) VALUES (3, 'a@x.com', 0)");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kConstraintViolation);
+  // A fresh value is fine.
+  EXPECT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                         "VALUES (3, 'c@x.com', 0)")
+                  .ok());
+}
+
+TEST_F(UniqueConstraintTest, MultipleNullsAreAllowed) {
+  EXPECT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                         "VALUES (3, NULL, 0)")
+                  .ok());
+  EXPECT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                         "VALUES (4, NULL, 0)")
+                  .ok());
+}
+
+TEST_F(UniqueConstraintTest, ModifyRejectsStealingAValue) {
+  const auto steal =
+      db_.Update("UPDATE accounts SET email = 'a@x.com' WHERE id = 2");
+  ASSERT_FALSE(steal.ok());
+  EXPECT_EQ(steal.status().code(), StatusCode::kConstraintViolation);
+  // The victim row is untouched (atomic validation).
+  const auto check = db_.Query(
+      "SELECT email FROM accounts WHERE id = 2");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->rows()[0][0], Value("b@x.com"));
+}
+
+TEST_F(UniqueConstraintTest, ModifyAllowsSelfAssignment) {
+  // Re-assigning a row its own unique value is legal.
+  EXPECT_TRUE(
+      db_.Update("UPDATE accounts SET email = 'a@x.com' WHERE id = 1").ok());
+}
+
+TEST_F(UniqueConstraintTest, ModifyRejectsFanOutToUniqueColumn) {
+  // Assigning one unique value to several rows at once is a violation even
+  // if the value is currently unused.
+  const auto fan_out =
+      db_.Update("UPDATE accounts SET email = 'z@x.com' WHERE balance >= 0");
+  ASSERT_FALSE(fan_out.ok());
+  EXPECT_EQ(fan_out.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(UniqueConstraintTest, DeleteFreesTheValue) {
+  ASSERT_TRUE(db_.Update("DELETE FROM accounts WHERE id = 1").ok());
+  EXPECT_TRUE(db_.Update("INSERT INTO accounts (id, email, balance) "
+                         "VALUES (5, 'a@x.com', 0)")
+                  .ok());
+}
+
+TEST_F(UniqueConstraintTest, AnalysisTreatsUniqueEqualityLikePk) {
+  const catalog::Catalog& catalog = db_.catalog();
+  auto insert = templates::UpdateTemplate::Create(
+      "U", "INSERT INTO accounts (id, email, balance) VALUES (?, ?, ?)",
+      catalog);
+  ASSERT_TRUE(insert.ok());
+
+  // unique_col = ? pins an existing row: the insertion is irrelevant.
+  auto by_email = templates::QueryTemplate::Create(
+      "Q", "SELECT balance FROM accounts WHERE email = ?", catalog);
+  ASSERT_TRUE(by_email.ok());
+  EXPECT_TRUE(
+      analysis::InsertionIrrelevantByConstraints(*insert, *by_email,
+                                                 catalog));
+  EXPECT_TRUE(analysis::CharacterizePair(*insert, *by_email, catalog)
+                  .a_is_zero);
+
+  // A non-unique equality gives no such protection.
+  auto by_balance = templates::QueryTemplate::Create(
+      "Q", "SELECT email FROM accounts WHERE balance = ?", catalog);
+  ASSERT_TRUE(by_balance.ok());
+  EXPECT_FALSE(
+      analysis::InsertionIrrelevantByConstraints(*insert, *by_balance,
+                                                 catalog));
+}
+
+}  // namespace
+}  // namespace dssp

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "sql/value.h"
+
+namespace dssp::sql {
+namespace {
+
+TEST(ValueTest, Types) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(42).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(4.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("x").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value(7).AsDouble(), 7.0);  // Int widens to double.
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_EQ(Value(1).Compare(Value(2)), -1);
+  EXPECT_EQ(Value(2).Compare(Value(2)), 0);
+  EXPECT_EQ(Value(3).Compare(Value(2)), 1);
+  EXPECT_EQ(Value(2).Compare(Value(2.0)), 0);  // Cross int/double.
+  EXPECT_EQ(Value(1.5).Compare(Value(2)), -1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  EXPECT_GT(Value("b").Compare(Value("ab")), 0);
+}
+
+TEST(ValueTest, NullsSortFirstAndEqualEachOther) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_LT(Value::Null().Compare(Value(0)), 0);
+  EXPECT_GT(Value("").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualityOperators) {
+  EXPECT_TRUE(Value(3) == Value(3));
+  EXPECT_TRUE(Value(3) == Value(3.0));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_TRUE(Value(1) < Value(2));
+}
+
+TEST(ValueTest, SqlLiterals) {
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value(-5).ToSqlLiteral(), "-5");
+  EXPECT_EQ(Value("hello").ToSqlLiteral(), "'hello'");
+  EXPECT_EQ(Value("it's").ToSqlLiteral(), "'it''s'");
+  // Doubles print so they re-parse as doubles.
+  EXPECT_EQ(Value(2.0).ToSqlLiteral(), "2.0");
+  EXPECT_EQ(Value(2.5).ToSqlLiteral(), "2.5");
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  EXPECT_EQ(Value(2).Hash(), Value(2.0).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+  EXPECT_NE(Value(1).Hash(), Value(2).Hash());
+}
+
+TEST(ValueTest, EncodeForKeyDistinguishesTypes) {
+  EXPECT_NE(Value(1).EncodeForKey(), Value("1").EncodeForKey());
+  EXPECT_NE(Value(1).EncodeForKey(), Value(1.0).EncodeForKey());
+  EXPECT_NE(Value::Null().EncodeForKey(), Value(0).EncodeForKey());
+}
+
+class ValueCodecTest : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueCodecTest, DecodeInvertsEncode) {
+  const Value original = GetParam();
+  const std::string encoded = original.EncodeForKey();
+  size_t pos = 0;
+  Value decoded;
+  ASSERT_TRUE(Value::DecodeFromKey(encoded, &pos, &decoded));
+  EXPECT_EQ(pos, encoded.size());
+  EXPECT_EQ(decoded.type(), original.type());
+  EXPECT_TRUE(decoded == original || (decoded.is_null() && original.is_null()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ValueCodecTest,
+    ::testing::Values(Value::Null(), Value(0), Value(-1), Value(1),
+                      Value(int64_t{1} << 62), Value(0.0), Value(-3.25),
+                      Value(1e100), Value(""), Value("a"),
+                      Value(std::string(1000, 'z')),
+                      Value("embedded\0null\x01"), Value("unicode ☃")));
+
+TEST(ValueCodecTest, DecodeRejectsTruncatedInput) {
+  const std::string encoded = Value(12345).EncodeForKey();
+  size_t pos = 0;
+  Value out;
+  EXPECT_FALSE(Value::DecodeFromKey(encoded.substr(0, 4), &pos, &out));
+  pos = 0;
+  EXPECT_FALSE(Value::DecodeFromKey("", &pos, &out));
+}
+
+TEST(ValueCodecTest, DecodeRejectsBadTag) {
+  size_t pos = 0;
+  Value out;
+  EXPECT_FALSE(Value::DecodeFromKey("\x7fgarbage", &pos, &out));
+}
+
+TEST(ValueCodecTest, DecodesSequence) {
+  const std::string encoded =
+      Value(1).EncodeForKey() + Value("two").EncodeForKey() +
+      Value(3.0).EncodeForKey();
+  size_t pos = 0;
+  Value a;
+  Value b;
+  Value c;
+  ASSERT_TRUE(Value::DecodeFromKey(encoded, &pos, &a));
+  ASSERT_TRUE(Value::DecodeFromKey(encoded, &pos, &b));
+  ASSERT_TRUE(Value::DecodeFromKey(encoded, &pos, &c));
+  EXPECT_EQ(pos, encoded.size());
+  EXPECT_TRUE(a == Value(1));
+  EXPECT_TRUE(b == Value("two"));
+  EXPECT_TRUE(c == Value(3.0));
+}
+
+}  // namespace
+}  // namespace dssp::sql

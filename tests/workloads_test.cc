@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/methodology.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "workloads/application.h"
+
+namespace dssp::workloads {
+namespace {
+
+using sql::Value;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    app_ = std::make_unique<service::ScalableApp>(
+        GetParam(), &node_, crypto::KeyRing::FromPassphrase("wl-secret"));
+    workload_ = MakeApplication(GetParam());
+    ASSERT_TRUE(workload_->Setup(*app_, /*scale=*/0.5, /*seed=*/11).ok());
+    ASSERT_TRUE(app_->Finalize().ok());
+  }
+
+  service::DsspNode node_;
+  std::unique_ptr<service::ScalableApp> app_;
+  std::unique_ptr<Application> workload_;
+};
+
+TEST_P(WorkloadTest, SetupPopulatesDatabase) {
+  EXPECT_GT(app_->home().database().TotalRows(), 100u);
+  EXPECT_GE(app_->templates().num_queries(), 3u);
+  EXPECT_GE(app_->templates().num_updates(), 2u);
+}
+
+TEST_P(WorkloadTest, AllTemplatesParseAgainstSchema) {
+  // Template creation validated every column/table; re-render and re-parse.
+  for (const auto& q : app_->templates().queries()) {
+    EXPECT_FALSE(q.ToSql().empty());
+    EXPECT_GT(q.preserved_attributes().size(), 0u) << q.id();
+  }
+  for (const auto& u : app_->templates().updates()) {
+    EXPECT_GT(u.modified_attributes().size(), 0u) << u.id();
+  }
+}
+
+TEST_P(WorkloadTest, SessionSoakRunsCleanly) {
+  // 150 pages through the full service path: every op must succeed (no
+  // constraint violations, no unknown templates, no arity errors).
+  auto session = workload_->NewSession(5);
+  Rng rng(123);
+  size_t ops = 0;
+  size_t queries_with_rows = 0;
+  for (int page = 0; page < 150; ++page) {
+    for (const sim::DbOp& op : session->NextPage(rng)) {
+      ++ops;
+      if (op.is_update) {
+        auto effect = app_->Update(op.template_id, op.params);
+        ASSERT_TRUE(effect.ok())
+            << GetParam() << " " << op.template_id << ": "
+            << effect.status().ToString();
+      } else {
+        auto result = app_->Query(op.template_id, op.params);
+        ASSERT_TRUE(result.ok())
+            << GetParam() << " " << op.template_id << ": "
+            << result.status().ToString();
+        if (!result->empty()) ++queries_with_rows;
+      }
+    }
+  }
+  EXPECT_GT(ops, 200u);
+  // The workload is not vacuous: plenty of queries return data.
+  EXPECT_GT(queries_with_rows, ops / 10);
+}
+
+TEST_P(WorkloadTest, SessionsUseEveryUpdateTemplateEventually) {
+  auto session = workload_->NewSession(5);
+  Rng rng(77);
+  std::set<std::string> used_queries;
+  std::set<std::string> used_updates;
+  for (int page = 0; page < 4000; ++page) {
+    for (const sim::DbOp& op : session->NextPage(rng)) {
+      (op.is_update ? used_updates : used_queries).insert(op.template_id);
+    }
+  }
+  // Every update template and a large majority of query templates appear.
+  EXPECT_EQ(used_updates.size(), app_->templates().num_updates())
+      << GetParam();
+  EXPECT_GE(used_queries.size(), app_->templates().num_queries() * 3 / 4)
+      << GetParam();
+}
+
+TEST_P(WorkloadTest, CompulsoryPolicyIsNonEmpty) {
+  const analysis::CompulsoryPolicy policy =
+      workload_->CompulsoryEncryption(app_->home().database().catalog());
+  EXPECT_FALSE(policy.sensitive_attributes.empty());
+}
+
+TEST_P(WorkloadTest, MethodologyRunsAndReducesExposure) {
+  const analysis::SecurityReport report = analysis::RunMethodology(
+      app_->templates(), app_->home().database().catalog(),
+      workload_->CompulsoryEncryption(app_->home().database().catalog()));
+  // The static analysis finds a substantial amount of free encryption:
+  // a significant fraction of query templates end below `view`.
+  EXPECT_GE(report.QueriesWithEncryptedResults(),
+            app_->templates().num_queries() / 3)
+      << GetParam();
+  // And the final assignment is applicable to the live system.
+  EXPECT_TRUE(app_->SetExposure(report.final).ok());
+  auto session = workload_->NewSession(6);
+  Rng rng(9);
+  for (int page = 0; page < 30; ++page) {
+    for (const sim::DbOp& op : session->NextPage(rng)) {
+      if (op.is_update) {
+        ASSERT_TRUE(app_->Update(op.template_id, op.params).ok());
+      } else {
+        ASSERT_TRUE(app_->Query(op.template_id, op.params).ok());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, WorkloadTest,
+                         ::testing::Values("toystore", "auction", "bboard",
+                                           "bookstore"),
+                         [](const auto& info) { return info.param; });
+
+// ----- Paper-specific shape checks. -----
+
+TEST(BookstoreShapeTest, TwentyEightQueryTemplates) {
+  service::DsspNode node;
+  service::ScalableApp app("bookstore", &node,
+                           crypto::KeyRing::FromPassphrase("s"));
+  auto workload = MakeApplication("bookstore");
+  ASSERT_TRUE(workload->Setup(app, 0.25, 1).ok());
+  EXPECT_EQ(app.templates().num_queries(), 28u);
+  EXPECT_EQ(app.templates().num_updates(), 12u);
+}
+
+TEST(AggregateFractionTest, SevenToFifteenPercent) {
+  // Section 5.1.1: between 7% and 11% of each application's query templates
+  // use aggregation or GROUP BY (we allow a slightly wider band).
+  for (const std::string name : {"auction", "bboard", "bookstore"}) {
+    service::DsspNode node;
+    service::ScalableApp app(name, &node,
+                             crypto::KeyRing::FromPassphrase("s"));
+    auto workload = MakeApplication(name);
+    ASSERT_TRUE(workload->Setup(app, 0.25, 1).ok());
+    size_t aggregates = 0;
+    for (const auto& q : app.templates().queries()) {
+      if (q.has_aggregation()) ++aggregates;
+    }
+    const double fraction = static_cast<double>(aggregates) /
+                            static_cast<double>(app.templates().num_queries());
+    EXPECT_GE(fraction, 0.05) << name;
+    EXPECT_LE(fraction, 0.15) << name;
+  }
+}
+
+TEST(AssumptionComplianceTest, MostTemplatesSatisfyAssumptions) {
+  // Two of three evaluation apps satisfy Section 2.1.1 fully; violations in
+  // the third stay a small fraction (the paper reports < 3% of pairs).
+  size_t clean_apps = 0;
+  for (const std::string name : {"auction", "bboard", "bookstore"}) {
+    service::DsspNode node;
+    service::ScalableApp app(name, &node,
+                             crypto::KeyRing::FromPassphrase("s"));
+    auto workload = MakeApplication(name);
+    ASSERT_TRUE(workload->Setup(app, 0.25, 1).ok());
+    size_t violating_queries = 0;
+    for (const auto& q : app.templates().queries()) {
+      if (!q.assumptions().ok()) ++violating_queries;
+    }
+    size_t violating_updates = 0;
+    for (const auto& u : app.templates().updates()) {
+      if (!u.assumptions().ok()) ++violating_updates;
+    }
+    const size_t total_pairs =
+        app.templates().num_queries() * app.templates().num_updates();
+    const size_t violating_pairs =
+        violating_queries * app.templates().num_updates() +
+        violating_updates * app.templates().num_queries() -
+        violating_queries * violating_updates;
+    if (violating_pairs == 0) ++clean_apps;
+    EXPECT_LE(static_cast<double>(violating_pairs) /
+                  static_cast<double>(total_pairs),
+              0.10)
+        << name;
+  }
+  EXPECT_GE(clean_apps, 2u);
+}
+
+}  // namespace
+}  // namespace dssp::workloads
