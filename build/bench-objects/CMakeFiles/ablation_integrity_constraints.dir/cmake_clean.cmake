@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_integrity_constraints"
+  "../bench/ablation_integrity_constraints.pdb"
+  "CMakeFiles/ablation_integrity_constraints.dir/ablation_integrity_constraints.cpp.o"
+  "CMakeFiles/ablation_integrity_constraints.dir/ablation_integrity_constraints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_integrity_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

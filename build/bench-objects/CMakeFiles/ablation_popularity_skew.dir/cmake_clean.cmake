@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_popularity_skew"
+  "../bench/ablation_popularity_skew.pdb"
+  "CMakeFiles/ablation_popularity_skew.dir/ablation_popularity_skew.cpp.o"
+  "CMakeFiles/ablation_popularity_skew.dir/ablation_popularity_skew.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_popularity_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

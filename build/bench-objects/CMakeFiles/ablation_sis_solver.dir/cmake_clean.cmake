@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sis_solver"
+  "../bench/ablation_sis_solver.pdb"
+  "CMakeFiles/ablation_sis_solver.dir/ablation_sis_solver.cpp.o"
+  "CMakeFiles/ablation_sis_solver.dir/ablation_sis_solver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sis_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

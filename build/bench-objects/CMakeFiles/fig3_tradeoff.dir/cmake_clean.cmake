@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_tradeoff"
+  "../bench/fig3_tradeoff.pdb"
+  "CMakeFiles/fig3_tradeoff.dir/fig3_tradeoff.cpp.o"
+  "CMakeFiles/fig3_tradeoff.dir/fig3_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_exposure_reduction"
+  "../bench/fig7_exposure_reduction.pdb"
+  "CMakeFiles/fig7_exposure_reduction.dir/fig7_exposure_reduction.cpp.o"
+  "CMakeFiles/fig7_exposure_reduction.dir/fig7_exposure_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_exposure_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

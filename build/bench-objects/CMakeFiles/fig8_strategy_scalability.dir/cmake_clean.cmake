@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_strategy_scalability"
+  "../bench/fig8_strategy_scalability.pdb"
+  "CMakeFiles/fig8_strategy_scalability.dir/fig8_strategy_scalability.cpp.o"
+  "CMakeFiles/fig8_strategy_scalability.dir/fig8_strategy_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_strategy_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sql"
+  "../bench/micro_sql.pdb"
+  "CMakeFiles/micro_sql.dir/micro_sql.cpp.o"
+  "CMakeFiles/micro_sql.dir/micro_sql.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

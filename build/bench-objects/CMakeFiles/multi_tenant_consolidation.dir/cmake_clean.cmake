@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multi_tenant_consolidation"
+  "../bench/multi_tenant_consolidation.pdb"
+  "CMakeFiles/multi_tenant_consolidation.dir/multi_tenant_consolidation.cpp.o"
+  "CMakeFiles/multi_tenant_consolidation.dir/multi_tenant_consolidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

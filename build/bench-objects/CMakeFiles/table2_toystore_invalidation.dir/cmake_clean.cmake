@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_toystore_invalidation"
+  "../bench/table2_toystore_invalidation.pdb"
+  "CMakeFiles/table2_toystore_invalidation.dir/table2_toystore_invalidation.cpp.o"
+  "CMakeFiles/table2_toystore_invalidation.dir/table2_toystore_invalidation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_toystore_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_toystore_ipm"
+  "../bench/table4_toystore_ipm.pdb"
+  "CMakeFiles/table4_toystore_ipm.dir/table4_toystore_ipm.cpp.o"
+  "CMakeFiles/table4_toystore_ipm.dir/table4_toystore_ipm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_toystore_ipm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

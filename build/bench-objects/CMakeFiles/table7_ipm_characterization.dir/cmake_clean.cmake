@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_ipm_characterization"
+  "../bench/table7_ipm_characterization.pdb"
+  "CMakeFiles/table7_ipm_characterization.dir/table7_ipm_characterization.cpp.o"
+  "CMakeFiles/table7_ipm_characterization.dir/table7_ipm_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ipm_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_shell.dir/dssp_shell.cpp.o"
+  "CMakeFiles/dssp_shell.dir/dssp_shell.cpp.o.d"
+  "dssp_shell"
+  "dssp_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_analysis.dir/exposure.cc.o"
+  "CMakeFiles/dssp_analysis.dir/exposure.cc.o.d"
+  "CMakeFiles/dssp_analysis.dir/ipm.cc.o"
+  "CMakeFiles/dssp_analysis.dir/ipm.cc.o.d"
+  "CMakeFiles/dssp_analysis.dir/methodology.cc.o"
+  "CMakeFiles/dssp_analysis.dir/methodology.cc.o.d"
+  "CMakeFiles/dssp_analysis.dir/report_export.cc.o"
+  "CMakeFiles/dssp_analysis.dir/report_export.cc.o.d"
+  "libdssp_analysis.a"
+  "libdssp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

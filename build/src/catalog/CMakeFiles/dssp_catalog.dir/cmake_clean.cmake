@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_catalog.dir/schema.cc.o"
+  "CMakeFiles/dssp_catalog.dir/schema.cc.o.d"
+  "libdssp_catalog.a"
+  "libdssp_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

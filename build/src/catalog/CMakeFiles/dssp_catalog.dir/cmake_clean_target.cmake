@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdssp_catalog.a"
+)

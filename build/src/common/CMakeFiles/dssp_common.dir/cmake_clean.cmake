@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_common.dir/hash.cc.o"
+  "CMakeFiles/dssp_common.dir/hash.cc.o.d"
+  "CMakeFiles/dssp_common.dir/random.cc.o"
+  "CMakeFiles/dssp_common.dir/random.cc.o.d"
+  "CMakeFiles/dssp_common.dir/status.cc.o"
+  "CMakeFiles/dssp_common.dir/status.cc.o.d"
+  "CMakeFiles/dssp_common.dir/strings.cc.o"
+  "CMakeFiles/dssp_common.dir/strings.cc.o.d"
+  "libdssp_common.a"
+  "libdssp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

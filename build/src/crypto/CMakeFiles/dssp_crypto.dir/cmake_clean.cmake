@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_crypto.dir/cipher.cc.o"
+  "CMakeFiles/dssp_crypto.dir/cipher.cc.o.d"
+  "CMakeFiles/dssp_crypto.dir/keyring.cc.o"
+  "CMakeFiles/dssp_crypto.dir/keyring.cc.o.d"
+  "libdssp_crypto.a"
+  "libdssp_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_service.dir/app.cc.o"
+  "CMakeFiles/dssp_service.dir/app.cc.o.d"
+  "CMakeFiles/dssp_service.dir/cache.cc.o"
+  "CMakeFiles/dssp_service.dir/cache.cc.o.d"
+  "CMakeFiles/dssp_service.dir/home_server.cc.o"
+  "CMakeFiles/dssp_service.dir/home_server.cc.o.d"
+  "CMakeFiles/dssp_service.dir/node.cc.o"
+  "CMakeFiles/dssp_service.dir/node.cc.o.d"
+  "CMakeFiles/dssp_service.dir/protocol.cc.o"
+  "CMakeFiles/dssp_service.dir/protocol.cc.o.d"
+  "libdssp_service.a"
+  "libdssp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/dssp_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/dssp_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/eval.cc" "src/engine/CMakeFiles/dssp_engine.dir/eval.cc.o" "gcc" "src/engine/CMakeFiles/dssp_engine.dir/eval.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/dssp_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/dssp_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/query_result.cc" "src/engine/CMakeFiles/dssp_engine.dir/query_result.cc.o" "gcc" "src/engine/CMakeFiles/dssp_engine.dir/query_result.cc.o.d"
+  "/root/repo/src/engine/table.cc" "src/engine/CMakeFiles/dssp_engine.dir/table.cc.o" "gcc" "src/engine/CMakeFiles/dssp_engine.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/dssp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dssp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dssp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_engine.dir/database.cc.o"
+  "CMakeFiles/dssp_engine.dir/database.cc.o.d"
+  "CMakeFiles/dssp_engine.dir/eval.cc.o"
+  "CMakeFiles/dssp_engine.dir/eval.cc.o.d"
+  "CMakeFiles/dssp_engine.dir/executor.cc.o"
+  "CMakeFiles/dssp_engine.dir/executor.cc.o.d"
+  "CMakeFiles/dssp_engine.dir/query_result.cc.o"
+  "CMakeFiles/dssp_engine.dir/query_result.cc.o.d"
+  "CMakeFiles/dssp_engine.dir/table.cc.o"
+  "CMakeFiles/dssp_engine.dir/table.cc.o.d"
+  "libdssp_engine.a"
+  "libdssp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

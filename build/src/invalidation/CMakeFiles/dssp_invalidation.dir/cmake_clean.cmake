@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_invalidation.dir/independence.cc.o"
+  "CMakeFiles/dssp_invalidation.dir/independence.cc.o.d"
+  "CMakeFiles/dssp_invalidation.dir/strategies.cc.o"
+  "CMakeFiles/dssp_invalidation.dir/strategies.cc.o.d"
+  "libdssp_invalidation.a"
+  "libdssp_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

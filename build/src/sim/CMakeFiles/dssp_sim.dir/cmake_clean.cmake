@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_sim.dir/histogram.cc.o"
+  "CMakeFiles/dssp_sim.dir/histogram.cc.o.d"
+  "CMakeFiles/dssp_sim.dir/search.cc.o"
+  "CMakeFiles/dssp_sim.dir/search.cc.o.d"
+  "CMakeFiles/dssp_sim.dir/simulator.cc.o"
+  "CMakeFiles/dssp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dssp_sim.dir/trace.cc.o"
+  "CMakeFiles/dssp_sim.dir/trace.cc.o.d"
+  "libdssp_sim.a"
+  "libdssp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

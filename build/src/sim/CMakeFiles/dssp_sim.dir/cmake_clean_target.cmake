@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdssp_sim.a"
+)

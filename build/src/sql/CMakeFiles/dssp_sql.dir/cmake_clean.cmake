@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_sql.dir/ast.cc.o"
+  "CMakeFiles/dssp_sql.dir/ast.cc.o.d"
+  "CMakeFiles/dssp_sql.dir/parser.cc.o"
+  "CMakeFiles/dssp_sql.dir/parser.cc.o.d"
+  "CMakeFiles/dssp_sql.dir/tokenizer.cc.o"
+  "CMakeFiles/dssp_sql.dir/tokenizer.cc.o.d"
+  "CMakeFiles/dssp_sql.dir/value.cc.o"
+  "CMakeFiles/dssp_sql.dir/value.cc.o.d"
+  "libdssp_sql.a"
+  "libdssp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

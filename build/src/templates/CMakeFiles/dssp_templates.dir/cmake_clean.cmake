@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_templates.dir/template.cc.o"
+  "CMakeFiles/dssp_templates.dir/template.cc.o.d"
+  "CMakeFiles/dssp_templates.dir/template_set.cc.o"
+  "CMakeFiles/dssp_templates.dir/template_set.cc.o.d"
+  "libdssp_templates.a"
+  "libdssp_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

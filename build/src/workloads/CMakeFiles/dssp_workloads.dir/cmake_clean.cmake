@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dssp_workloads.dir/application.cc.o"
+  "CMakeFiles/dssp_workloads.dir/application.cc.o.d"
+  "CMakeFiles/dssp_workloads.dir/auction.cc.o"
+  "CMakeFiles/dssp_workloads.dir/auction.cc.o.d"
+  "CMakeFiles/dssp_workloads.dir/bboard.cc.o"
+  "CMakeFiles/dssp_workloads.dir/bboard.cc.o.d"
+  "CMakeFiles/dssp_workloads.dir/bookstore.cc.o"
+  "CMakeFiles/dssp_workloads.dir/bookstore.cc.o.d"
+  "CMakeFiles/dssp_workloads.dir/toystore.cc.o"
+  "CMakeFiles/dssp_workloads.dir/toystore.cc.o.d"
+  "libdssp_workloads.a"
+  "libdssp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dssp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_oracle_test.dir/consistency_oracle_test.cc.o"
+  "CMakeFiles/consistency_oracle_test.dir/consistency_oracle_test.cc.o.d"
+  "consistency_oracle_test"
+  "consistency_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_aggregate_test.dir/executor_aggregate_test.cc.o"
+  "CMakeFiles/executor_aggregate_test.dir/executor_aggregate_test.cc.o.d"
+  "executor_aggregate_test"
+  "executor_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_server_test.dir/home_server_test.cc.o"
+  "CMakeFiles/home_server_test.dir/home_server_test.cc.o.d"
+  "home_server_test"
+  "home_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

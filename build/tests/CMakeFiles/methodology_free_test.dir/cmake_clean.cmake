@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_free_test.dir/methodology_free_test.cc.o"
+  "CMakeFiles/methodology_free_test.dir/methodology_free_test.cc.o.d"
+  "methodology_free_test"
+  "methodology_free_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_free_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_test.dir/multi_tenant_test.cc.o"
+  "CMakeFiles/multi_tenant_test.dir/multi_tenant_test.cc.o.d"
+  "multi_tenant_test"
+  "multi_tenant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

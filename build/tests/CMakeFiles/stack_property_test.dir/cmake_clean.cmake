@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_property_test.dir/stack_property_test.cc.o"
+  "CMakeFiles/stack_property_test.dir/stack_property_test.cc.o.d"
+  "stack_property_test"
+  "stack_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_roundtrip_test.dir/template_roundtrip_test.cc.o"
+  "CMakeFiles/template_roundtrip_test.dir/template_roundtrip_test.cc.o.d"
+  "template_roundtrip_test"
+  "template_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unique_constraint_test.dir/unique_constraint_test.cc.o"
+  "CMakeFiles/unique_constraint_test.dir/unique_constraint_test.cc.o.d"
+  "unique_constraint_test"
+  "unique_constraint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unique_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

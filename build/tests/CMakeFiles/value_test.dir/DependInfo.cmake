@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/value_test.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/value_test.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dssp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dssp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dssp/CMakeFiles/dssp_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/invalidation/CMakeFiles/dssp_invalidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dssp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dssp_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/templates/CMakeFiles/dssp_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dssp_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dssp_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dssp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dssp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
