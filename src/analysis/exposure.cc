@@ -46,6 +46,17 @@ IpmSymbol SymbolFor(ExposureLevel update_level, ExposureLevel query_level) {
   return IpmSymbol::kC;  // E(U) = stmt, E(Q) = view.
 }
 
+Status ExposureAssignment::Validate() const {
+  for (size_t i = 0; i < update_levels.size(); ++i) {
+    if (update_levels[i] == ExposureLevel::kView) {
+      return InvalidArgumentError(
+          "update template " + std::to_string(i) +
+          " assigned 'view' exposure: updates have no view exposure level");
+    }
+  }
+  return Status::Ok();
+}
+
 ExposureAssignment ExposureAssignment::FullExposure(size_t num_queries,
                                                     size_t num_updates) {
   ExposureAssignment a;

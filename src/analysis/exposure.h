@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace dssp::analysis {
 
@@ -58,6 +59,13 @@ struct ExposureAssignment {
   // Full encryption: blind everywhere.
   static ExposureAssignment FullEncryption(size_t num_queries,
                                            size_t num_updates);
+
+  // Checks the assignment's structural invariants — today, that no update
+  // template is assigned kView (updates have no view exposure level;
+  // Figure 5). Methodology entry points and ScalableApp::SetExposure call
+  // this so a bad assignment fails with a clear error instead of tripping
+  // an invariant check deep inside SymbolFor.
+  Status Validate() const;
 
   friend bool operator==(const ExposureAssignment& a,
                          const ExposureAssignment& b) = default;

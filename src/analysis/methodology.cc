@@ -140,6 +140,8 @@ bool SameInvalidationProbabilities(const templates::TemplateSet& templates,
                                    const IpmCharacterization& ipm,
                                    const ExposureAssignment& from,
                                    const ExposureAssignment& to) {
+  DSSP_CHECK_OK(from.Validate());
+  DSSP_CHECK_OK(to.Validate());
   DSSP_CHECK(from.query_levels.size() == templates.num_queries());
   DSSP_CHECK(to.query_levels.size() == templates.num_queries());
   DSSP_CHECK(from.update_levels.size() == templates.num_updates());
@@ -160,6 +162,7 @@ bool SameInvalidationProbabilities(const templates::TemplateSet& templates,
 ExposureAssignment ReduceExposure(const templates::TemplateSet& templates,
                                   const IpmCharacterization& ipm,
                                   const ExposureAssignment& initial) {
+  DSSP_CHECK_OK(initial.Validate());
   ExposureAssignment current = initial;
 
   // Checks whether lowering one template by one step leaves every affected

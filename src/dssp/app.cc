@@ -33,11 +33,7 @@ Status ScalableApp::SetExposure(analysis::ExposureAssignment exposure) {
       exposure.update_levels.size() != templates().num_updates()) {
     return InvalidArgumentError("exposure assignment size mismatch");
   }
-  for (analysis::ExposureLevel level : exposure.update_levels) {
-    if (level == analysis::ExposureLevel::kView) {
-      return InvalidArgumentError("updates have no view exposure level");
-    }
-  }
+  DSSP_RETURN_IF_ERROR(exposure.Validate());
   exposure_ = std::move(exposure);
   dssp_->ClearCache(app_id());
   return Status::Ok();
@@ -89,12 +85,12 @@ StatusOr<engine::QueryResult> ScalableApp::Query(
   AccessStats& s = stats != nullptr ? *stats : local;
   s = AccessStats{};
 
-  const CacheEntry* entry = dssp_->Lookup(app_id(), key);
+  std::optional<CacheEntry> entry = dssp_->Lookup(app_id(), key);
   std::string blob;
   s.request_bytes = kRequestOverheadBytes + key.size();
-  if (entry != nullptr) {
+  if (entry.has_value()) {
     s.cache_hit = true;
-    blob = entry->blob;
+    blob = std::move(entry->blob);
   } else {
     // Miss: the DSSP forwards the (encrypted) query to the home server as a
     // protocol frame (Figure 2).

@@ -1,94 +1,186 @@
 #include "dssp/cache.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace dssp::service {
 
-void QueryCache::SetCapacity(size_t max_entries) {
-  max_entries_ = max_entries;
-  EvictToCapacity();
+void QueryCache::RemoveLocked(
+    Shard& shard, std::unordered_map<std::string, Stored>::iterator it) {
+  const auto group_it = shard.groups.find(it->second.entry.template_index);
+  if (group_it != shard.groups.end()) {
+    group_it->second.erase(it->first);
+    if (group_it->second.empty()) shard.groups.erase(group_it);
+  }
+  shard.lru.erase(it->second.lru_position);
+  shard.entries.erase(it);
+  size_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-void QueryCache::Touch(Stored& stored) {
-  lru_.splice(lru_.begin(), lru_, stored.lru_position);
-}
-
-void QueryCache::EvictToCapacity() {
-  if (max_entries_ == 0) return;
-  while (entries_.size() > max_entries_) {
-    DSSP_CHECK(!lru_.empty());
-    const std::string victim = lru_.back();
-    Erase(victim);
-    ++evictions_;
+void QueryCache::EvictToCapacity(std::atomic<uint64_t>& counter) {
+  const size_t cap = max_entries_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  if (size_.load(std::memory_order_relaxed) <= cap) return;
+  // All shard locks, in index order (the only multi-lock path, so any
+  // consistent order is deadlock-free). Holding them all keeps the victim
+  // choice exact: each shard's LRU tail is its oldest tick, and the global
+  // victim is the smallest tail tick over all shards.
+  std::array<std::unique_lock<std::mutex>, kNumShards> locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  while (size_.load(std::memory_order_relaxed) > cap) {
+    Shard* victim_shard = nullptr;
+    uint64_t oldest = 0;
+    for (Shard& shard : shards_) {
+      if (shard.lru.empty()) continue;
+      const auto it = shard.entries.find(shard.lru.back());
+      DSSP_CHECK(it != shard.entries.end());
+      if (victim_shard == nullptr || it->second.tick < oldest) {
+        victim_shard = &shard;
+        oldest = it->second.tick;
+      }
+    }
+    DSSP_CHECK(victim_shard != nullptr);
+    RemoveLocked(*victim_shard,
+                 victim_shard->entries.find(victim_shard->lru.back()));
+    counter.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-const CacheEntry* QueryCache::Lookup(const std::string& key) {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
-  Touch(it->second);
-  return &it->second.entry;
+void QueryCache::SetCapacity(size_t max_entries) {
+  max_entries_.store(max_entries, std::memory_order_relaxed);
+  EvictToCapacity(shrink_evictions_);
 }
 
-const CacheEntry* QueryCache::Peek(const std::string& key) const {
-  const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second.entry;
+std::optional<CacheEntry> QueryCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
+  it->second.tick = NextTick();
+  return it->second.entry;
+}
+
+std::optional<CacheEntry> QueryCache::Peek(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  return it->second.entry;
 }
 
 void QueryCache::Insert(CacheEntry entry) {
-  Erase(entry.key);
-  groups_[entry.template_index].insert(entry.key);
-  lru_.push_front(entry.key);
-  std::string key = entry.key;
-  entries_.emplace(std::move(key),
-                   Stored{std::move(entry), lru_.begin()});
-  EvictToCapacity();
+  Shard& shard = ShardFor(entry.key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.entries.find(entry.key);
+    if (it != shard.entries.end()) RemoveLocked(shard, it);
+    shard.groups[entry.template_index].insert(entry.key);
+    shard.lru.push_front(entry.key);
+    std::string key = entry.key;
+    shard.entries.emplace(
+        std::move(key),
+        Stored{std::move(entry), shard.lru.begin(), NextTick()});
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  EvictToCapacity(insert_evictions_);
 }
 
 void QueryCache::Erase(const std::string& key) {
-  const auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  const auto group_it = groups_.find(it->second.entry.template_index);
-  if (group_it != groups_.end()) {
-    group_it->second.erase(key);
-    if (group_it->second.empty()) groups_.erase(group_it);
-  }
-  lru_.erase(it->second.lru_position);
-  entries_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  RemoveLocked(shard, it);
+  invalidation_removals_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<size_t> QueryCache::GroupKeys() const {
-  std::vector<size_t> keys;
-  keys.reserve(groups_.size());
-  for (const auto& [group, entries] : groups_) keys.push_back(group);
-  return keys;
+  std::set<size_t> keys;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [group, entries] : shard.groups) keys.insert(group);
+  }
+  return std::vector<size_t>(keys.begin(), keys.end());
 }
 
 std::vector<std::string> QueryCache::GroupEntryKeys(size_t group) const {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return {};
-  return std::vector<std::string>(it->second.begin(), it->second.end());
+  std::vector<std::string> keys;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.groups.find(group);
+    if (it == shard.groups.end()) continue;
+    keys.insert(keys.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 size_t QueryCache::EraseGroup(size_t group) {
-  const auto it = groups_.find(group);
-  if (it == groups_.end()) return 0;
-  const size_t count = it->second.size();
-  for (const std::string& key : it->second) {
-    const auto entry_it = entries_.find(key);
-    DSSP_CHECK(entry_it != entries_.end());
-    lru_.erase(entry_it->second.lru_position);
-    entries_.erase(entry_it);
+  size_t count = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.groups.find(group);
+    if (it == shard.groups.end()) continue;
+    count += it->second.size();
+    for (const std::string& key : it->second) {
+      const auto entry_it = shard.entries.find(key);
+      DSSP_CHECK(entry_it != shard.entries.end());
+      shard.lru.erase(entry_it->second.lru_position);
+      shard.entries.erase(entry_it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.groups.erase(it);
   }
-  groups_.erase(it);
+  invalidation_removals_.fetch_add(count, std::memory_order_relaxed);
   return count;
 }
 
+size_t QueryCache::InvalidateEntries(
+    const std::function<bool(size_t group)>& group_may_invalidate,
+    const std::function<bool(const CacheEntry&)>& should_invalidate) {
+  size_t invalidated = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Group ids first: erasing a group's last entry drops it from the index.
+    std::vector<size_t> group_ids;
+    group_ids.reserve(shard.groups.size());
+    for (const auto& [group, entries] : shard.groups) {
+      group_ids.push_back(group);
+    }
+    for (size_t group : group_ids) {
+      if (!group_may_invalidate(group)) continue;
+      const auto group_it = shard.groups.find(group);
+      DSSP_CHECK(group_it != shard.groups.end());
+      const std::vector<std::string> keys(group_it->second.begin(),
+                                          group_it->second.end());
+      for (const std::string& key : keys) {
+        const auto it = shard.entries.find(key);
+        DSSP_CHECK(it != shard.entries.end());
+        if (should_invalidate(it->second.entry)) {
+          RemoveLocked(shard, it);
+          ++invalidated;
+        }
+      }
+    }
+  }
+  invalidation_removals_.fetch_add(invalidated, std::memory_order_relaxed);
+  return invalidated;
+}
+
 size_t QueryCache::Clear() {
-  const size_t count = entries_.size();
-  entries_.clear();
-  groups_.clear();
-  lru_.clear();
+  size_t count = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.entries.size();
+    size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    shard.entries.clear();
+    shard.groups.clear();
+    shard.lru.clear();
+  }
   return count;
 }
 

@@ -1,13 +1,18 @@
 #ifndef DSSP_DSSP_CACHE_H_
 #define DSSP_DSSP_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/exposure.h"
 #include "engine/query_result.h"
@@ -44,29 +49,58 @@ struct CacheEntry {
 // template groups using template-level analysis before doing per-entry
 // work, and optional LRU capacity management (a shared provider bounds each
 // tenant's memory).
+//
+// Thread safety: safe for concurrent use. Entries are hashed across
+// kNumShards lock-striped shards, each with its own hash map, per-template
+// group index, and LRU list; a lookup or store only contends with
+// operations on the same shard. Exact global LRU order is preserved via a
+// monotonic access tick per entry: eviction (the only cross-shard
+// operation) takes all shard locks in index order and removes the entry
+// with the globally smallest tick, so single-threaded eviction behavior is
+// identical to an unsharded cache.
 class QueryCache {
  public:
+  static constexpr size_t kNumShards = 8;
+
   QueryCache() = default;
 
-  // Not copyable (entries are large); movable.
+  // Neither copyable nor movable (shards contain mutexes); construct in
+  // place.
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
-  QueryCache(QueryCache&&) = default;
-  QueryCache& operator=(QueryCache&&) = default;
 
   // Caps the entry count; 0 (default) means unlimited. Shrinking below the
-  // current size evicts least-recently-used entries immediately.
+  // current size evicts least-recently-used entries immediately (counted
+  // separately from insert-overflow evictions).
   void SetCapacity(size_t max_entries);
-  size_t capacity() const { return max_entries_; }
-  uint64_t evictions() const { return evictions_; }
+  size_t capacity() const {
+    return max_entries_.load(std::memory_order_relaxed);
+  }
 
-  // Returns the entry with `key`, or nullptr. A hit refreshes the entry's
-  // LRU position.
-  const CacheEntry* Lookup(const std::string& key);
+  // Capacity evictions, split by cause. evictions() is their sum.
+  uint64_t insert_evictions() const {
+    return insert_evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t shrink_evictions() const {
+    return shrink_evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t evictions() const {
+    return insert_evictions() + shrink_evictions();
+  }
 
-  // Like Lookup but without the LRU side effect; for invalidation scans and
-  // introspection.
-  const CacheEntry* Peek(const std::string& key) const;
+  // Entries removed explicitly (Erase, EraseGroup, InvalidateEntries) —
+  // consistency-driven removals, as opposed to capacity evictions. Clear()
+  // is counted by neither (it is an administrative reset, not invalidation).
+  uint64_t invalidation_removals() const {
+    return invalidation_removals_.load(std::memory_order_relaxed);
+  }
+
+  // Returns a copy of the entry with `key`, or nullopt. A hit refreshes the
+  // entry's LRU position.
+  std::optional<CacheEntry> Lookup(const std::string& key);
+
+  // Like Lookup but without the LRU side effect; for introspection.
+  std::optional<CacheEntry> Peek(const std::string& key) const;
 
   // Inserts or overwrites, evicting the least-recently-used entries if the
   // cache is at capacity.
@@ -75,35 +109,74 @@ class QueryCache {
   void Erase(const std::string& key);
 
   // Group keys: template_index for exposed templates, CacheEntry::kNoTemplate
-  // for blind-level entries.
+  // for blind-level entries. Sorted; merged across shards.
   std::vector<size_t> GroupKeys() const;
 
-  // Keys of all entries in a group (copy: callers erase while iterating).
+  // Keys of all entries in a group, sorted (copy: callers erase while
+  // iterating).
   std::vector<std::string> GroupEntryKeys(size_t group) const;
 
   // Erases every entry in `group`; returns how many.
   size_t EraseGroup(size_t group);
 
+  // Invalidation driver: visits shards one at a time (so invalidating one
+  // group never blocks lookups in other shards), skipping whole groups when
+  // `group_may_invalidate` returns false and erasing each remaining entry
+  // for which `should_invalidate` returns true. Returns entries erased.
+  //
+  // Both callbacks run under a shard lock and must not call back into this
+  // cache. `group_may_invalidate` may be called once per (shard, group);
+  // memoize in the caller if the decision is expensive.
+  size_t InvalidateEntries(
+      const std::function<bool(size_t group)>& group_may_invalidate,
+      const std::function<bool(const CacheEntry&)>& should_invalidate);
+
   // Erases everything; returns how many.
   size_t Clear();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
 
  private:
   struct Stored {
     CacheEntry entry;
     std::list<std::string>::iterator lru_position;
+    // Global last-access time; strictly increasing across the whole cache,
+    // so each shard's LRU list is sorted by tick (front = newest) and the
+    // global LRU victim is the smallest tail tick over all shards.
+    uint64_t tick = 0;
   };
 
-  void Touch(Stored& stored);
-  void EvictToCapacity();
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Stored> entries;
+    std::map<size_t, std::set<std::string>> groups;
+    std::list<std::string> lru;  // Most-recently-used at the front.
+  };
 
-  std::unordered_map<std::string, Stored> entries_;
-  std::map<size_t, std::set<std::string>> groups_;
-  // Most-recently-used at the front.
-  std::list<std::string> lru_;
-  size_t max_entries_ = 0;
-  uint64_t evictions_ = 0;
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % kNumShards];
+  }
+  const Shard& ShardFor(const std::string& key) const {
+    return shards_[std::hash<std::string>{}(key) % kNumShards];
+  }
+  uint64_t NextTick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Removes one entry from its shard's map, group index, and LRU list.
+  // Caller holds shard.mu.
+  void RemoveLocked(Shard& shard,
+                    std::unordered_map<std::string, Stored>::iterator it);
+
+  // Evicts globally least-recently-used entries until size() <= capacity,
+  // charging them to `counter`. Takes all shard locks (in index order).
+  void EvictToCapacity(std::atomic<uint64_t>& counter);
+
+  std::array<Shard, kNumShards> shards_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> max_entries_{0};
+  std::atomic<uint64_t> insert_evictions_{0};
+  std::atomic<uint64_t> shrink_evictions_{0};
+  std::atomic<uint64_t> invalidation_removals_{0};
 };
 
 }  // namespace dssp::service

@@ -1,137 +1,171 @@
 #include "dssp/node.h"
 
+#include <mutex>
+
 namespace dssp::service {
+
+DsspStats DsspNode::AtomicStats::Snapshot() const {
+  DsspStats out;
+  out.lookups = lookups.load(std::memory_order_relaxed);
+  out.hits = hits.load(std::memory_order_relaxed);
+  out.misses = misses.load(std::memory_order_relaxed);
+  out.stores = stores.load(std::memory_order_relaxed);
+  out.updates_observed = updates_observed.load(std::memory_order_relaxed);
+  out.entries_invalidated =
+      entries_invalidated.load(std::memory_order_relaxed);
+  return out;
+}
 
 Status DsspNode::RegisterApp(std::string app_id,
                              const catalog::Catalog* catalog,
                              const templates::TemplateSet* templates) {
   DSSP_CHECK(catalog != nullptr && templates != nullptr);
-  if (apps_.count(app_id) != 0) {
-    return AlreadyExistsError("application " + app_id);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = apps_.try_emplace(std::move(app_id));
+  if (!inserted) {
+    return AlreadyExistsError("application " + it->first);
   }
-  AppState state;
+  AppState& state = it->second;
   state.catalog = catalog;
   state.templates = templates;
   state.strategy = std::make_unique<invalidation::MixedStrategy>(*catalog);
-  apps_.emplace(std::move(app_id), std::move(state));
   return Status::Ok();
 }
 
 bool DsspNode::HasApp(std::string_view app_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return apps_.find(app_id) != apps_.end();
 }
 
-DsspNode::AppState& DsspNode::GetApp(std::string_view app_id) {
+DsspNode::AppState* DsspNode::FindApp(std::string_view app_id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = apps_.find(app_id);
-  DSSP_CHECK(it != apps_.end());
-  return it->second;
+  return it == apps_.end() ? nullptr : &it->second;
 }
 
-const DsspNode::AppState& DsspNode::GetApp(std::string_view app_id) const {
+const DsspNode::AppState* DsspNode::FindApp(std::string_view app_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = apps_.find(app_id);
-  DSSP_CHECK(it != apps_.end());
-  return it->second;
+  return it == apps_.end() ? nullptr : &it->second;
 }
 
-const CacheEntry* DsspNode::Lookup(const std::string& app_id,
-                                   const std::string& key) {
-  AppState& app = GetApp(app_id);
-  ++app.stats.lookups;
-  const CacheEntry* entry = app.cache.Lookup(key);
-  if (entry != nullptr) {
-    ++app.stats.hits;
+std::optional<CacheEntry> DsspNode::Lookup(const std::string& app_id,
+                                           const std::string& key) {
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return std::nullopt;
+  app->stats.lookups.fetch_add(1, std::memory_order_relaxed);
+  std::optional<CacheEntry> entry = app->cache.Lookup(key);
+  if (entry.has_value()) {
+    app->stats.hits.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++app.stats.misses;
+    app->stats.misses.fetch_add(1, std::memory_order_relaxed);
   }
   return entry;
 }
 
 void DsspNode::Store(const std::string& app_id, CacheEntry entry) {
-  AppState& app = GetApp(app_id);
-  ++app.stats.stores;
-  app.cache.Insert(std::move(entry));
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return;
+  app->stats.stores.fetch_add(1, std::memory_order_relaxed);
+  app->cache.Insert(std::move(entry));
 }
 
 size_t DsspNode::OnUpdate(const std::string& app_id,
                           const UpdateNotice& notice) {
-  AppState& app = GetApp(app_id);
-  ++app.stats.updates_observed;
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return 0;
+  app->stats.updates_observed.fetch_add(1, std::memory_order_relaxed);
 
   invalidation::UpdateView update_view;
   update_view.level = notice.level;
   if (notice.level != analysis::ExposureLevel::kBlind &&
       notice.template_index != CacheEntry::kNoTemplate) {
-    DSSP_CHECK(notice.template_index < app.templates->num_updates());
-    update_view.tmpl = &app.templates->updates()[notice.template_index];
+    DSSP_CHECK(notice.template_index < app->templates->num_updates());
+    update_view.tmpl = &app->templates->updates()[notice.template_index];
   }
   if (notice.level == analysis::ExposureLevel::kStmt &&
       notice.statement.has_value()) {
     update_view.statement = &*notice.statement;
   }
 
-  size_t invalidated = 0;
-  for (size_t group : app.cache.GroupKeys()) {
-    // Group-level prefilter: decide with only the query template exposed
-    // (the IPM's A cell). Our statement- and view-inspection strategies
-    // refine the template-level decision monotonically, so a template-level
-    // DNI is final for the whole group.
-    invalidation::CachedQueryView group_view;
-    if (group == CacheEntry::kNoTemplate) {
-      group_view.level = analysis::ExposureLevel::kBlind;
-    } else {
-      group_view.level = analysis::ExposureLevel::kTemplate;
-      group_view.tmpl = &app.templates->queries()[group];
+  // Group-level prefilter, decided once per group across all shards: with
+  // only the query template exposed (the IPM's A cell). Our statement- and
+  // view-inspection strategies refine the template-level decision
+  // monotonically, so a template-level DNI is final for the whole group.
+  std::map<size_t, bool> group_decisions;
+  const auto group_may_invalidate = [&](size_t group) {
+    const auto [it, inserted] = group_decisions.try_emplace(group, false);
+    if (inserted) {
+      invalidation::CachedQueryView group_view;
+      if (group == CacheEntry::kNoTemplate) {
+        group_view.level = analysis::ExposureLevel::kBlind;
+      } else {
+        group_view.level = analysis::ExposureLevel::kTemplate;
+        group_view.tmpl = &app->templates->queries()[group];
+      }
+      it->second = app->strategy->Decide(update_view, group_view) !=
+                   invalidation::Decision::kDoNotInvalidate;
     }
-    if (app.strategy->Decide(update_view, group_view) ==
-        invalidation::Decision::kDoNotInvalidate) {
-      continue;
+    return it->second;
+  };
+  const auto should_invalidate = [&](const CacheEntry& entry) {
+    invalidation::CachedQueryView view;
+    view.level = entry.level;
+    if (entry.template_index != CacheEntry::kNoTemplate) {
+      view.tmpl = &app->templates->queries()[entry.template_index];
     }
+    if (entry.statement.has_value()) view.statement = &*entry.statement;
+    if (entry.result.has_value()) view.result = &*entry.result;
+    return app->strategy->Decide(update_view, view) ==
+           invalidation::Decision::kInvalidate;
+  };
 
-    for (const std::string& key : app.cache.GroupEntryKeys(group)) {
-      // Peek: inspecting entries for invalidation must not refresh their
-      // LRU recency.
-      const CacheEntry* entry = app.cache.Peek(key);
-      DSSP_CHECK(entry != nullptr);
-      invalidation::CachedQueryView view;
-      view.level = entry->level;
-      if (entry->template_index != CacheEntry::kNoTemplate) {
-        view.tmpl = &app.templates->queries()[entry->template_index];
-      }
-      if (entry->statement.has_value()) view.statement = &*entry->statement;
-      if (entry->result.has_value()) view.result = &*entry->result;
-      if (app.strategy->Decide(update_view, view) ==
-          invalidation::Decision::kInvalidate) {
-        app.cache.Erase(key);
-        ++invalidated;
-      }
-    }
-  }
-  app.stats.entries_invalidated += invalidated;
+  const size_t invalidated =
+      app->cache.InvalidateEntries(group_may_invalidate, should_invalidate);
+  app->stats.entries_invalidated.fetch_add(invalidated,
+                                           std::memory_order_relaxed);
   return invalidated;
 }
 
 void DsspNode::SetCacheCapacity(const std::string& app_id,
                                 size_t max_entries) {
-  GetApp(app_id).cache.SetCapacity(max_entries);
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return;
+  app->cache.SetCapacity(max_entries);
 }
 
 uint64_t DsspNode::CacheEvictions(const std::string& app_id) const {
-  return GetApp(app_id).cache.evictions();
+  const AppState* app = FindApp(app_id);
+  return app == nullptr ? 0 : app->cache.evictions();
+}
+
+CacheCounters DsspNode::GetCacheCounters(const std::string& app_id) const {
+  const AppState* app = FindApp(app_id);
+  CacheCounters counters;
+  if (app == nullptr) return counters;
+  counters.insert_evictions = app->cache.insert_evictions();
+  counters.shrink_evictions = app->cache.shrink_evictions();
+  counters.invalidation_removals = app->cache.invalidation_removals();
+  return counters;
 }
 
 size_t DsspNode::ClearCache(const std::string& app_id) {
-  return GetApp(app_id).cache.Clear();
+  AppState* app = FindApp(app_id);
+  return app == nullptr ? 0 : app->cache.Clear();
 }
 
 size_t DsspNode::CacheSize(const std::string& app_id) const {
-  return GetApp(app_id).cache.size();
+  const AppState* app = FindApp(app_id);
+  return app == nullptr ? 0 : app->cache.size();
 }
 
-const DsspStats& DsspNode::stats(const std::string& app_id) const {
-  return GetApp(app_id).stats;
+DsspStats DsspNode::stats(const std::string& app_id) const {
+  const AppState* app = FindApp(app_id);
+  return app == nullptr ? DsspStats{} : app->stats.Snapshot();
 }
 
 size_t DsspNode::TotalCacheSize() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [id, app] : apps_) total += app.cache.size();
   return total;

@@ -1,9 +1,11 @@
 #ifndef DSSP_DSSP_NODE_H_
 #define DSSP_DSSP_NODE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -23,7 +25,12 @@ struct UpdateNotice {
   std::optional<sql::Statement> statement;          // If level >= stmt.
 };
 
-// Per-application DSSP counters.
+// Per-application DSSP counters, as a point-in-time snapshot. The node
+// accumulates these with relaxed atomics; a snapshot taken while worker
+// threads are active reflects each counter individually (monotone, never
+// torn) but not necessarily one global instant — e.g. `hits + misses` can
+// momentarily trail `lookups`. Quiesce writers for exact cross-counter
+// arithmetic.
 struct DsspStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
@@ -39,12 +46,32 @@ struct DsspStats {
   }
 };
 
+// Per-application cache removal accounting, split by cause: capacity
+// evictions (by whether insert overflow or a capacity shrink triggered
+// them) versus consistency-driven invalidation removals.
+struct CacheCounters {
+  uint64_t insert_evictions = 0;
+  uint64_t shrink_evictions = 0;
+  uint64_t invalidation_removals = 0;
+
+  uint64_t total_evictions() const {
+    return insert_evictions + shrink_evictions;
+  }
+};
+
 // The shared Database Scalability Service Provider node: caches (possibly
 // encrypted) query results for many applications and keeps them consistent
 // by invalidating on updates, using only each entry's exposed information.
 //
 // The DSSP holds no application keys. Applications are isolated: lookups and
 // invalidations are scoped to one application's cache.
+//
+// Thread safety: safe for concurrent use by multiple worker threads. The
+// registry is guarded by a shared mutex (registration writes, everything
+// else reads), each application's cache is internally lock-striped (see
+// QueryCache), and stats are relaxed atomics. Operations on an app_id that
+// was never registered degrade gracefully (miss / no-op / zero) rather than
+// aborting: a shared provider must tolerate traffic for unknown tenants.
 class DsspNode {
  public:
   DsspNode() = default;
@@ -58,40 +85,66 @@ class DsspNode {
 
   bool HasApp(std::string_view app_id) const;
 
-  // Cache operations for one application.
-  const CacheEntry* Lookup(const std::string& app_id, const std::string& key);
+  // Cache operations for one application. Lookup returns a copy of the
+  // entry (a pointer into the cache would dangle under concurrent
+  // invalidation); unknown app ids miss.
+  std::optional<CacheEntry> Lookup(const std::string& app_id,
+                                   const std::string& key);
   void Store(const std::string& app_id, CacheEntry entry);
 
   // Invalidation on a completed update; returns entries invalidated.
+  // Drains the app's cache shard by shard, so concurrent lookups in other
+  // shards proceed while one shard is being pruned.
   size_t OnUpdate(const std::string& app_id, const UpdateNotice& notice);
 
   // Caps one application's cache entry count (0 = unlimited). A shared
   // provider uses this to bound each tenant's memory; overflow evicts the
   // least recently used entries.
   void SetCacheCapacity(const std::string& app_id, size_t max_entries);
+
+  // Total capacity evictions (insert-overflow + capacity-shrink).
   uint64_t CacheEvictions(const std::string& app_id) const;
+
+  // Removal accounting split by cause (zeroes for unknown apps).
+  CacheCounters GetCacheCounters(const std::string& app_id) const;
 
   // Drops an application's whole cache (e.g., to start an experiment cold).
   size_t ClearCache(const std::string& app_id);
 
   size_t CacheSize(const std::string& app_id) const;
-  const DsspStats& stats(const std::string& app_id) const;
+
+  // Snapshot of the app's counters (zeroes for unknown apps).
+  DsspStats stats(const std::string& app_id) const;
 
   // Aggregate size across applications.
   size_t TotalCacheSize() const;
 
  private:
+  struct AtomicStats {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> stores{0};
+    std::atomic<uint64_t> updates_observed{0};
+    std::atomic<uint64_t> entries_invalidated{0};
+
+    DsspStats Snapshot() const;
+  };
+
   struct AppState {
     const catalog::Catalog* catalog = nullptr;
     const templates::TemplateSet* templates = nullptr;
     QueryCache cache;
     std::unique_ptr<invalidation::MixedStrategy> strategy;
-    DsspStats stats;
+    AtomicStats stats;
   };
 
-  AppState& GetApp(std::string_view app_id);
-  const AppState& GetApp(std::string_view app_id) const;
+  // nullptr when the app was never registered. The returned state is
+  // stable: apps are never unregistered and map nodes do not move.
+  AppState* FindApp(std::string_view app_id);
+  const AppState* FindApp(std::string_view app_id) const;
 
+  mutable std::shared_mutex mu_;  // Guards the apps_ map structure.
   std::map<std::string, AppState, std::less<>> apps_;
 };
 

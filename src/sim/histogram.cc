@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/macros.h"
-
 namespace dssp::sim {
 
 LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
@@ -25,7 +23,9 @@ double LatencyHistogram::BucketMidpoint(int bucket) const {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  DSSP_CHECK(seconds >= 0);
+  // Latencies computed as differences of floating-point timestamps can come
+  // out as tiny negative values; clamp rather than abort.
+  if (seconds < 0) seconds = 0;
   ++buckets_[BucketFor(seconds)];
   if (count_ == 0) {
     min_ = seconds;

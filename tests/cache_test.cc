@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "dssp/cache.h"
 
 namespace dssp::service {
@@ -15,16 +19,33 @@ CacheEntry Entry(const std::string& key, size_t template_index,
   return entry;
 }
 
+// Cross-checks the cache's own bookkeeping: every group entry key must be
+// peekable, and the group index must account for exactly size() entries.
+void ExpectConsistent(const QueryCache& cache) {
+  size_t indexed = 0;
+  for (size_t group : cache.GroupKeys()) {
+    const std::vector<std::string> keys = cache.GroupEntryKeys(group);
+    EXPECT_FALSE(keys.empty()) << "empty group " << group << " in index";
+    for (const std::string& key : keys) {
+      const std::optional<CacheEntry> entry = cache.Peek(key);
+      ASSERT_TRUE(entry.has_value()) << "indexed key missing: " << key;
+      EXPECT_EQ(entry->template_index, group);
+    }
+    indexed += keys.size();
+  }
+  EXPECT_EQ(indexed, cache.size());
+}
+
 TEST(QueryCacheTest, InsertLookupErase) {
   QueryCache cache;
   cache.Insert(Entry("k1", 0));
   EXPECT_EQ(cache.size(), 1u);
-  const CacheEntry* found = cache.Lookup("k1");
-  ASSERT_NE(found, nullptr);
+  const std::optional<CacheEntry> found = cache.Lookup("k1");
+  ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->blob, "blob:k1");
-  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_FALSE(cache.Lookup("k2").has_value());
   cache.Erase("k1");
-  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
   EXPECT_EQ(cache.size(), 0u);
 }
 
@@ -32,6 +53,7 @@ TEST(QueryCacheTest, EraseMissingIsNoop) {
   QueryCache cache;
   cache.Erase("ghost");
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidation_removals(), 0u);
 }
 
 TEST(QueryCacheTest, InsertOverwrites) {
@@ -45,6 +67,9 @@ TEST(QueryCacheTest, InsertOverwrites) {
   // The group index follows the overwrite.
   EXPECT_TRUE(cache.GroupEntryKeys(0).empty());
   EXPECT_EQ(cache.GroupEntryKeys(1).size(), 1u);
+  // An in-place overwrite is neither an eviction nor an invalidation.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.invalidation_removals(), 0u);
 }
 
 TEST(QueryCacheTest, GroupsTrackTemplates) {
@@ -69,8 +94,8 @@ TEST(QueryCacheTest, EraseGroup) {
   cache.Insert(Entry("b1", 1));
   EXPECT_EQ(cache.EraseGroup(0), 2u);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(cache.Lookup("a1"), nullptr);
-  EXPECT_NE(cache.Lookup("b1"), nullptr);
+  EXPECT_FALSE(cache.Lookup("a1").has_value());
+  EXPECT_TRUE(cache.Lookup("b1").has_value());
   EXPECT_EQ(cache.EraseGroup(0), 0u);
 }
 
@@ -81,6 +106,8 @@ TEST(QueryCacheTest, Clear) {
   EXPECT_EQ(cache.Clear(), 2u);
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_TRUE(cache.GroupKeys().empty());
+  // Clear is an administrative reset, not invalidation.
+  EXPECT_EQ(cache.invalidation_removals(), 0u);
 }
 
 TEST(QueryCacheTest, PeekDoesNotTouchLru) {
@@ -89,10 +116,10 @@ TEST(QueryCacheTest, PeekDoesNotTouchLru) {
   cache.Insert(Entry("old", 0));
   cache.Insert(Entry("new", 0));
   // Peek must not rescue "old" from eviction.
-  EXPECT_NE(cache.Peek("old"), nullptr);
+  EXPECT_TRUE(cache.Peek("old").has_value());
   cache.Insert(Entry("newest", 0));
-  EXPECT_EQ(cache.Peek("old"), nullptr);
-  EXPECT_NE(cache.Peek("new"), nullptr);
+  EXPECT_FALSE(cache.Peek("old").has_value());
+  EXPECT_TRUE(cache.Peek("new").has_value());
 }
 
 TEST(QueryCacheTest, LruEvictionOrder) {
@@ -102,11 +129,11 @@ TEST(QueryCacheTest, LruEvictionOrder) {
   cache.Insert(Entry("b", 0));
   cache.Insert(Entry("c", 1));
   // Touch "a": it becomes most recent; "b" is now the LRU victim.
-  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
   cache.Insert(Entry("d", 1));
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.Peek("b"), nullptr);
-  EXPECT_NE(cache.Peek("a"), nullptr);
+  EXPECT_FALSE(cache.Peek("b").has_value());
+  EXPECT_TRUE(cache.Peek("a").has_value());
   EXPECT_EQ(cache.evictions(), 1u);
   // Group index stays consistent with the eviction.
   EXPECT_EQ(cache.GroupEntryKeys(0).size(), 1u);
@@ -123,7 +150,7 @@ TEST(QueryCacheTest, ShrinkingCapacityEvictsImmediately) {
   EXPECT_EQ(cache.evictions(), 6u);
   // The four most recent survive.
   for (int i = 6; i < 10; ++i) {
-    EXPECT_NE(cache.Peek("k" + std::to_string(i)), nullptr) << i;
+    EXPECT_TRUE(cache.Peek("k" + std::to_string(i)).has_value()) << i;
   }
 }
 
@@ -150,7 +177,96 @@ TEST(QueryCacheTest, EraseGroupMaintainsLru) {
   cache.Insert(Entry("e", 1));
   cache.Insert(Entry("f", 1));
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.Peek("b"), nullptr);
+  EXPECT_FALSE(cache.Peek("b").has_value());
+}
+
+// Regression: capacity-shrink evictions and insert-overflow evictions used
+// to be conflated in one counter, and invalidation removals were not
+// distinguishable from evictions at all.
+TEST(QueryCacheTest, EvictionCountersSplitByCause) {
+  QueryCache cache;
+  for (int i = 0; i < 6; ++i) {
+    cache.Insert(Entry("k" + std::to_string(i), 0));
+  }
+  // Shrink: 6 entries -> capacity 4 evicts 2.
+  cache.SetCapacity(4);
+  EXPECT_EQ(cache.shrink_evictions(), 2u);
+  EXPECT_EQ(cache.insert_evictions(), 0u);
+  // Overflow: two more inserts at capacity evict 2 more.
+  cache.Insert(Entry("k6", 0));
+  cache.Insert(Entry("k7", 0));
+  EXPECT_EQ(cache.insert_evictions(), 2u);
+  EXPECT_EQ(cache.shrink_evictions(), 2u);
+  EXPECT_EQ(cache.evictions(), 4u);
+  // Invalidation removals are tracked separately from both.
+  cache.Erase("k7");
+  EXPECT_EQ(cache.EraseGroup(0), 3u);
+  EXPECT_EQ(cache.invalidation_removals(), 4u);
+  EXPECT_EQ(cache.evictions(), 4u);
+}
+
+TEST(QueryCacheTest, InvalidateEntriesFiltersGroupsThenEntries) {
+  QueryCache cache;
+  cache.Insert(Entry("a1", 0));
+  cache.Insert(Entry("a2", 0));
+  cache.Insert(Entry("b1", 1));
+  cache.Insert(Entry("b2", 1));
+  const size_t erased = cache.InvalidateEntries(
+      [](size_t group) { return group == 1; },
+      [](const CacheEntry& entry) { return entry.key != "b2"; });
+  EXPECT_EQ(erased, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.Peek("b1").has_value());
+  EXPECT_TRUE(cache.Peek("b2").has_value());
+  EXPECT_TRUE(cache.Peek("a1").has_value());
+  EXPECT_EQ(cache.invalidation_removals(), 1u);
+  ExpectConsistent(cache);
+}
+
+// LRU/group-index invariants across SetCapacity + EraseGroup +
+// overwrite-Insert interleavings: the group index, LRU list, and size must
+// stay mutually consistent through every mixed sequence.
+TEST(QueryCacheTest, InvariantsSurviveMixedInterleavings) {
+  QueryCache cache;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 12; ++i) {
+      cache.Insert(Entry("k" + std::to_string(i), i % 3));
+    }
+    ExpectConsistent(cache);
+    // Overwrite half of them into a different group.
+    for (int i = 0; i < 6; ++i) {
+      cache.Insert(Entry("k" + std::to_string(i), 3));
+    }
+    ExpectConsistent(cache);
+    cache.SetCapacity(8);
+    ExpectConsistent(cache);
+    EXPECT_EQ(cache.size(), 8u);
+    cache.EraseGroup(3 - round % 2);
+    ExpectConsistent(cache);
+    // Overwrite survivors in place at capacity, then grow again.
+    for (int i = 6; i < 12; ++i) {
+      cache.Insert(Entry("k" + std::to_string(i), 0));
+    }
+    ExpectConsistent(cache);
+    EXPECT_LE(cache.size(), 8u);
+    cache.SetCapacity(0);
+  }
+  // Every erased entry stayed accounted: size + all removals == inserts.
+  ExpectConsistent(cache);
+}
+
+TEST(QueryCacheTest, OverwriteAtCapacityDoesNotEvict) {
+  QueryCache cache;
+  cache.SetCapacity(2);
+  cache.Insert(Entry("a", 0));
+  cache.Insert(Entry("b", 0));
+  // Overwriting an existing key at full capacity replaces in place.
+  cache.Insert(Entry("a", 1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.Peek("a").has_value());
+  EXPECT_TRUE(cache.Peek("b").has_value());
+  ExpectConsistent(cache);
 }
 
 }  // namespace

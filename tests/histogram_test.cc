@@ -116,6 +116,23 @@ TEST(HistogramTest, ResetClearsEverything) {
   EXPECT_DOUBLE_EQ(h.Min(), 2.0);
 }
 
+// Regression: Record used to DSSP_CHECK-abort on negative input. Latencies
+// computed as differences of floating-point timestamps can come out as tiny
+// negative values; they must clamp to zero instead.
+TEST(HistogramTest, NegativeJitterClampsToZero) {
+  LatencyHistogram h;
+  h.Record(-1e-15);
+  h.Record(-0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  // Mixing with positive samples keeps the stats sane.
+  h.Record(1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+}
+
 TEST(HistogramTest, MonotoneQuantiles) {
   Rng rng(11);
   LatencyHistogram h;

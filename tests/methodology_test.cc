@@ -48,6 +48,40 @@ TEST(ExposureTest, Names) {
   EXPECT_STREQ(IpmSymbolName(IpmSymbol::kA), "A");
 }
 
+// Regression: nothing used to enforce the "updates are never view-exposed"
+// invariant; a bad assignment crashed deep inside SymbolFor. Validate()
+// rejects it with a clear error at the methodology entry points instead.
+TEST(ExposureTest, ValidateRejectsViewExposedUpdates) {
+  ExposureAssignment bad = ExposureAssignment::FullExposure(2, 3);
+  EXPECT_TRUE(bad.Validate().ok());
+  bad.update_levels[1] = ExposureLevel::kView;
+  const Status status = bad.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("update template 1"), std::string::npos);
+  EXPECT_NE(status.message().find("view"), std::string::npos);
+}
+
+TEST(ExposureTest, ValidateAcceptsFactoryAssignments) {
+  EXPECT_TRUE(ExposureAssignment::FullExposure(4, 4).Validate().ok());
+  EXPECT_TRUE(ExposureAssignment::FullEncryption(4, 4).Validate().ok());
+  // View is a legal level for queries.
+  ExposureAssignment queries_view = ExposureAssignment::FullEncryption(1, 1);
+  queries_view.query_levels[0] = ExposureLevel::kView;
+  EXPECT_TRUE(queries_view.Validate().ok());
+}
+
+using MethodologyDeathTest = MethodologyTest;
+
+TEST_F(MethodologyDeathTest, EntryPointsRejectViewExposedUpdates) {
+  ExposureAssignment bad = ExposureAssignment::FullExposure(
+      templates_.num_queries(), templates_.num_updates());
+  bad.update_levels[0] = ExposureLevel::kView;
+  EXPECT_DEATH(ReduceExposure(templates_, ipm_, bad),
+               "view exposure level");
+  EXPECT_DEATH(SameInvalidationProbabilities(templates_, ipm_, bad, bad),
+               "view exposure level");
+}
+
 TEST(ExposureTest, FactoryAssignments) {
   const ExposureAssignment full = ExposureAssignment::FullExposure(2, 3);
   EXPECT_EQ(full.query_levels,

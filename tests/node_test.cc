@@ -122,10 +122,73 @@ TEST_F(NodeTest, TotalCacheSizeSpansApps) {
   EXPECT_EQ(node_.TotalCacheSize(), 3u);
 }
 
-TEST_F(NodeTest, UpdateNoticeForUnknownAppIsAProgrammingError) {
-  // Registration checks.
+TEST_F(NodeTest, HasAppTracksRegistration) {
   EXPECT_FALSE(node_.HasApp("ghost"));
   EXPECT_TRUE(node_.HasApp("toystore"));
+}
+
+// Regression: every one of these used to DSSP_CHECK-abort the whole node
+// on an unregistered app_id. A shared provider must degrade gracefully.
+TEST_F(NodeTest, LookupForUnknownAppMisses) {
+  EXPECT_FALSE(node_.Lookup("ghost", "some-key").has_value());
+}
+
+TEST_F(NodeTest, StoreForUnknownAppIsANoop) {
+  CacheEntry entry;
+  entry.key = "k";
+  entry.blob = "blob";
+  node_.Store("ghost", std::move(entry));
+  EXPECT_EQ(node_.CacheSize("ghost"), 0u);
+  EXPECT_EQ(node_.TotalCacheSize(), 0u);
+}
+
+TEST_F(NodeTest, OnUpdateForUnknownAppInvalidatesNothing) {
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kBlind;
+  EXPECT_EQ(node_.OnUpdate("ghost", notice), 0u);
+}
+
+TEST_F(NodeTest, StatsForUnknownAppAreZero) {
+  const DsspStats stats = node_.stats("ghost");
+  EXPECT_EQ(stats.lookups, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.updates_observed, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.0);
+}
+
+TEST_F(NodeTest, CacheAccountingForUnknownAppIsZero) {
+  EXPECT_EQ(node_.CacheEvictions("ghost"), 0u);
+  const CacheCounters counters = node_.GetCacheCounters("ghost");
+  EXPECT_EQ(counters.total_evictions(), 0u);
+  EXPECT_EQ(counters.invalidation_removals, 0u);
+  EXPECT_EQ(node_.CacheSize("ghost"), 0u);
+  EXPECT_EQ(node_.ClearCache("ghost"), 0u);
+  node_.SetCacheCapacity("ghost", 5);  // No-op, must not abort.
+  EXPECT_FALSE(node_.HasApp("ghost"));
+}
+
+TEST_F(NodeTest, CacheCountersSplitEvictionCauses) {
+  // Overflow evictions.
+  node_.SetCacheCapacity("toystore", 3);
+  for (int64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(app_->Query("Q2", {Value(i)}).ok());
+  }
+  CacheCounters counters = node_.GetCacheCounters("toystore");
+  EXPECT_EQ(counters.insert_evictions, 2u);
+  EXPECT_EQ(counters.shrink_evictions, 0u);
+  // Shrink evictions.
+  node_.SetCacheCapacity("toystore", 1);
+  counters = node_.GetCacheCounters("toystore");
+  EXPECT_EQ(counters.shrink_evictions, 2u);
+  EXPECT_EQ(counters.total_evictions(), 4u);
+  EXPECT_EQ(node_.CacheEvictions("toystore"), 4u);
+  // Invalidation removals are not evictions.
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kBlind;
+  EXPECT_EQ(node_.OnUpdate("toystore", notice), 1u);
+  counters = node_.GetCacheCounters("toystore");
+  EXPECT_EQ(counters.invalidation_removals, 1u);
+  EXPECT_EQ(counters.total_evictions(), 4u);
 }
 
 }  // namespace
