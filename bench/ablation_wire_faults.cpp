@@ -1,0 +1,101 @@
+// Ablation: what does an unreliable DSSP<->home WAN cost, and what does the
+// hardened wire path buy back? Sweeps a symmetric fault rate (applied to
+// request/response drops, corruption, and duplication) over the bookstore
+// workload with the retrying, integrity-sealed client enabled, with and
+// without staleness-bounded degraded serving. Reports the wire-path
+// counters the simulator now threads through AccessStats: retries,
+// timeouts, stale serves, ops that exhausted the retry budget, and the
+// home server's nonce-dedup suppressions (each one a prevented double
+// application).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "dssp/channel.h"
+
+namespace {
+
+using dssp::bench::BuildSystem;
+using dssp::service::DirectChannel;
+using dssp::service::FaultInjectingChannel;
+using dssp::service::FaultProfile;
+using dssp::service::WirePolicy;
+
+struct Row {
+  dssp::sim::SimResult sim;
+  uint64_t duplicates_suppressed = 0;
+};
+
+Row Run(double fault_rate, uint64_t stale_bound) {
+  auto system = BuildSystem("bookstore", dssp::bench::BenchScale(), 17);
+
+  FaultProfile profile;
+  profile.drop_request = fault_rate;
+  profile.drop_response = fault_rate;
+  profile.corrupt_request = fault_rate / 2;
+  profile.corrupt_response = fault_rate / 2;
+  profile.duplicate_request = fault_rate / 2;
+  profile.delay_probability = fault_rate;
+
+  WirePolicy policy;
+  policy.stale_serve_bound = stale_bound;
+  system->app->SetWirePolicy(policy);
+  if (stale_bound > 0) {
+    system->node.SetStaleRetention(system->app->app_id(), 4096);
+  }
+  auto direct = std::make_unique<DirectChannel>(system->app->home());
+  system->app->SetChannel(std::make_unique<FaultInjectingChannel>(
+      *direct, profile, /*seed=*/0xFA17));
+
+  auto generator = system->workload->NewSession(23);
+  auto result =
+      dssp::sim::RunSimulation(*system->app, *generator, 280,
+                               dssp::bench::BenchSimConfig());
+  DSSP_CHECK(result.ok());
+  Row row;
+  row.sim = *result;
+  row.duplicates_suppressed = system->app->home().duplicates_suppressed();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — wire fault tolerance (bookstore, 280 users, retrying "
+      "sealed client)\n\n");
+  std::printf("%7s | %8s %8s %8s %7s %7s | %8s %7s %7s\n", "faults",
+              "p90 (s)", "retries", "timeout", "dedup", "failed", "degr p90",
+              "stale#", "failed");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (double fault_rate : {0.0, 0.01, 0.03, 0.05, 0.10, 0.15}) {
+    // Left: retries only (stale_bound=0). Right: degraded mode allowed
+    // (stale_bound=8) — failed queries may become bounded-stale answers.
+    const Row hard = Run(fault_rate, /*stale_bound=*/0);
+    const Row degraded = Run(fault_rate, /*stale_bound=*/8);
+    std::printf(
+        "%6.0f%% | %8.3f %8llu %8llu %7llu %7llu | %8.3f %7llu %7llu\n",
+        fault_rate * 100, hard.sim.p90_response_s,
+        static_cast<unsigned long long>(hard.sim.wire_retries),
+        static_cast<unsigned long long>(hard.sim.wire_timeouts),
+        static_cast<unsigned long long>(hard.duplicates_suppressed),
+        static_cast<unsigned long long>(hard.sim.failed_ops),
+        degraded.sim.p90_response_s,
+        static_cast<unsigned long long>(degraded.sim.stale_serves),
+        static_cast<unsigned long long>(degraded.sim.failed_ops));
+  }
+
+  std::printf(
+      "\nInterpretation: the sealed retrying client absorbs moderate WAN "
+      "fault rates\nwith a latency tax (timeout + backoff charges in the "
+      "retry column) and no\ncorrectness loss — every dedup hit is a "
+      "duplicate update the nonce check\nstopped from applying twice. As "
+      "faults grow, ops start exhausting the retry\nbudget ('failed'); "
+      "allowing bounded-staleness serves (right columns) converts\npart of "
+      "that unavailability into slightly stale answers, which is the "
+      "paper's\nscalability-vs-freshness trade taken to its degraded-mode "
+      "extreme.\n");
+  return 0;
+}

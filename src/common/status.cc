@@ -20,6 +20,14 @@ const char* StatusCodeName(StatusCode code) {
       return "constraint violation";
     case StatusCode::kParseError:
       return "parse error";
+    case StatusCode::kCorruptFrame:
+      return "corrupt frame";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
+    case StatusCode::kStatusCodeEnd:
+      break;
   }
   return "unknown";
 }
@@ -54,6 +62,15 @@ Status ConstraintViolationError(std::string message) {
 }
 Status ParseError(std::string message) {
   return Status(StatusCode::kParseError, std::move(message));
+}
+Status CorruptFrameError(std::string message) {
+  return Status(StatusCode::kCorruptFrame, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace dssp

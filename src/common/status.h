@@ -20,6 +20,13 @@ enum class StatusCode {
   kUnimplemented,
   kConstraintViolation,
   kParseError,
+  kCorruptFrame,       // Wire frame failed its integrity check.
+  kUnavailable,        // Peer unreachable after exhausting retries.
+  kDeadlineExceeded,   // Per-request deadline expired before success.
+
+  // Sentinel: one past the last real code. Keep last; wire-format
+  // validation derives the legal code range from it.
+  kStatusCodeEnd,
 };
 
 // Returns a short human-readable name for `code` ("ok", "parse error", ...).
@@ -60,6 +67,9 @@ Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status ConstraintViolationError(std::string message);
 Status ParseError(std::string message);
+Status CorruptFrameError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Holds either a value of type T or an error Status.
 template <typename T>

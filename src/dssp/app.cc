@@ -13,8 +13,83 @@ constexpr size_t kRequestOverheadBytes = 64;
 
 ScalableApp::ScalableApp(std::string app_id, DsspNode* dssp,
                          crypto::KeyRing keyring)
-    : home_(std::move(app_id), std::move(keyring)), dssp_(dssp) {
+    : home_(std::move(app_id), std::move(keyring)),
+      dssp_(dssp),
+      channel_(std::make_unique<DirectChannel>(home_)) {
   DSSP_CHECK(dssp_ != nullptr);
+}
+
+void ScalableApp::SetChannel(std::unique_ptr<Channel> channel) {
+  DSSP_CHECK(channel != nullptr);
+  channel_ = std::move(channel);
+  if (client_ != nullptr) {
+    // Rebind the retry client to the new transport.
+    client_ = std::make_unique<RetryingClient>(
+        channel_.get(), wire_policy_.retry, wire_policy_.seed);
+  }
+}
+
+void ScalableApp::SetWirePolicy(const WirePolicy& policy) {
+  wire_policy_ = policy;
+  client_ = std::make_unique<RetryingClient>(channel_.get(), policy.retry,
+                                             policy.seed);
+}
+
+WireCounters ScalableApp::wire_counters() const {
+  WireCounters out;
+  out.attempts = wire_counters_.attempts.load(std::memory_order_relaxed);
+  out.retries = wire_counters_.retries.load(std::memory_order_relaxed);
+  out.timeouts = wire_counters_.timeouts.load(std::memory_order_relaxed);
+  out.corrupt_frames_dropped =
+      wire_counters_.corrupt_frames_dropped.load(std::memory_order_relaxed);
+  out.stale_serves =
+      wire_counters_.stale_serves.load(std::memory_order_relaxed);
+  out.failures = wire_counters_.failures.load(std::memory_order_relaxed);
+  return out;
+}
+
+StatusOr<std::string> ScalableApp::WireCall(const std::string& request_frame,
+                                            AccessStats& s) {
+  if (client_ == nullptr) {
+    // Legacy path: one unsealed attempt, byte-for-byte the pre-channel
+    // behavior over a DirectChannel.
+    ChannelOutcome outcome = channel_->RoundTrip(request_frame);
+    s.wire_attempts = 1;
+    s.wire_delay_s += outcome.delay_s;
+    s.wan_request_bytes = kRequestOverheadBytes + request_frame.size();
+    wire_counters_.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (!outcome.delivered) {
+      s.wire_timeouts = 1;
+      wire_counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      wire_counters_.failures.fetch_add(1, std::memory_order_relaxed);
+      return UnavailableError("home server unreachable");
+    }
+    s.wan_response_bytes = kRequestOverheadBytes + outcome.response.size();
+    return std::move(outcome.response);
+  }
+
+  WireStats ws;
+  StatusOr<std::string> inner = client_->Call(request_frame, &ws);
+  s.wire_attempts = ws.attempts;
+  s.wire_retries = ws.retries;
+  s.wire_timeouts = ws.timeouts;
+  s.corrupt_frames_dropped = ws.corrupt_frames_dropped;
+  s.wire_delay_s += ws.delay_s;
+  s.wan_request_bytes =
+      static_cast<size_t>(ws.attempts) * kRequestOverheadBytes +
+      ws.request_bytes;
+  s.wan_response_bytes =
+      static_cast<size_t>(ws.attempts - ws.timeouts) * kRequestOverheadBytes +
+      ws.response_bytes;
+  wire_counters_.attempts.fetch_add(ws.attempts, std::memory_order_relaxed);
+  wire_counters_.retries.fetch_add(ws.retries, std::memory_order_relaxed);
+  wire_counters_.timeouts.fetch_add(ws.timeouts, std::memory_order_relaxed);
+  wire_counters_.corrupt_frames_dropped.fetch_add(
+      ws.corrupt_frames_dropped, std::memory_order_relaxed);
+  if (!inner.ok()) {
+    wire_counters_.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return inner;
 }
 
 Status ScalableApp::Finalize() {
@@ -93,33 +168,49 @@ StatusOr<engine::QueryResult> ScalableApp::Query(
     blob = std::move(entry->blob);
   } else {
     // Miss: the DSSP forwards the (encrypted) query to the home server as a
-    // protocol frame (Figure 2).
+    // protocol frame (Figure 2), over the configured wire path.
     const bool plaintext_result = level == analysis::ExposureLevel::kView;
     const std::string request_frame = Encode(QueryRequest{
         home_.statement_cipher().Encrypt(sql::ToSql(bound)),
         plaintext_result});
-    const std::string response_frame = DispatchFrame(home_, request_frame);
-    DSSP_ASSIGN_OR_RETURN(blob, UnwrapQueryResponse(response_frame));
-    s.wan_request_bytes = kRequestOverheadBytes + request_frame.size();
-    s.wan_response_bytes = kRequestOverheadBytes + response_frame.size();
+    StatusOr<std::string> response_frame = WireCall(request_frame, s);
+    if (response_frame.ok()) {
+      DSSP_ASSIGN_OR_RETURN(blob, UnwrapQueryResponse(*response_frame));
 
-    CacheEntry fresh;
-    fresh.key = key;
-    fresh.level = level;
-    fresh.blob = blob;
-    if (level != analysis::ExposureLevel::kBlind) {
-      fresh.template_index = index;
+      CacheEntry fresh;
+      fresh.key = key;
+      fresh.level = level;
+      fresh.blob = blob;
+      if (level != analysis::ExposureLevel::kBlind) {
+        fresh.template_index = index;
+      }
+      if (level == analysis::ExposureLevel::kStmt ||
+          level == analysis::ExposureLevel::kView) {
+        fresh.statement = bound;
+      }
+      if (plaintext_result) {
+        DSSP_ASSIGN_OR_RETURN(engine::QueryResult plain,
+                              engine::QueryResult::Deserialize(blob));
+        fresh.result = std::move(plain);
+      }
+      dssp_->Store(app_id(), std::move(fresh));
+    } else {
+      // Home unreachable. Degraded mode: serve a recently invalidated
+      // entry if the policy's staleness bound allows it (not re-cached,
+      // counted separately).
+      const StatusCode code = response_frame.status().code();
+      std::optional<CacheEntry> stale;
+      if (client_ != nullptr && wire_policy_.stale_serve_bound > 0 &&
+          (code == StatusCode::kUnavailable ||
+           code == StatusCode::kDeadlineExceeded)) {
+        stale = dssp_->LookupStale(app_id(), key,
+                                   wire_policy_.stale_serve_bound);
+      }
+      if (!stale.has_value()) return response_frame.status();
+      s.served_stale = true;
+      wire_counters_.stale_serves.fetch_add(1, std::memory_order_relaxed);
+      blob = std::move(stale->blob);
     }
-    if (level == analysis::ExposureLevel::kStmt ||
-        level == analysis::ExposureLevel::kView) {
-      fresh.statement = bound;
-    }
-    if (plaintext_result) {
-      DSSP_ASSIGN_OR_RETURN(engine::QueryResult plain,
-                            engine::QueryResult::Deserialize(blob));
-      fresh.result = std::move(plain);
-    }
-    dssp_->Store(app_id(), std::move(fresh));
   }
 
   s.response_bytes = kRequestOverheadBytes + blob.size();
@@ -156,18 +247,16 @@ StatusOr<engine::UpdateEffect> ScalableApp::Update(
   s.is_update = true;
 
   // All updates are routed to the home server in encrypted form (Figure 2).
-  const std::string request_frame = Encode(
-      UpdateRequest{home_.statement_cipher().Encrypt(sql::ToSql(bound))});
-  const std::string response_frame = DispatchFrame(home_, request_frame);
-  DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
-                        UnwrapUpdateResponse(response_frame));
-  s.rows_affected = effect.rows_affected;
+  // The hardened path stamps a dedup nonce so retries are at-most-once.
+  UpdateRequest request{home_.statement_cipher().Encrypt(sql::ToSql(bound))};
+  if (client_ != nullptr) {
+    request.nonce = next_nonce_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::string request_frame = Encode(request);
   s.request_bytes = kRequestOverheadBytes + request_frame.size();
   s.response_bytes = kRequestOverheadBytes;  // Acknowledgement.
-  s.wan_request_bytes = kRequestOverheadBytes + request_frame.size();
-  s.wan_response_bytes = kRequestOverheadBytes + response_frame.size();
 
-  // The DSSP monitors the completed update and invalidates, seeing only the
+  // The DSSP monitors the update and invalidates, seeing only the
   // exposure-gated notice.
   UpdateNotice notice;
   notice.level = level;
@@ -177,6 +266,18 @@ StatusOr<engine::UpdateEffect> ScalableApp::Update(
   if (level == analysis::ExposureLevel::kStmt) {
     notice.statement = bound;
   }
+
+  StatusOr<std::string> response_frame = WireCall(request_frame, s);
+  if (!response_frame.ok()) {
+    // No acknowledgement — but the home server may still have applied the
+    // update (e.g. only the response was lost). Invalidate conservatively:
+    // cached results must never outlive an update that might have landed.
+    s.entries_invalidated = dssp_->OnUpdate(app_id(), notice);
+    return response_frame.status();
+  }
+  DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
+                        UnwrapUpdateResponse(*response_frame));
+  s.rows_affected = effect.rows_affected;
   s.entries_invalidated = dssp_->OnUpdate(app_id(), notice);
   return effect;
 }

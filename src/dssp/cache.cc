@@ -7,15 +7,63 @@
 namespace dssp::service {
 
 void QueryCache::RemoveLocked(
-    Shard& shard, std::unordered_map<std::string, Stored>::iterator it) {
+    Shard& shard, std::unordered_map<std::string, Stored>::iterator it,
+    bool retain_stale) {
   const auto group_it = shard.groups.find(it->second.entry.template_index);
   if (group_it != shard.groups.end()) {
     group_it->second.erase(it->first);
     if (group_it->second.empty()) shard.groups.erase(group_it);
   }
   shard.lru.erase(it->second.lru_position);
+  if (retain_stale) RetainStale(std::move(it->second.entry));
   shard.entries.erase(it);
   size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void QueryCache::RetainStale(CacheEntry entry) {
+  if (stale_capacity_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  const size_t cap = stale_capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  const auto it = stale_.find(entry.key);
+  if (it != stale_.end()) {
+    stale_fifo_.erase(it->second.fifo_position);
+    stale_.erase(it);
+  }
+  stale_fifo_.push_back(entry.key);
+  std::string key = entry.key;
+  stale_.emplace(std::move(key),
+                 StaleStored{std::move(entry),
+                             update_epoch_.load(std::memory_order_relaxed),
+                             std::prev(stale_fifo_.end())});
+  while (stale_.size() > cap) {
+    stale_.erase(stale_fifo_.front());
+    stale_fifo_.pop_front();
+  }
+}
+
+void QueryCache::SetStaleRetention(size_t max_entries) {
+  stale_capacity_.store(max_entries, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  while (stale_.size() > max_entries) {
+    stale_.erase(stale_fifo_.front());
+    stale_fifo_.pop_front();
+  }
+}
+
+size_t QueryCache::StaleSize() const {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  return stale_.size();
+}
+
+std::optional<CacheEntry> QueryCache::LookupStale(
+    const std::string& key, uint64_t max_updates_behind) const {
+  const uint64_t now = update_epoch_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  const auto it = stale_.find(key);
+  if (it == stale_.end()) return std::nullopt;
+  if (now - it->second.epoch > max_updates_behind) return std::nullopt;
+  return it->second.entry;
 }
 
 void QueryCache::EvictToCapacity(std::atomic<uint64_t>& counter) {
@@ -85,6 +133,16 @@ void QueryCache::Insert(CacheEntry entry) {
         std::move(key),
         Stored{std::move(entry), shard.lru.begin(), NextTick()});
     size_.fetch_add(1, std::memory_order_relaxed);
+    // A fresh entry supersedes any stale copy retained for this key.
+    if (stale_capacity_.load(std::memory_order_relaxed) != 0) {
+      const std::string& fresh_key = shard.lru.front();
+      std::lock_guard<std::mutex> stale_lock(stale_mu_);
+      const auto stale_it = stale_.find(fresh_key);
+      if (stale_it != stale_.end()) {
+        stale_fifo_.erase(stale_it->second.fifo_position);
+        stale_.erase(stale_it);
+      }
+    }
   }
   EvictToCapacity(insert_evictions_);
 }
@@ -94,7 +152,7 @@ void QueryCache::Erase(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
-  RemoveLocked(shard, it);
+  RemoveLocked(shard, it, /*retain_stale=*/true);
   invalidation_removals_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -130,6 +188,7 @@ size_t QueryCache::EraseGroup(size_t group) {
       const auto entry_it = shard.entries.find(key);
       DSSP_CHECK(entry_it != shard.entries.end());
       shard.lru.erase(entry_it->second.lru_position);
+      RetainStale(std::move(entry_it->second.entry));
       shard.entries.erase(entry_it);
       size_.fetch_sub(1, std::memory_order_relaxed);
     }
@@ -161,7 +220,7 @@ size_t QueryCache::InvalidateEntries(
         const auto it = shard.entries.find(key);
         DSSP_CHECK(it != shard.entries.end());
         if (should_invalidate(it->second.entry)) {
-          RemoveLocked(shard, it);
+          RemoveLocked(shard, it, /*retain_stale=*/true);
           ++invalidated;
         }
       }
@@ -180,6 +239,12 @@ size_t QueryCache::Clear() {
     shard.entries.clear();
     shard.groups.clear();
     shard.lru.clear();
+  }
+  {
+    // An administrative reset must not leave servable stale copies behind.
+    std::lock_guard<std::mutex> lock(stale_mu_);
+    stale_.clear();
+    stale_fifo_.clear();
   }
   return count;
 }

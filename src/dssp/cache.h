@@ -131,10 +131,43 @@ class QueryCache {
       const std::function<bool(size_t group)>& group_may_invalidate,
       const std::function<bool(const CacheEntry&)>& should_invalidate);
 
-  // Erases everything; returns how many.
+  // Erases everything; returns how many. Also drops the stale side store.
   size_t Clear();
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  // ----- Degraded-mode stale retention (bounded-staleness serving). -----
+  //
+  // When enabled (capacity > 0), entries removed by *consistency*
+  // invalidation (Erase / EraseGroup / InvalidateEntries — not capacity
+  // eviction, not Clear) are kept in a bounded FIFO side store, stamped
+  // with the current update epoch. While the home server is unreachable, a
+  // client may serve such an entry if it is at most `max_updates_behind`
+  // observed updates old (k-staleness: the served value predates at most k
+  // updates). Inserting a fresh entry for a key supersedes its stale copy.
+
+  // Caps the side store's entry count; 0 (default) disables retention and
+  // drops anything currently retained.
+  void SetStaleRetention(size_t max_entries);
+  size_t stale_retention() const {
+    return stale_capacity_.load(std::memory_order_relaxed);
+  }
+  size_t StaleSize() const;
+
+  // Advances the update epoch; call once per observed update, after its
+  // invalidation pass (so an entry killed by update N is 1 epoch behind
+  // immediately afterwards).
+  void BumpUpdateEpoch() {
+    update_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t update_epoch() const {
+    return update_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Returns the retained entry for `key` if it is at most
+  // `max_updates_behind` epochs old (which is >= 1 for anything retained).
+  std::optional<CacheEntry> LookupStale(const std::string& key,
+                                        uint64_t max_updates_behind) const;
 
  private:
   struct Stored {
@@ -162,15 +195,33 @@ class QueryCache {
   uint64_t NextTick() { return tick_.fetch_add(1, std::memory_order_relaxed); }
 
   // Removes one entry from its shard's map, group index, and LRU list.
-  // Caller holds shard.mu.
+  // Caller holds shard.mu. `retain_stale` moves the entry into the stale
+  // side store (invalidation paths) instead of discarding it outright
+  // (capacity evictions). Lock order is always shard.mu -> stale_mu_.
   void RemoveLocked(Shard& shard,
-                    std::unordered_map<std::string, Stored>::iterator it);
+                    std::unordered_map<std::string, Stored>::iterator it,
+                    bool retain_stale = false);
+
+  // Stashes an invalidated entry into the bounded stale store (no-op when
+  // retention is off).
+  void RetainStale(CacheEntry entry);
 
   // Evicts globally least-recently-used entries until size() <= capacity,
   // charging them to `counter`. Takes all shard locks (in index order).
   void EvictToCapacity(std::atomic<uint64_t>& counter);
 
+  struct StaleStored {
+    CacheEntry entry;
+    uint64_t epoch = 0;  // update_epoch_ when the entry was invalidated.
+    std::list<std::string>::iterator fifo_position;
+  };
+
   std::array<Shard, kNumShards> shards_;
+  mutable std::mutex stale_mu_;
+  std::unordered_map<std::string, StaleStored> stale_;
+  std::list<std::string> stale_fifo_;  // Oldest at the front.
+  std::atomic<size_t> stale_capacity_{0};
+  std::atomic<uint64_t> update_epoch_{0};
   std::atomic<uint64_t> tick_{0};
   std::atomic<size_t> size_{0};
   std::atomic<size_t> max_entries_{0};

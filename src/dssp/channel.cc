@@ -1,0 +1,86 @@
+#include "dssp/channel.h"
+
+#include <algorithm>
+
+#include "dssp/protocol.h"
+
+namespace dssp::service {
+
+ChannelOutcome DirectChannel::RoundTrip(std::string_view request_frame) {
+  ChannelOutcome outcome;
+  outcome.delivered = true;
+  outcome.home_deliveries = 1;
+  outcome.response = DispatchFrame(home_, request_frame);
+  return outcome;
+}
+
+std::string FaultInjectingChannel::Corrupt(std::string_view frame) {
+  // Caller holds mu_.
+  std::string damaged(frame);
+  const int max_bytes = std::max(1, profile_.max_corrupt_bytes);
+  const int bytes =
+      1 + static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(max_bytes)));
+  switch (rng_.NextBelow(4)) {
+    case 0:  // Truncate.
+      damaged.resize(damaged.size() - std::min<size_t>(
+                         damaged.size(), static_cast<size_t>(bytes)));
+      break;
+    case 1:  // Extend with garbage.
+      for (int i = 0; i < bytes; ++i) {
+        damaged.push_back(static_cast<char>(rng_.NextBelow(256)));
+      }
+      break;
+    default:  // Flip random bytes in place.
+      for (int i = 0; i < bytes && !damaged.empty(); ++i) {
+        damaged[rng_.NextBelow(damaged.size())] =
+            static_cast<char>(rng_.NextBelow(256));
+      }
+      break;
+  }
+  return damaged;
+}
+
+ChannelOutcome FaultInjectingChannel::RoundTrip(
+    std::string_view request_frame) {
+  ChannelOutcome outcome;
+  std::string request(request_frame);
+  bool drop_request, drop_response, corrupt_response, duplicate;
+  {
+    // Draw every random decision in one critical section so concurrent
+    // round trips each see an internally consistent fault pattern.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (rng_.NextBool(profile_.delay_probability)) {
+      outcome.delay_s += rng_.NextExponential(profile_.delay_mean_s);
+    }
+    drop_request = rng_.NextBool(profile_.drop_request);
+    drop_response = rng_.NextBool(profile_.drop_response);
+    duplicate = rng_.NextBool(profile_.duplicate_request);
+    corrupt_response = rng_.NextBool(profile_.corrupt_response);
+    if (rng_.NextBool(profile_.corrupt_request)) {
+      outcome.request_corrupted = true;
+      request = Corrupt(request);
+    }
+  }
+
+  if (drop_request) return outcome;  // Never reached the home server.
+
+  // Deliver (twice on duplication; the first response wins, mirroring a
+  // client that ignores late duplicates).
+  ChannelOutcome first = inner_.RoundTrip(request);
+  outcome.home_deliveries = first.home_deliveries;
+  if (duplicate) {
+    outcome.home_deliveries += inner_.RoundTrip(request).home_deliveries;
+  }
+  if (!first.delivered || drop_response) return outcome;
+
+  outcome.delivered = true;
+  outcome.response = std::move(first.response);
+  if (corrupt_response) {
+    outcome.response_corrupted = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    outcome.response = Corrupt(outcome.response);
+  }
+  return outcome;
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,86 @@
+#ifndef DSSP_DSSP_CHANNEL_H_
+#define DSSP_DSSP_CHANNEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace dssp::service {
+
+class HomeServer;
+
+// Result of putting one request frame on the DSSP<->home wire (the WAN of
+// the paper's Figure 2) and waiting for the reply.
+struct ChannelOutcome {
+  bool delivered = false;  // A response frame reached the client.
+  std::string response;    // Valid only when `delivered`.
+
+  // Observability for tests and accounting (a real client cannot act on
+  // these: a lost response is indistinguishable from a lost request).
+  int home_deliveries = 0;  // Times the request reached the home server.
+  double delay_s = 0;       // Injected wire delay, in simulated seconds.
+  bool request_corrupted = false;
+  bool response_corrupted = false;
+};
+
+// Transport between ScalableApp / DsspNode and a HomeServer. Implementations
+// must be safe for concurrent RoundTrip calls (a multi-threaded tenant
+// shares one channel).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual ChannelOutcome RoundTrip(std::string_view request_frame) = 0;
+};
+
+// The in-process perfect wire: every frame is delivered intact, exactly
+// once, with zero delay. Preserves the pre-channel behavior bit for bit.
+class DirectChannel : public Channel {
+ public:
+  explicit DirectChannel(HomeServer& home) : home_(home) {}
+  ChannelOutcome RoundTrip(std::string_view request_frame) override;
+
+ private:
+  HomeServer& home_;
+};
+
+// Fault model for a lossy WAN. Probabilities are independent per frame and
+// per direction; all randomness comes from one seeded RNG, so a run is
+// reproducible from (profile, seed, traffic).
+struct FaultProfile {
+  double drop_request = 0;       // Request lost before the home server.
+  double drop_response = 0;      // Response lost after the home processed.
+  double corrupt_request = 0;    // Random byte damage on the request.
+  double corrupt_response = 0;   // Random byte damage on the response.
+  double duplicate_request = 0;  // Home server sees the frame twice.
+  double delay_probability = 0;  // Chance of an extra latency spike.
+  double delay_mean_s = 0.040;   // Mean of the exponential spike.
+  int max_corrupt_bytes = 4;     // Damage size per corruption event.
+};
+
+// Decorator injecting drops, corruption, duplication, and delay spikes into
+// an inner channel. Corruption flips random bytes or truncates/extends the
+// frame — exactly the damage the sealed-frame checksum must catch.
+class FaultInjectingChannel : public Channel {
+ public:
+  FaultInjectingChannel(Channel& inner, FaultProfile profile, uint64_t seed)
+      : inner_(inner), profile_(profile), rng_(seed) {}
+
+  ChannelOutcome RoundTrip(std::string_view request_frame) override;
+
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  std::string Corrupt(std::string_view frame);
+
+  Channel& inner_;
+  FaultProfile profile_;
+  std::mutex mu_;  // Guards rng_ (RoundTrip may be called concurrently).
+  Rng rng_;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_CHANNEL_H_

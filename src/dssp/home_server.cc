@@ -21,19 +21,39 @@ StatusOr<std::string> HomeServer::HandleQuery(std::string_view ciphertext,
   DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   DSSP_ASSIGN_OR_RETURN(engine::QueryResult result,
                         database_.ExecuteQuery(stmt));
-  ++queries_executed_;
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
   std::string serialized = result.Serialize();
   if (plaintext_result) return serialized;
   return result_cipher().Encrypt(serialized);
 }
 
 StatusOr<engine::UpdateEffect> HomeServer::HandleUpdate(
-    std::string_view ciphertext) {
+    std::string_view ciphertext, uint64_t nonce) {
   const std::string sql = statement_cipher().Decrypt(ciphertext);
   DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (nonce == 0) {
+    DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
+                          database_.ExecuteUpdate(stmt));
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
+    return effect;
+  }
+  // Nonce-carrying update: the dedup check and the apply form one critical
+  // section, so a retry racing the original cannot apply twice.
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  const auto it = applied_nonces_.find(nonce);
+  if (it != applied_nonces_.end()) {
+    duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
   DSSP_ASSIGN_OR_RETURN(engine::UpdateEffect effect,
                         database_.ExecuteUpdate(stmt));
-  ++updates_applied_;
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  applied_nonces_.emplace(nonce, effect);
+  dedup_fifo_.push_back(nonce);
+  if (dedup_fifo_.size() > kDedupWindow) {
+    applied_nonces_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
   return effect;
 }
 

@@ -1,8 +1,13 @@
 #ifndef DSSP_DSSP_HOME_SERVER_H_
 #define DSSP_DSSP_HOME_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "crypto/keyring.h"
@@ -34,9 +39,17 @@ class HomeServer {
   // Wire entry points. `ciphertext` is a statement encrypted under the
   // app's statement cipher. For queries: executes and returns the serialized
   // result, encrypted under the result cipher unless `plaintext_result`.
+  //
+  // A nonzero `nonce` enables at-most-once semantics: if an update with the
+  // same nonce was already applied (a client retry after a lost response, or
+  // a transport-duplicated frame), the stored effect is returned without
+  // touching the database. The dedup window is bounded FIFO
+  // (`kDedupWindow` nonces); retries are near-immediate, so a window this
+  // deep never forgets a nonce that can still be retried.
   StatusOr<std::string> HandleQuery(std::string_view ciphertext,
                                     bool plaintext_result);
-  StatusOr<engine::UpdateEffect> HandleUpdate(std::string_view ciphertext);
+  StatusOr<engine::UpdateEffect> HandleUpdate(std::string_view ciphertext,
+                                              uint64_t nonce = 0);
 
   // Ciphers (deterministic; shared conceptually with the application's
   // client-side code, never with the DSSP).
@@ -51,16 +64,36 @@ class HomeServer {
   }
 
   // Count of updates applied (the paper reports per-run update volumes).
-  uint64_t updates_applied() const { return updates_applied_; }
-  uint64_t queries_executed() const { return queries_executed_; }
+  // Atomics: a multi-threaded tenant may drive HandleQuery/HandleUpdate from
+  // several workers; the accessors are lock-free snapshots.
+  uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
+  // Updates whose nonce was already applied and were suppressed.
+  uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr size_t kDedupWindow = 65536;
 
  private:
   std::string app_id_;
   crypto::KeyRing keyring_;
   engine::Database database_;
   templates::TemplateSet templates_;
-  uint64_t updates_applied_ = 0;
-  uint64_t queries_executed_ = 0;
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> duplicates_suppressed_{0};
+
+  // Nonce -> applied effect, bounded FIFO. The mutex also serializes the
+  // apply of nonce-carrying updates so a concurrent retry of the same nonce
+  // cannot double-apply.
+  std::mutex dedup_mu_;
+  std::unordered_map<uint64_t, engine::UpdateEffect> applied_nonces_;
+  std::deque<uint64_t> dedup_fifo_;
 };
 
 }  // namespace dssp::service

@@ -13,6 +13,7 @@ DsspStats DsspNode::AtomicStats::Snapshot() const {
   out.updates_observed = updates_observed.load(std::memory_order_relaxed);
   out.entries_invalidated =
       entries_invalidated.load(std::memory_order_relaxed);
+  out.stale_hits = stale_hits.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -61,6 +62,26 @@ std::optional<CacheEntry> DsspNode::Lookup(const std::string& app_id,
     app->stats.misses.fetch_add(1, std::memory_order_relaxed);
   }
   return entry;
+}
+
+std::optional<CacheEntry> DsspNode::LookupStale(const std::string& app_id,
+                                                const std::string& key,
+                                                uint64_t max_updates_behind) {
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return std::nullopt;
+  std::optional<CacheEntry> entry =
+      app->cache.LookupStale(key, max_updates_behind);
+  if (entry.has_value()) {
+    app->stats.stale_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry;
+}
+
+void DsspNode::SetStaleRetention(const std::string& app_id,
+                                 size_t max_entries) {
+  AppState* app = FindApp(app_id);
+  if (app == nullptr) return;
+  app->cache.SetStaleRetention(max_entries);
 }
 
 void DsspNode::Store(const std::string& app_id, CacheEntry entry) {
@@ -124,6 +145,8 @@ size_t DsspNode::OnUpdate(const std::string& app_id,
       app->cache.InvalidateEntries(group_may_invalidate, should_invalidate);
   app->stats.entries_invalidated.fetch_add(invalidated,
                                            std::memory_order_relaxed);
+  // Entries this update just killed are now exactly 1 update stale.
+  app->cache.BumpUpdateEpoch();
   return invalidated;
 }
 

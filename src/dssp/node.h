@@ -38,6 +38,9 @@ struct DsspStats {
   uint64_t stores = 0;
   uint64_t updates_observed = 0;
   uint64_t entries_invalidated = 0;
+  // Degraded-mode serves from the stale side store (home unreachable);
+  // counted separately from `hits` — they are not consistency hits.
+  uint64_t stale_hits = 0;
 
   double hit_rate() const {
     return lookups == 0 ? 0.0
@@ -92,6 +95,17 @@ class DsspNode {
                                    const std::string& key);
   void Store(const std::string& app_id, CacheEntry entry);
 
+  // Degraded-mode lookup: a recently invalidated entry for `key`, if it is
+  // at most `max_updates_behind` observed updates stale (see
+  // QueryCache::LookupStale). Requires SetStaleRetention > 0 to ever hit.
+  // Counted as a stale hit, never as a regular hit.
+  std::optional<CacheEntry> LookupStale(const std::string& app_id,
+                                        const std::string& key,
+                                        uint64_t max_updates_behind);
+
+  // Caps the app's stale side store (0 = retention off, the default).
+  void SetStaleRetention(const std::string& app_id, size_t max_entries);
+
   // Invalidation on a completed update; returns entries invalidated.
   // Drains the app's cache shard by shard, so concurrent lookups in other
   // shards proceed while one shard is being pruned.
@@ -127,6 +141,7 @@ class DsspNode {
     std::atomic<uint64_t> stores{0};
     std::atomic<uint64_t> updates_observed{0};
     std::atomic<uint64_t> entries_invalidated{0};
+    std::atomic<uint64_t> stale_hits{0};
 
     DsspStats Snapshot() const;
   };

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/hash.h"
 #include "dssp/home_server.h"
 
 namespace dssp::service {
@@ -17,8 +18,13 @@ void AppendString(std::string* out, std::string_view value) {
   out->append(value);
 }
 
+// Bounds checks are phrased as `need > remaining` (never `pos + need >
+// size`): with attacker-controlled 64-bit lengths the addition can wrap and
+// silently bypass the check.
 bool ReadU64(std::string_view frame, size_t* pos, uint64_t* out) {
-  if (*pos + sizeof(uint64_t) > frame.size()) return false;
+  if (*pos > frame.size() || sizeof(uint64_t) > frame.size() - *pos) {
+    return false;
+  }
   std::memcpy(out, frame.data() + *pos, sizeof(uint64_t));
   *pos += sizeof(uint64_t);
   return true;
@@ -27,7 +33,7 @@ bool ReadU64(std::string_view frame, size_t* pos, uint64_t* out) {
 bool ReadString(std::string_view frame, size_t* pos, std::string* out) {
   uint64_t length = 0;
   if (!ReadU64(frame, pos, &length)) return false;
-  if (*pos + length > frame.size()) return false;
+  if (length > frame.size() - *pos) return false;
   out->assign(frame.substr(*pos, length));
   *pos += length;
   return true;
@@ -65,6 +71,9 @@ std::string Encode(const QueryResponse& message) {
 std::string Encode(const UpdateRequest& message) {
   std::string out(1, static_cast<char>(MessageType::kUpdateRequest));
   AppendString(&out, message.encrypted_statement);
+  // Optional trailing dedup nonce; omitted when 0 so legacy frames (and
+  // their byte counts) are unchanged.
+  if (message.nonce != 0) AppendU64(&out, message.nonce);
   return out;
 }
 
@@ -84,8 +93,42 @@ std::string Encode(const ErrorResponse& message) {
 std::optional<MessageType> PeekType(std::string_view frame) {
   if (frame.empty()) return std::nullopt;
   const uint8_t type = static_cast<uint8_t>(frame[0]);
-  if (type < 1 || type > 5) return std::nullopt;
+  // Range derived from the enum itself (kQueryRequest is the first real
+  // type, kMessageTypeEnd the sentinel past the last one).
+  if (type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
+      type >= static_cast<uint8_t>(MessageType::kMessageTypeEnd)) {
+    return std::nullopt;
+  }
   return static_cast<MessageType>(type);
+}
+
+std::string Seal(std::string_view frame) {
+  std::string out(1, static_cast<char>(MessageType::kSealed));
+  AppendU64(&out, Hash64(frame));
+  out.append(frame);
+  return out;
+}
+
+StatusOr<std::string> Unseal(std::string_view envelope) {
+  size_t pos = 0;
+  if (envelope.empty() ||
+      static_cast<MessageType>(envelope[0]) != MessageType::kSealed) {
+    return CorruptFrameError("not a sealed frame");
+  }
+  pos = 1;
+  uint64_t checksum = 0;
+  if (!ReadU64(envelope, &pos, &checksum)) {
+    return CorruptFrameError("truncated sealed frame");
+  }
+  const std::string_view inner = envelope.substr(pos);
+  if (Hash64(inner) != checksum) {
+    return CorruptFrameError("frame checksum mismatch");
+  }
+  if (!inner.empty() &&
+      static_cast<MessageType>(inner[0]) == MessageType::kSealed) {
+    return CorruptFrameError("nested sealed frame");
+  }
+  return std::string(inner);
 }
 
 StatusOr<QueryRequest> DecodeQueryRequest(std::string_view frame) {
@@ -119,6 +162,12 @@ StatusOr<UpdateRequest> DecodeUpdateRequest(std::string_view frame) {
   if (!ReadString(frame, &pos, &message.encrypted_statement)) {
     return ParseError("malformed update request");
   }
+  // Optional trailing dedup nonce (absent on legacy frames).
+  if (pos != frame.size()) {
+    if (!ReadU64(frame, &pos, &message.nonce) || message.nonce == 0) {
+      return ParseError("malformed update request nonce");
+    }
+  }
   DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
   return message;
 }
@@ -140,7 +189,9 @@ StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame) {
   ErrorResponse message;
   uint64_t code = 0;
   // Code 0 (kOk) is not a legal error; reject it with the other garbage.
-  if (!ReadU64(frame, &pos, &code) || code == 0 || code > 7) {
+  // The upper bound comes from the StatusCode sentinel, not a literal.
+  if (!ReadU64(frame, &pos, &code) || code == 0 ||
+      code >= static_cast<uint64_t>(StatusCode::kStatusCodeEnd)) {
     return ParseError("malformed error response");
   }
   message.code = static_cast<StatusCode>(code);
@@ -155,6 +206,17 @@ std::string DispatchFrame(HomeServer& home, std::string_view frame) {
   const std::optional<MessageType> type = PeekType(frame);
   if (!type.has_value()) {
     return Encode(ErrorResponse{StatusCode::kParseError, "bad frame"});
+  }
+  if (*type == MessageType::kSealed) {
+    // Integrity envelope: verify, dispatch the inner frame, seal the reply.
+    // A checksum mismatch gets a distinguishable kCorruptFrame error so the
+    // client retries instead of surfacing a bogus application error.
+    auto inner = Unseal(frame);
+    if (!inner.ok()) {
+      return Seal(Encode(
+          ErrorResponse{inner.status().code(), inner.status().message()}));
+    }
+    return Seal(DispatchFrame(home, *inner));
   }
   switch (*type) {
     case MessageType::kQueryRequest: {
@@ -177,7 +239,8 @@ std::string DispatchFrame(HomeServer& home, std::string_view frame) {
         return Encode(ErrorResponse{request.status().code(),
                                     request.status().message()});
       }
-      auto effect = home.HandleUpdate(request->encrypted_statement);
+      auto effect =
+          home.HandleUpdate(request->encrypted_statement, request->nonce);
       if (!effect.ok()) {
         return Encode(
             ErrorResponse{effect.status().code(), effect.status().message()});

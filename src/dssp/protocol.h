@@ -27,6 +27,11 @@ enum class MessageType : uint8_t {
   kUpdateRequest = 3,   // DSSP -> home: encrypted statement.
   kUpdateResponse = 4,  // home -> DSSP: rows affected.
   kError = 5,           // home -> DSSP: status code + message.
+  kSealed = 6,          // Integrity envelope: checksum + inner frame.
+
+  // Sentinel: one past the last frame type. Keep last; PeekType derives the
+  // valid range from it so adding a type cannot desynchronize dispatch.
+  kMessageTypeEnd,
 };
 
 struct QueryRequest {
@@ -40,6 +45,11 @@ struct QueryResponse {
 
 struct UpdateRequest {
   std::string encrypted_statement;
+  // Retry-idempotency nonce; 0 means "no deduplication". A nonzero nonce is
+  // encoded as an optional trailing field (absent on legacy frames) and lets
+  // the home server suppress re-application when a retried or duplicated
+  // frame arrives after the update was already applied.
+  uint64_t nonce = 0;
 };
 
 struct UpdateResponse {
@@ -61,6 +71,17 @@ std::string Encode(const ErrorResponse& message);
 
 // Peeks the frame type; nullopt if the frame is empty or the type unknown.
 std::optional<MessageType> PeekType(std::string_view frame);
+
+// Integrity envelope for lossy/corrupting transports:
+//
+//   [1 byte kSealed][8-byte checksum of inner][inner frame...]
+//
+// Seal wraps any request/response frame; Unseal verifies the checksum and
+// returns the inner frame, failing with kCorruptFrame on any mismatch (this
+// is how the retry layer tells wire corruption apart from genuine
+// application errors). Sealing a sealed frame is rejected by Unseal.
+std::string Seal(std::string_view frame);
+StatusOr<std::string> Unseal(std::string_view envelope);
 
 StatusOr<QueryRequest> DecodeQueryRequest(std::string_view frame);
 StatusOr<QueryResponse> DecodeQueryResponse(std::string_view frame);

@@ -1,0 +1,89 @@
+#include "dssp/retry.h"
+
+#include <algorithm>
+
+#include "dssp/protocol.h"
+
+namespace dssp::service {
+
+double RetryingClient::NextBackoff(int retry_index) {
+  double backoff = policy_.initial_backoff_s;
+  for (int i = 0; i < retry_index; ++i) {
+    backoff *= policy_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, policy_.max_backoff_s);
+  const double jitter = std::clamp(policy_.jitter_fraction, 0.0, 1.0);
+  if (jitter > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    backoff *= 1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  return backoff;
+}
+
+StatusOr<std::string> RetryingClient::Call(std::string_view request_frame,
+                                           WireStats* stats) {
+  WireStats local;
+  WireStats& ws = stats != nullptr ? *stats : local;
+  ws = WireStats{};
+
+  const std::string sealed = Seal(request_frame);
+  const int max_attempts = std::max(1, policy_.max_attempts);
+  Status last_error = UnavailableError("no attempt made");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Backoff before each retry; abandon the retry if the remaining
+      // deadline budget cannot cover it.
+      const double backoff = NextBackoff(attempt - 1);
+      if (policy_.deadline_s > 0 &&
+          ws.delay_s + backoff >= policy_.deadline_s) {
+        return DeadlineExceededError("wire deadline exhausted after " +
+                                     std::to_string(ws.attempts) +
+                                     " attempts");
+      }
+      ws.delay_s += backoff;
+      ++ws.retries;
+    }
+    ++ws.attempts;
+    ws.request_bytes += sealed.size();
+
+    ChannelOutcome outcome = channel_->RoundTrip(sealed);
+    ws.delay_s += outcome.delay_s;
+    if (!outcome.delivered) {
+      // Lost request or lost response: indistinguishable to the client;
+      // both cost one attempt timeout.
+      ++ws.timeouts;
+      ws.delay_s += policy_.attempt_timeout_s;
+      last_error = UnavailableError("home server unreachable");
+      continue;
+    }
+    ws.response_bytes += outcome.response.size();
+
+    auto inner = Unseal(outcome.response);
+    if (!inner.ok()) {
+      // Damage on the wire (either direction mangles the envelope).
+      ++ws.corrupt_frames_dropped;
+      last_error = inner.status();
+      continue;
+    }
+    if (PeekType(*inner) == MessageType::kError) {
+      // The home server answered. A kCorruptFrame error means our request
+      // arrived damaged — retry. Anything else is a genuine, deterministic
+      // application error the caller must see.
+      auto error = DecodeErrorResponse(*inner);
+      if (error.ok() && error->code == StatusCode::kCorruptFrame) {
+        ++ws.corrupt_frames_dropped;
+        last_error = CorruptFrameError(error->message);
+        continue;
+      }
+    }
+    return inner;
+  }
+  if (last_error.code() == StatusCode::kCorruptFrame) {
+    return UnavailableError("giving up after repeated frame corruption: " +
+                            last_error.message());
+  }
+  return last_error;
+}
+
+}  // namespace dssp::service

@@ -1,0 +1,79 @@
+#ifndef DSSP_DSSP_RETRY_H_
+#define DSSP_DSSP_RETRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dssp/channel.h"
+
+namespace dssp::service {
+
+// Retry/timeout/backoff policy for one hop across the DSSP<->home wire.
+// All times are simulated seconds: nothing sleeps; elapsed time is
+// accumulated into WireStats so the simulator can charge it.
+struct RetryPolicy {
+  int max_attempts = 5;
+  double attempt_timeout_s = 0.5;    // Charged when a frame is lost.
+  double initial_backoff_s = 0.05;   // Before the first retry.
+  double backoff_multiplier = 2.0;   // Bounded exponential.
+  double max_backoff_s = 1.0;
+  double jitter_fraction = 0.2;      // Backoff scaled by 1 +/- jitter.
+  double deadline_s = 10.0;          // Per-request budget; 0 = unlimited.
+};
+
+// Wire-path accounting for one request, merged into AccessStats.
+struct WireStats {
+  uint32_t attempts = 0;   // Request frames put on the wire.
+  uint32_t retries = 0;    // attempts - 1, unless the first try succeeded.
+  uint32_t timeouts = 0;   // Attempts that ended with a lost frame.
+  uint32_t corrupt_frames_dropped = 0;  // Damaged frames detected+discarded.
+  size_t request_bytes = 0;   // Sealed bytes sent, summed over attempts.
+  size_t response_bytes = 0;  // Sealed bytes received, summed over attempts.
+  double delay_s = 0;  // Simulated wire delay: injected + timeouts + backoff.
+};
+
+// Client half of the fault-tolerant wire path: seals request frames with an
+// integrity checksum, sends them through a Channel, and retries on loss or
+// corruption with bounded exponential backoff and a per-request deadline.
+//
+// Idempotency: queries are read-only and retry freely. Updates are retried
+// too, but only because every hardened update frame carries a nonce the
+// home server deduplicates — a retry of an already-applied update returns
+// the stored effect instead of applying twice. (Send-side losses need no
+// nonce at all; the nonce covers the ambiguous lost-response case.)
+// Genuine application errors (parse, constraint, not-found...) are not
+// retried: they are deterministic and travel as kError frames, which pass
+// the integrity check.
+//
+// Thread-safe; the jitter RNG is seeded, so a single-threaded run is
+// reproducible.
+class RetryingClient {
+ public:
+  RetryingClient(Channel* channel, RetryPolicy policy, uint64_t seed)
+      : channel_(channel), policy_(policy), rng_(seed) {}
+
+  // Sends `request_frame` (sealing it first) until a structurally valid
+  // response frame arrives, and returns that frame unsealed. Fails with
+  // kUnavailable (attempts exhausted) or kDeadlineExceeded. `stats` may be
+  // null; on failure it still reflects the attempts made.
+  StatusOr<std::string> Call(std::string_view request_frame,
+                             WireStats* stats);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  double NextBackoff(int retry_index);
+
+  Channel* channel_;
+  RetryPolicy policy_;
+  std::mutex mu_;  // Guards rng_.
+  Rng rng_;
+};
+
+}  // namespace dssp::service
+
+#endif  // DSSP_DSSP_RETRY_H_

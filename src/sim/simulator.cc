@@ -126,23 +126,43 @@ StatusOr<std::vector<SimResult>> RunMultiTenantSimulation(
     // happens atomically now; delays are charged to the page afterwards.
     const DbOp& op = client.ops[client.op_index++];
     service::AccessStats stats;
+    bool op_failed = false;
     if (op.is_update) {
-      DSSP_ASSIGN_OR_RETURN(
-          engine::UpdateEffect effect,
-          tenant.spec.app->Update(op.template_id, op.params, &stats));
-      (void)effect;
-      ++tenant.result.home_updates;
+      auto effect = tenant.spec.app->Update(op.template_id, op.params,
+                                            &stats);
+      if (effect.ok()) {
+        ++tenant.result.home_updates;
+      } else if (effect.status().code() == StatusCode::kUnavailable ||
+                 effect.status().code() == StatusCode::kDeadlineExceeded) {
+        // Degraded wire: the op ran out of retry budget. Charge its wire
+        // time and keep the run going (a saturated WAN is a result, not a
+        // simulator failure).
+        op_failed = true;
+      } else {
+        return effect.status();
+      }
     } else {
-      DSSP_ASSIGN_OR_RETURN(
-          engine::QueryResult ignored,
-          tenant.spec.app->Query(op.template_id, op.params, &stats));
-      (void)ignored;
+      auto ignored = tenant.spec.app->Query(op.template_id, op.params,
+                                            &stats);
+      if (!ignored.ok()) {
+        if (ignored.status().code() != StatusCode::kUnavailable &&
+            ignored.status().code() != StatusCode::kDeadlineExceeded) {
+          return ignored.status();
+        }
+        op_failed = true;
+      }
       ++tenant.lookups;
       if (stats.cache_hit) ++tenant.hits;
-      if (!stats.cache_hit) ++tenant.result.home_queries;
+      if (!stats.cache_hit && !stats.served_stale && !op_failed) {
+        ++tenant.result.home_queries;
+      }
     }
     ++tenant.result.db_ops;
     tenant.result.entries_invalidated += stats.entries_invalidated;
+    tenant.result.wire_retries += stats.wire_retries;
+    tenant.result.wire_timeouts += stats.wire_timeouts;
+    if (stats.served_stale) ++tenant.result.stale_serves;
+    if (op_failed) ++tenant.result.failed_ops;
 
     // Client -> DSSP.
     const double at_dssp = now + config.client_latency_s +
@@ -157,8 +177,10 @@ StatusOr<std::vector<SimResult>> RunMultiTenantSimulation(
     double dssp_done = dssp_cpu.Schedule(at_dssp, dssp_service);
 
     // Misses and updates make a WAN round trip through this tenant's own
-    // home server.
-    if (!stats.cache_hit || stats.is_update) {
+    // home server. Ops the wire never completed (failed or served stale)
+    // skip the home service stop: their cost is the wire delay below.
+    if ((!stats.cache_hit || stats.is_update) && !stats.served_stale &&
+        !op_failed) {
       const double at_home =
           dssp_done + config.wan_latency_s +
           static_cast<double>(stats.wan_request_bytes) / wan_bw;
@@ -173,6 +195,10 @@ StatusOr<std::vector<SimResult>> RunMultiTenantSimulation(
       dssp_done = home_done + config.wan_latency_s +
                   static_cast<double>(stats.wan_response_bytes) / wan_bw;
     }
+    // Retry latency: injected wire faults, per-attempt timeouts, and
+    // backoff waits (0 on the perfect wire, so fault-free timing is
+    // unchanged).
+    dssp_done += stats.wire_delay_s;
 
     // DSSP -> client.
     const double at_client =

@@ -26,6 +26,14 @@ struct SimResult {
   uint64_t home_queries = 0;
   uint64_t home_updates = 0;
 
+  // Wire-path outcomes (all zero when the tenant runs the perfect direct
+  // wire). Failed ops exhausted the retry budget and returned no result;
+  // stale serves answered from the bounded-staleness store instead.
+  uint64_t wire_retries = 0;
+  uint64_t wire_timeouts = 0;
+  uint64_t stale_serves = 0;
+  uint64_t failed_ops = 0;
+
   bool MeetsSlo(const SimConfig& config) const {
     return p90_response_s <= config.response_time_limit_s;
   }
