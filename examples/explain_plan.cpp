@@ -1,0 +1,114 @@
+// Explain tool for the ahead-of-time invalidation-plan compiler: dumps the
+// compiled per-pair decision matrix for an application, in the same
+// update-template x query-template pair layout as the Table 7 IPM
+// characterization, plus per-kind totals and (optionally) the compiler's
+// human-readable rationale for every pair.
+//
+// Usage:  ./build/examples/explain_plan [app] [--rationales]
+//
+// Matrix cells:
+//   .  never-invalidate   (A = 0: the pair can be skipped wholesale)
+//   !  always-invalidate  (B = A for every binding; insertions)
+//   p  param-program      (compiled per-binding predicate program)
+//   v  view-test          (always invalidate below view level; C cell)
+//   F  solver-fallback    (uncompilable shape; general solver at runtime)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/plan.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "workloads/application.h"
+
+namespace {
+
+char CellFor(dssp::analysis::PlanKind kind) {
+  switch (kind) {
+    case dssp::analysis::PlanKind::kNeverInvalidate:
+      return '.';
+    case dssp::analysis::PlanKind::kAlwaysInvalidate:
+      return '!';
+    case dssp::analysis::PlanKind::kParamProgram:
+      return 'p';
+    case dssp::analysis::PlanKind::kViewTest:
+      return 'v';
+    case dssp::analysis::PlanKind::kSolverFallback:
+      return 'F';
+  }
+  return '?';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "bookstore";
+  bool rationales = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rationales") == 0) {
+      rationales = true;
+    } else {
+      name = argv[i];
+    }
+  }
+
+  dssp::service::DsspNode node;
+  dssp::service::ScalableApp app(
+      name, &node, dssp::crypto::KeyRing::FromPassphrase("explain"));
+  auto workload = dssp::workloads::MakeApplication(name);
+  DSSP_CHECK_OK(workload->Setup(app, /*scale=*/0.25, /*seed=*/1));
+  DSSP_CHECK_OK(app.Finalize());
+  const auto& templates = app.templates();
+  const auto& catalog = app.home().database().catalog();
+
+  const auto plan =
+      dssp::analysis::InvalidationPlan::Compile(templates, catalog);
+  const auto summary = plan.Summarize();
+
+  std::printf("Compiled invalidation plan — %s (%zu update x %zu query"
+              " pairs)\n\n",
+              name.c_str(), plan.num_updates(), plan.num_queries());
+  std::printf("Legend: . never-invalidate   ! always-invalidate   "
+              "p param-program\n        v view-test          F "
+              "solver-fallback\n\n");
+
+  std::printf("%-6s", "");
+  for (size_t q = 0; q < plan.num_queries(); ++q) {
+    std::printf(" %3s", templates.queries()[q].id().c_str());
+  }
+  std::printf("\n");
+  for (size_t u = 0; u < plan.num_updates(); ++u) {
+    std::printf("%-6s", templates.updates()[u].id().c_str());
+    for (size_t q = 0; q < plan.num_queries(); ++q) {
+      std::printf(" %3c", CellFor(plan.pair(u, q).kind));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-11s %6s %7s %8s %5s %9s | %6s\n", "", "never", "always",
+              "program", "view", "fallback", "total");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  std::printf("%-11s %6zu %7zu %8zu %5zu %9zu | %6zu\n", name.c_str(),
+              summary.never_invalidate, summary.always_invalidate,
+              summary.param_program, summary.view_test,
+              summary.solver_fallback, summary.total());
+
+  if (rationales) {
+    std::printf("\nPer-pair rationales\n%s\n", std::string(60, '-').c_str());
+    for (size_t u = 0; u < plan.num_updates(); ++u) {
+      for (size_t q = 0; q < plan.num_queries(); ++q) {
+        const auto& pair = plan.pair(u, q);
+        std::printf("%-4s x %-4s  [%s]\n    %s\n",
+                    templates.updates()[u].id().c_str(),
+                    templates.queries()[q].id().c_str(),
+                    dssp::analysis::PlanKindName(pair.kind),
+                    pair.rationale.c_str());
+      }
+    }
+  } else {
+    std::printf("\n(rerun with --rationales for the compiler's per-pair"
+                " justification)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef DSSP_ANALYSIS_SATISFIABILITY_H_
+#define DSSP_ANALYSIS_SATISFIABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace dssp::analysis {
+
+// A unary constraint `column op value` on one relation's row.
+struct ColumnConstraint {
+  std::string column;
+  sql::CompareOp op;
+  sql::Value value;
+};
+
+// True if some row can satisfy all constraints simultaneously. Decided
+// exactly for conjunctions of unary constraints via interval intersection
+// per column; columns constrained with incomparable types are unsatisfiable
+// (no value has two types). Sound both ways for unary conjunctions; callers
+// that drop non-unary conjuncts may only rely on `false` (UNSAT) answers.
+//
+// This is the satisfiability core shared by the statement-level independence
+// solver (invalidation/independence.cc) and the ahead-of-time plan compiler
+// (analysis/plan.cc); both must agree bit-for-bit, so there is exactly one
+// implementation.
+bool UnaryConjunctionSatisfiable(const std::vector<ColumnConstraint>& cs);
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_SATISFIABILITY_H_

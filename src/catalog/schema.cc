@@ -83,7 +83,10 @@ Status Catalog::AddTable(TableSchema schema) {
       return InvalidArgumentError("foreign key column " + fk.column +
                                   " not in table " + schema.name());
     }
-    const TableSchema* ref = FindTable(fk.ref_table);
+    // A self-referencing FK (e.g. employees.manager_id -> employees.id)
+    // resolves against the table being added, which is not in tables_ yet.
+    const TableSchema* ref =
+        fk.ref_table == schema.name() ? &schema : FindTable(fk.ref_table);
     if (ref == nullptr) {
       return InvalidArgumentError("foreign key of " + schema.name() +
                                   " references unknown table " +

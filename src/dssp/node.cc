@@ -1,6 +1,8 @@
 #include "dssp/node.h"
 
+#include <cstdint>
 #include <mutex>
+#include <vector>
 
 namespace dssp::service {
 
@@ -29,7 +31,14 @@ Status DsspNode::RegisterApp(std::string app_id,
   AppState& state = it->second;
   state.catalog = catalog;
   state.templates = templates;
-  state.strategy = std::make_unique<invalidation::MixedStrategy>(*catalog);
+  // Compile the invalidation plan ahead of time: one PairPlan per
+  // (update template, query template) pair, so the serving hot path does an
+  // O(1) lookup + compiled-program eval instead of re-running the Section 4
+  // analysis per cached entry.
+  state.plan = std::make_unique<const analysis::InvalidationPlan>(
+      analysis::InvalidationPlan::Compile(*templates, *catalog));
+  state.strategy = std::make_unique<invalidation::MixedStrategy>(
+      *catalog, state.plan.get());
   return Status::Ok();
 }
 
@@ -103,6 +112,7 @@ size_t DsspNode::OnUpdate(const std::string& app_id,
       notice.template_index != CacheEntry::kNoTemplate) {
     DSSP_CHECK(notice.template_index < app->templates->num_updates());
     update_view.tmpl = &app->templates->updates()[notice.template_index];
+    update_view.template_index = notice.template_index;
   }
   if (notice.level == analysis::ExposureLevel::kStmt &&
       notice.statement.has_value()) {
@@ -113,27 +123,41 @@ size_t DsspNode::OnUpdate(const std::string& app_id,
   // only the query template exposed (the IPM's A cell). Our statement- and
   // view-inspection strategies refine the template-level decision
   // monotonically, so a template-level DNI is final for the whole group.
-  std::map<size_t, bool> group_decisions;
+  //
+  // The memo is a flat vector indexed by query template (last slot =
+  // kNoTemplate group), reused across updates to avoid per-update map
+  // allocations. thread_local rather than per-app: OnUpdate runs
+  // concurrently on the same app, and the memo is per-update scratch.
+  static thread_local std::vector<int8_t> group_decisions;
+  const size_t num_groups = app->templates->num_queries() + 1;
+  group_decisions.assign(num_groups, -1);  // -1 undecided, 0 DNI, 1 maybe.
   const auto group_may_invalidate = [&](size_t group) {
-    const auto [it, inserted] = group_decisions.try_emplace(group, false);
-    if (inserted) {
+    const size_t slot =
+        group == CacheEntry::kNoTemplate ? num_groups - 1 : group;
+    DSSP_CHECK(slot < num_groups);
+    if (group_decisions[slot] < 0) {
       invalidation::CachedQueryView group_view;
       if (group == CacheEntry::kNoTemplate) {
         group_view.level = analysis::ExposureLevel::kBlind;
       } else {
         group_view.level = analysis::ExposureLevel::kTemplate;
         group_view.tmpl = &app->templates->queries()[group];
+        group_view.template_index = group;
       }
-      it->second = app->strategy->Decide(update_view, group_view) !=
-                   invalidation::Decision::kDoNotInvalidate;
+      group_decisions[slot] =
+          app->strategy->Decide(update_view, group_view) !=
+                  invalidation::Decision::kDoNotInvalidate
+              ? 1
+              : 0;
     }
-    return it->second;
+    return group_decisions[slot] != 0;
   };
   const auto should_invalidate = [&](const CacheEntry& entry) {
     invalidation::CachedQueryView view;
     view.level = entry.level;
     if (entry.template_index != CacheEntry::kNoTemplate) {
       view.tmpl = &app->templates->queries()[entry.template_index];
+      view.template_index = entry.template_index;
     }
     if (entry.statement.has_value()) view.statement = &*entry.statement;
     if (entry.result.has_value()) view.result = &*entry.result;

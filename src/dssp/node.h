@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "analysis/exposure.h"
+#include "analysis/plan.h"
 #include "catalog/schema.h"
 #include "dssp/cache.h"
 #include "invalidation/strategies.h"
@@ -150,6 +151,10 @@ class DsspNode {
     const catalog::Catalog* catalog = nullptr;
     const templates::TemplateSet* templates = nullptr;
     QueryCache cache;
+    // Compiled once at registration; the strategy answers invalidation
+    // decisions from it instead of re-deriving the template analysis per
+    // cached entry. Owned here so the strategy's pointer stays valid.
+    std::unique_ptr<const analysis::InvalidationPlan> plan;
     std::unique_ptr<invalidation::MixedStrategy> strategy;
     AtomicStats stats;
   };

@@ -139,6 +139,13 @@ Status Database::InsertRow(std::string_view table_name, Row row) {
     const Table* ref_table = FindTable(fk.ref_table);
     DSSP_CHECK(ref_table != nullptr);
     const size_t ref_col = *ref_table->schema().ColumnIndex(fk.ref_column);
+    // A self-referencing FK may be satisfied by the row being inserted
+    // (e.g. a root employee who is their own manager).
+    if (fk.ref_table == table_name &&
+        !row[ref_col].is_null() &&
+        row[ref_col].Compare(row[local]) == 0) {
+      continue;
+    }
     if (!ref_table->ContainsValue(ref_col, row[local])) {
       return ConstraintViolationError(
           "foreign key violation: " + std::string(table_name) + "." +

@@ -1,5 +1,6 @@
 #include "invalidation/independence.h"
 
+#include <atomic>
 #include <map>
 #include <optional>
 
@@ -13,85 +14,7 @@ namespace {
 
 using analysis::QuerySlots;
 
-// A closed/open interval over the Value total order, per column.
-class Interval {
- public:
-  // Narrows by `op value`; marks empty on contradiction.
-  void Constrain(sql::CompareOp op, const sql::Value& value) {
-    if (empty_) return;
-    if (value.is_null()) {
-      // No value compares true against NULL.
-      empty_ = true;
-      return;
-    }
-    // Type consistency: a column cannot hold a value comparable to both a
-    // string and a number, so mixed constraint types are unsatisfiable.
-    if (type_.has_value()) {
-      const bool both_numeric = *type_ && value.is_numeric();
-      const bool both_string = !*type_ && !value.is_numeric();
-      if (!both_numeric && !both_string) {
-        empty_ = true;
-        return;
-      }
-    } else {
-      type_ = value.is_numeric();
-    }
-    switch (op) {
-      case sql::CompareOp::kEq:
-        NarrowLow(value, /*open=*/false);
-        NarrowHigh(value, /*open=*/false);
-        break;
-      case sql::CompareOp::kGt:
-        NarrowLow(value, /*open=*/true);
-        break;
-      case sql::CompareOp::kGe:
-        NarrowLow(value, /*open=*/false);
-        break;
-      case sql::CompareOp::kLt:
-        NarrowHigh(value, /*open=*/true);
-        break;
-      case sql::CompareOp::kLe:
-        NarrowHigh(value, /*open=*/false);
-        break;
-    }
-    CheckEmpty();
-  }
-
-  bool empty() const { return empty_; }
-
- private:
-  void NarrowLow(const sql::Value& value, bool open) {
-    if (!lo_.has_value() || value.Compare(*lo_) > 0 ||
-        (value.Compare(*lo_) == 0 && open)) {
-      lo_ = value;
-      lo_open_ = open;
-    }
-  }
-  void NarrowHigh(const sql::Value& value, bool open) {
-    if (!hi_.has_value() || value.Compare(*hi_) < 0 ||
-        (value.Compare(*hi_) == 0 && open)) {
-      hi_ = value;
-      hi_open_ = open;
-    }
-  }
-  void CheckEmpty() {
-    if (!lo_.has_value() || !hi_.has_value()) return;
-    const int c = lo_->Compare(*hi_);
-    if (c > 0 || (c == 0 && (lo_open_ || hi_open_))) {
-      // Strictly-between emptiness (lo < x < hi with no value between) is
-      // undecidable for doubles/strings in general; only int64 gaps could be
-      // closed further. We keep the sound over-approximation "satisfiable".
-      empty_ = true;
-    }
-  }
-
-  std::optional<sql::Value> lo_;
-  std::optional<sql::Value> hi_;
-  bool lo_open_ = false;
-  bool hi_open_ = false;
-  std::optional<bool> type_;  // true = numeric, false = string.
-  bool empty_ = false;
-};
+std::atomic<uint64_t> g_solver_invocations{0};
 
 // Extracts unary constraints over one FROM slot from a bound conjunction.
 // Non-unary conjuncts (joins, same-row column comparisons) are skipped:
@@ -176,13 +99,8 @@ bool InsertCannotAffectSlot(const sql::InsertStatement& insert,
 
 }  // namespace
 
-bool UnaryConjunctionSatisfiable(const std::vector<ColumnConstraint>& cs) {
-  std::map<std::string, Interval> intervals;
-  for (const ColumnConstraint& c : cs) {
-    intervals[c.column].Constrain(c.op, c.value);
-    if (intervals[c.column].empty()) return false;
-  }
-  return true;
+uint64_t SolverInvocations() {
+  return g_solver_invocations.load(std::memory_order_relaxed);
 }
 
 bool ModificationCannotEnter(const templates::UpdateTemplate& update_template,
@@ -240,6 +158,7 @@ bool ProvablyIndependent(const templates::UpdateTemplate& update_template,
                          const sql::Statement& query,
                          const catalog::Catalog& catalog,
                          bool use_integrity_constraints) {
+  g_solver_invocations.fetch_add(1, std::memory_order_relaxed);
   // Template-level facts apply at statement level too.
   if (templates::IsIgnorable(update_template, query_template)) return true;
   if (use_integrity_constraints &&

@@ -1,28 +1,27 @@
 #ifndef DSSP_INVALIDATION_INDEPENDENCE_H_
 #define DSSP_INVALIDATION_INDEPENDENCE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "analysis/satisfiability.h"
 #include "catalog/schema.h"
 #include "sql/ast.h"
 #include "templates/template.h"
 
 namespace dssp::invalidation {
 
-// A unary constraint `column op value` on one relation's row.
-struct ColumnConstraint {
-  std::string column;
-  sql::CompareOp op;
-  sql::Value value;
-};
+// The satisfiability core lives in analysis/satisfiability.h so the
+// ahead-of-time plan compiler shares the exact implementation; re-exported
+// here for the solver's existing callers.
+using analysis::ColumnConstraint;
+using analysis::UnaryConjunctionSatisfiable;
 
-// True if some row can satisfy all constraints simultaneously. Decided
-// exactly for conjunctions of unary constraints via interval intersection
-// per column; columns constrained with incomparable types are unsatisfiable
-// (no value has two types). Sound both ways for unary conjunctions; callers
-// that drop non-unary conjuncts may only rely on `false` (UNSAT) answers.
-bool UnaryConjunctionSatisfiable(const std::vector<ColumnConstraint>& cs);
+// Process-wide count of ProvablyIndependent invocations (relaxed atomic).
+// The plan-compiler ablation uses it to measure how many general-solver
+// runs compiled programs replace.
+uint64_t SolverInvocations();
 
 // Statement-level independence (the Levy-Sagiv-style test a minimal
 // statement-inspection strategy runs): true if the bound update statement

@@ -16,10 +16,29 @@ Decision BlindStrategy::Decide(const UpdateView& update,
   return Decision::kInvalidate;
 }
 
+namespace {
+
+// True when both views carry the TemplateSet coordinates a compiled plan is
+// indexed by.
+bool HasPlanIndices(const UpdateView& update, const CachedQueryView& query) {
+  return update.template_index != kNoTemplateIndex &&
+         query.template_index != kNoTemplateIndex;
+}
+
+}  // namespace
+
 Decision TemplateInspectionStrategy::Decide(
     const UpdateView& update, const CachedQueryView& query) const {
   if (update.tmpl == nullptr || query.tmpl == nullptr) {
     return Decision::kInvalidate;
+  }
+  if (plan_ != nullptr && HasPlanIndices(update, query)) {
+    // Compiled A-cell decision: never_invalidate captures exactly the
+    // Lemma-1 / Section 4.5 template checks below.
+    return plan_->pair(update.template_index, query.template_index)
+                   .never_invalidate
+               ? Decision::kDoNotInvalidate
+               : Decision::kInvalidate;
   }
   if (templates::IsIgnorable(*update.tmpl, *query.tmpl)) {
     return Decision::kDoNotInvalidate;
@@ -35,6 +54,28 @@ Decision TemplateInspectionStrategy::Decide(
 Decision StatementInspectionStrategy::Decide(
     const UpdateView& update, const CachedQueryView& query) const {
   if (update.tmpl == nullptr || query.tmpl == nullptr) {
+    return Decision::kInvalidate;
+  }
+  if (plan_ != nullptr && HasPlanIndices(update, query)) {
+    const analysis::PairPlan& pair =
+        plan_->pair(update.template_index, query.template_index);
+    if (pair.never_invalidate) return Decision::kDoNotInvalidate;
+    if (use_independence_solver_ && update.statement != nullptr &&
+        query.statement != nullptr) {
+      switch (analysis::EvaluatePairPlan(pair, *update.statement,
+                                         *query.statement)) {
+        case analysis::StmtDecision::kIndependent:
+          return Decision::kDoNotInvalidate;
+        case analysis::StmtDecision::kInvalidate:
+          return Decision::kInvalidate;
+        case analysis::StmtDecision::kRunSolver:
+          return ProvablyIndependent(*update.tmpl, *update.statement,
+                                     *query.tmpl, *query.statement, catalog_,
+                                     use_integrity_constraints_)
+                     ? Decision::kDoNotInvalidate
+                     : Decision::kInvalidate;
+      }
+    }
     return Decision::kInvalidate;
   }
   if (templates::IsIgnorable(*update.tmpl, *query.tmpl)) {

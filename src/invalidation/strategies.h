@@ -1,10 +1,20 @@
 #ifndef DSSP_INVALIDATION_STRATEGIES_H_
 #define DSSP_INVALIDATION_STRATEGIES_H_
 
+#include "analysis/plan.h"
 #include "catalog/schema.h"
 #include "invalidation/strategy.h"
 
 namespace dssp::invalidation {
+
+// All strategies below optionally take a compiled analysis::InvalidationPlan.
+// When one is supplied AND both views carry their TemplateSet indices, the
+// strategy answers from the plan — an O(1) pair lookup plus (for MSIS) a
+// compiled parameter program — instead of re-deriving the Section 4 analysis
+// per call; the general solver runs only for kSolverFallback pairs. The plan
+// must have been compiled from the same TemplateSet/Catalog the views refer
+// to, with Options matching the strategy's use_integrity_constraints flag.
+// Decisions are bit-identical either way (tests/plan_differential_test.cc).
 
 // Minimal blind strategy (MBS): with nothing exposed, correctness forces
 // invalidating every cached result on every update.
@@ -20,10 +30,12 @@ class BlindStrategy : public InvalidationStrategy {
 // (Lemma 1) or ruled out by PK/FK integrity constraints (Section 4.5).
 class TemplateInspectionStrategy : public InvalidationStrategy {
  public:
-  explicit TemplateInspectionStrategy(const catalog::Catalog& catalog,
-                                      bool use_integrity_constraints = true)
+  explicit TemplateInspectionStrategy(
+      const catalog::Catalog& catalog, bool use_integrity_constraints = true,
+      const analysis::InvalidationPlan* plan = nullptr)
       : catalog_(catalog),
-        use_integrity_constraints_(use_integrity_constraints) {}
+        use_integrity_constraints_(use_integrity_constraints),
+        plan_(plan) {}
 
   Decision Decide(const UpdateView& update,
                   const CachedQueryView& query) const override;
@@ -32,6 +44,7 @@ class TemplateInspectionStrategy : public InvalidationStrategy {
  private:
   const catalog::Catalog& catalog_;
   bool use_integrity_constraints_;
+  const analysis::InvalidationPlan* plan_;
 };
 
 // Minimal statement-inspection strategy (MSIS): additionally sees bound
@@ -39,12 +52,14 @@ class TemplateInspectionStrategy : public InvalidationStrategy {
 // style satisfiability over the shared attributes).
 class StatementInspectionStrategy : public InvalidationStrategy {
  public:
-  explicit StatementInspectionStrategy(const catalog::Catalog& catalog,
-                                       bool use_independence_solver = true,
-                                       bool use_integrity_constraints = true)
+  explicit StatementInspectionStrategy(
+      const catalog::Catalog& catalog, bool use_independence_solver = true,
+      bool use_integrity_constraints = true,
+      const analysis::InvalidationPlan* plan = nullptr)
       : catalog_(catalog),
         use_independence_solver_(use_independence_solver),
-        use_integrity_constraints_(use_integrity_constraints) {}
+        use_integrity_constraints_(use_integrity_constraints),
+        plan_(plan) {}
 
   Decision Decide(const UpdateView& update,
                   const CachedQueryView& query) const override;
@@ -54,6 +69,7 @@ class StatementInspectionStrategy : public InvalidationStrategy {
   const catalog::Catalog& catalog_;
   bool use_independence_solver_;
   bool use_integrity_constraints_;
+  const analysis::InvalidationPlan* plan_;
 };
 
 // View-inspection strategy (VIS): additionally inspects the cached result.
@@ -63,11 +79,12 @@ class StatementInspectionStrategy : public InvalidationStrategy {
 // outside E/N, which is rare and affects only precision, never correctness).
 class ViewInspectionStrategy : public InvalidationStrategy {
  public:
-  explicit ViewInspectionStrategy(const catalog::Catalog& catalog,
-                                  bool use_integrity_constraints = true)
+  explicit ViewInspectionStrategy(
+      const catalog::Catalog& catalog, bool use_integrity_constraints = true,
+      const analysis::InvalidationPlan* plan = nullptr)
       : catalog_(catalog),
         sis_(catalog, /*use_independence_solver=*/true,
-             use_integrity_constraints) {}
+             use_integrity_constraints, plan) {}
 
   Decision Decide(const UpdateView& update,
                   const CachedQueryView& query) const override;
@@ -82,8 +99,13 @@ class ViewInspectionStrategy : public InvalidationStrategy {
 // strategy class its exposure levels select (Figure 6's shaded cells).
 class MixedStrategy : public InvalidationStrategy {
  public:
-  explicit MixedStrategy(const catalog::Catalog& catalog)
-      : blind_(), tis_(catalog), sis_(catalog), vis_(catalog) {}
+  explicit MixedStrategy(const catalog::Catalog& catalog,
+                         const analysis::InvalidationPlan* plan = nullptr)
+      : blind_(),
+        tis_(catalog, /*use_integrity_constraints=*/true, plan),
+        sis_(catalog, /*use_independence_solver=*/true,
+             /*use_integrity_constraints=*/true, plan),
+        vis_(catalog, /*use_integrity_constraints=*/true, plan) {}
 
   Decision Decide(const UpdateView& update,
                   const CachedQueryView& query) const override;

@@ -16,6 +16,13 @@ enum class Decision {
   kDoNotInvalidate,  // DNI
 };
 
+// Sentinel for "template index unknown" in the views below; equals
+// CacheEntry::kNoTemplate. Strategies that hold a compiled InvalidationPlan
+// need the TemplateSet index of both templates to look up the pair's plan;
+// views built from ad-hoc templates (tests) leave the index unset and take
+// the legacy re-derivation path.
+inline constexpr size_t kNoTemplateIndex = static_cast<size_t>(-1);
+
 // What the DSSP can see about a completed update, as limited by the update
 // template's exposure level:
 //   blind    -> nothing (tmpl/statement unset)
@@ -25,6 +32,7 @@ struct UpdateView {
   analysis::ExposureLevel level = analysis::ExposureLevel::kBlind;
   const templates::UpdateTemplate* tmpl = nullptr;
   const sql::Statement* statement = nullptr;  // Fully bound.
+  size_t template_index = kNoTemplateIndex;   // Index of tmpl, if known.
 };
 
 // What the DSSP can see about a cached query result, as limited by the
@@ -38,6 +46,7 @@ struct CachedQueryView {
   const templates::QueryTemplate* tmpl = nullptr;
   const sql::Statement* statement = nullptr;  // Fully bound.
   const engine::QueryResult* result = nullptr;
+  size_t template_index = kNoTemplateIndex;  // Index of tmpl, if known.
 };
 
 // A view invalidation strategy (Section 2.2): invoked for every cached

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include "analysis/ipm.h"
+#include "analysis/plan.h"
+#include "engine/database.h"
+#include "sql/parser.h"
 #include "workloads/toystore.h"
 
 namespace dssp::analysis {
@@ -277,6 +280,188 @@ TEST_F(IpmTest, RationaleIsPopulated) {
       EXPECT_FALSE(Pair(u, q).rationale.empty());
     }
   }
+}
+
+// ----- Section 4.5 edge cases: multi-hop FK chains, FK-like joins on
+// non-PK unique columns, and self-referencing tables. Each positive claim
+// (A=0) is cross-checked against the live engine: applying the insertion
+// must leave the query's result unchanged. -----
+
+class ConstraintEdgeCaseTest : public ::testing::Test {
+ protected:
+  void Exec(const std::string& sql) {
+    auto effect = db_.ExecuteUpdate(sql::ParseOrDie(sql));
+    ASSERT_TRUE(effect.ok()) << sql << ": " << effect.status().ToString();
+  }
+
+  QueryTemplate Query(const std::string& sql) {
+    auto tmpl = QueryTemplate::Create("Qx", sql, db_.catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  UpdateTemplate Update(const std::string& sql) {
+    auto tmpl = UpdateTemplate::Create("Ux", sql, db_.catalog());
+    EXPECT_TRUE(tmpl.ok()) << tmpl.status().ToString();
+    return std::move(tmpl).value();
+  }
+
+  // The brute-force oracle: does applying `update_sql` change the result of
+  // the bound query? Restores nothing — call on a fresh fixture per claim.
+  bool UpdateChangesResult(const std::string& update_sql,
+                           const sql::Statement& query) {
+    auto before = db_.ExecuteQuery(query);
+    EXPECT_TRUE(before.ok());
+    Exec(update_sql);
+    auto after = db_.ExecuteQuery(query);
+    EXPECT_TRUE(after.ok());
+    return !before->SameResult(*after);
+  }
+
+  engine::Database db_;
+};
+
+TEST_F(ConstraintEdgeCaseTest, MultiHopForeignKeyChain) {
+  // grand(g_id PK) <- mid(g_ref FK) <- leaf(m_ref FK): a three-table chain.
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "grand", {{"g_id", catalog::ColumnType::kInt64}},
+                     {"g_id"}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "mid",
+                     {{"m_id", catalog::ColumnType::kInt64},
+                      {"g_ref", catalog::ColumnType::kInt64}},
+                     {"m_id"}, {{"g_ref", "grand", "g_id"}}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "leaf",
+                     {{"l_id", catalog::ColumnType::kInt64},
+                      {"m_ref", catalog::ColumnType::kInt64},
+                      {"val", catalog::ColumnType::kInt64}},
+                     {"l_id"}, {{"m_ref", "mid", "m_id"}}))
+                  .ok());
+  Exec("INSERT INTO grand (g_id) VALUES (1)");
+  Exec("INSERT INTO mid (m_id, g_ref) VALUES (10, 1)");
+  Exec("INSERT INTO leaf (l_id, m_ref, val) VALUES (100, 10, 7)");
+
+  const QueryTemplate chain = Query(
+      "SELECT l_id FROM grand, mid, leaf "
+      "WHERE g_ref = g_id AND m_ref = m_id AND val = ?");
+
+  // Every hop of the chain protects its referenced table: a fresh grand or
+  // mid row cannot be referenced by any existing child row.
+  const UpdateTemplate into_grand =
+      Update("INSERT INTO grand (g_id) VALUES (?)");
+  const UpdateTemplate into_mid =
+      Update("INSERT INTO mid (m_id, g_ref) VALUES (?, ?)");
+  EXPECT_TRUE(
+      InsertionIrrelevantByConstraints(into_grand, chain, db_.catalog()));
+  EXPECT_TRUE(
+      InsertionIrrelevantByConstraints(into_mid, chain, db_.catalog()));
+  // The compiled plan agrees with the template analysis.
+  EXPECT_EQ(CompilePairPlan(into_grand, chain, db_.catalog()).kind,
+            PlanKind::kNeverInvalidate);
+
+  // Oracle: the claimed-irrelevant insertions indeed change nothing.
+  const sql::Statement bound = chain.Bind({sql::Value(7)});
+  EXPECT_FALSE(UpdateChangesResult("INSERT INTO grand (g_id) VALUES (2)",
+                                   bound));
+  EXPECT_FALSE(UpdateChangesResult(
+      "INSERT INTO mid (m_id, g_ref) VALUES (11, 2)", bound));
+
+  // The leaf is NOT protected: a new leaf row can join existing parents —
+  // the analysis must stay conservative, and the oracle shows why.
+  const UpdateTemplate into_leaf =
+      Update("INSERT INTO leaf (l_id, m_ref, val) VALUES (?, ?, ?)");
+  EXPECT_FALSE(
+      InsertionIrrelevantByConstraints(into_leaf, chain, db_.catalog()));
+  EXPECT_TRUE(UpdateChangesResult(
+      "INSERT INTO leaf (l_id, m_ref, val) VALUES (101, 10, 7)", bound));
+}
+
+TEST_F(ConstraintEdgeCaseTest, JoinOnUniqueNonPkColumnIsNotProtected) {
+  // products.code is UNIQUE but not the PK, and orders.ref_code carries no
+  // declared FK (the catalog only admits FKs referencing primary keys).
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "products",
+                     {{"p_id", catalog::ColumnType::kInt64},
+                      {"code", catalog::ColumnType::kInt64}},
+                     {"p_id"}, {}, {"code"}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "orders",
+                     {{"o_id", catalog::ColumnType::kInt64},
+                      {"ref_code", catalog::ColumnType::kInt64}},
+                     {"o_id"}))
+                  .ok());
+  Exec("INSERT INTO products (p_id, code) VALUES (1, 500)");
+  Exec("INSERT INTO orders (o_id, ref_code) VALUES (1, 500)");
+  Exec("INSERT INTO orders (o_id, ref_code) VALUES (2, 777)");
+
+  // A parameter equality on the unique column IS protected (Section 4.5
+  // case 1 extends from primary keys to any unique column).
+  const UpdateTemplate insert_product =
+      Update("INSERT INTO products (p_id, code) VALUES (?, ?)");
+  const QueryTemplate by_code =
+      Query("SELECT p_id FROM products WHERE code = ?");
+  EXPECT_TRUE(InsertionIrrelevantByConstraints(insert_product, by_code,
+                                               db_.catalog()));
+
+  // But the JOIN on that column is not: without a declared FK, an existing
+  // orders row may reference a not-yet-existing code, so a product
+  // insertion can create the join partner. The analysis must not claim
+  // A=0 — the oracle shows such a claim would serve stale results.
+  const QueryTemplate join = Query(
+      "SELECT o_id FROM products, orders WHERE ref_code = code");
+  EXPECT_FALSE(InsertionIrrelevantByConstraints(insert_product, join,
+                                                db_.catalog()));
+  EXPECT_NE(CompilePairPlan(insert_product, join, db_.catalog()).kind,
+            PlanKind::kNeverInvalidate);
+  EXPECT_TRUE(UpdateChangesResult(
+      "INSERT INTO products (p_id, code) VALUES (2, 777)", join.Bind({})));
+}
+
+TEST_F(ConstraintEdgeCaseTest, SelfReferencingTable) {
+  // employees.manager_id is an FK into the same table.
+  ASSERT_TRUE(db_.CreateTable(catalog::TableSchema(
+                     "employees",
+                     {{"id", catalog::ColumnType::kInt64},
+                      {"manager_id", catalog::ColumnType::kInt64},
+                      {"dept", catalog::ColumnType::kInt64}},
+                     {"id"}, {{"manager_id", "employees", "id"}}))
+                  .ok());
+  Exec("INSERT INTO employees (id, manager_id, dept) VALUES (1, 1, 4)");
+  Exec("INSERT INTO employees (id, manager_id, dept) VALUES (2, 1, 4)");
+
+  const UpdateTemplate hire = Update(
+      "INSERT INTO employees (id, manager_id, dept) VALUES (?, ?, ?)");
+
+  // Self-join pinning the employee by PK: both slots are protected — slot e
+  // by the unique equality, slot m because e.manager_id is a declared FK
+  // into employees.id (referencing its own table must not confuse the FK
+  // walk).
+  const QueryTemplate manager_of = Query(
+      "SELECT m.dept FROM employees e, employees m "
+      "WHERE e.manager_id = m.id AND e.id = ?");
+  EXPECT_TRUE(
+      InsertionIrrelevantByConstraints(hire, manager_of, db_.catalog()));
+  EXPECT_EQ(CompilePairPlan(hire, manager_of, db_.catalog()).kind,
+            PlanKind::kNeverInvalidate);
+  const sql::Statement bound = manager_of.Bind({sql::Value(int64_t{2})});
+  EXPECT_FALSE(UpdateChangesResult(
+      "INSERT INTO employees (id, manager_id, dept) VALUES (3, 1, 9)",
+      bound));
+
+  // Without the PK pin, the report slot is unprotected: a new hire with an
+  // existing manager joins immediately. Conservative, and rightly so.
+  const QueryTemplate reports = Query(
+      "SELECT e.id FROM employees e, employees m "
+      "WHERE e.manager_id = m.id AND m.dept = ?");
+  EXPECT_FALSE(
+      InsertionIrrelevantByConstraints(hire, reports, db_.catalog()));
+  EXPECT_TRUE(UpdateChangesResult(
+      "INSERT INTO employees (id, manager_id, dept) VALUES (4, 1, 9)",
+      reports.Bind({sql::Value(int64_t{4})})));
 }
 
 }  // namespace
