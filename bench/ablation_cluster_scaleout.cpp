@@ -1,0 +1,280 @@
+// Cluster scale-out ablation: throughput of one logical DSSP composed of
+// 1..8 member nodes behind the consistent-hash router, versus the same
+// workload on a single node. The member worker pools are the bottleneck
+// resource (one worker each, deliberately slow lookups), so added nodes buy
+// capacity exactly as far as the ring spreads the key space; the run fails
+// (DSSP_CHECK) unless 8 nodes deliver at least 3x the 1-node throughput.
+//
+// The --oracle mode replays a bookstore trace against a cluster-backed app
+// — including a mid-run node kill and drain-gated rejoin — and compares
+// every panel answer against direct execution on the master database. Any
+// stale answer aborts the process, so a consistency violation is a CI
+// failure, not a log line.
+//
+// Flags:
+//   --nodes N         sweep only N member nodes (default: 1 2 4 8)
+//   --replication R   replica set size (default 2; also sweeps 1 when no
+//                     --replication is given)
+//   --oracle          run the consistency oracle (with kill + rejoin)
+//   --json <path>     write the sweep as machine-readable JSON
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/router.h"
+#include "sim/cluster_sim.h"
+
+namespace {
+
+using dssp::cluster::ClusterOptions;
+using dssp::cluster::ClusterRouter;
+
+constexpr const char* kApp = "bookstore";
+constexpr uint64_t kSeed = 0xC1A5;
+
+struct ClusterSystem {
+  std::unique_ptr<ClusterRouter> router;
+  std::unique_ptr<dssp::service::ScalableApp> app;
+  std::unique_ptr<dssp::workloads::Application> workload;
+};
+
+std::unique_ptr<ClusterSystem> BuildClusterSystem(double scale,
+                                                  ClusterOptions options) {
+  auto system = std::make_unique<ClusterSystem>();
+  system->router = std::make_unique<ClusterRouter>(options);
+  system->app = std::make_unique<dssp::service::ScalableApp>(
+      kApp, system->router.get(),
+      dssp::crypto::KeyRing::FromPassphrase("bench-cluster"));
+  system->workload = dssp::workloads::MakeApplication(kApp);
+  DSSP_CHECK_OK(system->workload->Setup(*system->app, scale, kSeed));
+  DSSP_CHECK_OK(system->app->Finalize());
+  return system;
+}
+
+// The sweep's timing model: member worker pools are the bottleneck (one
+// deliberately slow worker each), the home server is fast and wide, and
+// clients think briefly — so demand far exceeds one member's capacity and
+// the closed loop exposes how much of it each cluster size can serve.
+dssp::sim::SimConfig SweepConfig() {
+  dssp::sim::SimConfig config;
+  config.duration_s = dssp::bench::BenchDuration() / 2.0;
+  config.warmup_s = config.duration_s / 3.0;
+  config.think_time_mean_s = 1.0;
+  config.dssp_workers = 1;
+  config.dssp_lookup_s = 0.003;
+  config.wan_latency_s = 0.01;
+  config.home_workers = 16;
+  config.home_query_base_s = 0.0005;
+  config.home_query_per_row_s = 0.0;
+  config.home_update_base_s = 0.0005;
+  config.seed = 97;
+  return config;
+}
+
+constexpr int kSweepClients = 800;
+
+struct SweepPoint {
+  int nodes = 0;
+  size_t replication = 0;
+  dssp::sim::ClusterSimResult result;
+  dssp::cluster::ClusterRouteStats route;
+};
+
+SweepPoint RunSweepPoint(int nodes, size_t replication,
+                         const dssp::sim::SimConfig& config) {
+  ClusterOptions options;
+  options.num_nodes = nodes;
+  options.replication = replication;
+  options.seed = kSeed;
+  auto system = BuildClusterSystem(dssp::bench::BenchScale(), options);
+  auto generator = system->workload->NewSession(23);
+  auto result = dssp::sim::RunClusterSimulation(
+      *system->router,
+      {dssp::sim::Tenant{system->app.get(), generator.get(), kSweepClients}},
+      config);
+  DSSP_CHECK(result.ok());
+  SweepPoint point;
+  point.nodes = nodes;
+  point.replication = replication;
+  point.result = std::move(*result);
+  point.route = system->router->route_stats();
+  return point;
+}
+
+// Trace-driven consistency oracle over a cluster-backed app, with a node
+// killed and later rejoined mid-trace. Aborts on the first stale answer.
+void RunOracle(int nodes, size_t replication) {
+  ClusterOptions options;
+  options.num_nodes = nodes;
+  options.replication = replication;
+  options.seed = kSeed;
+  auto system = BuildClusterSystem(/*scale=*/0.25, options);
+  dssp::service::ScalableApp& app = *system->app;
+
+  auto session = system->workload->NewSession(8);
+  dssp::Rng rng(55);
+  struct Probe {
+    std::string template_id;
+    std::vector<dssp::sql::Value> params;
+  };
+  std::map<std::string, Probe> panel;
+  constexpr size_t kPanelCap = 60;
+  // Long enough that the kill window (middle third) contains real update
+  // traffic, so the rejoin actually replays missed invalidations.
+  constexpr int kPages = 240;
+  const int kill_node = nodes > 1 ? 1 : 0;
+  size_t checks = 0;
+  uint64_t replayed = 0;
+  bool rejoined = false;
+
+  for (int page = 0; page < kPages; ++page) {
+    if (page == kPages / 3) system->router->KillNode(kill_node);
+    if (page == 2 * kPages / 3) {
+      auto drain = system->router->ReviveNode(kill_node);
+      DSSP_CHECK_OK(drain.status());
+      replayed = *drain;
+      rejoined = true;
+    }
+
+    for (const dssp::sim::DbOp& op : session->NextPage(rng)) {
+      if (op.is_update) {
+        DSSP_CHECK_OK(app.Update(op.template_id, op.params).status());
+        continue;
+      }
+      DSSP_CHECK_OK(app.Query(op.template_id, op.params).status());
+      if (panel.size() < kPanelCap) {
+        const size_t index = app.templates().QueryIndex(op.template_id);
+        const std::string key = dssp::sql::ToSql(
+            app.templates().queries()[index].Bind(op.params));
+        panel.emplace(key, Probe{op.template_id, op.params});
+      }
+    }
+
+    for (const auto& [key, probe] : panel) {
+      auto via_cluster = app.Query(probe.template_id, probe.params);
+      DSSP_CHECK_OK(via_cluster.status());
+      const size_t index = app.templates().QueryIndex(probe.template_id);
+      auto direct = app.home().database().ExecuteQuery(
+          app.templates().queries()[index].Bind(probe.params));
+      DSSP_CHECK_OK(direct.status());
+      // The oracle proper: a cluster answer differing from the master
+      // database is a consistency violation and aborts the run.
+      DSSP_CHECK(via_cluster->SameResult(*direct));
+      ++checks;
+    }
+  }
+  DSSP_CHECK(nodes < 2 || rejoined);
+  std::printf(
+      "oracle: nodes=%d replication=%zu checks=%zu violations=0 "
+      "(killed node %d, rejoined with %llu notices replayed)\n",
+      nodes, replication, checks, kill_node,
+      static_cast<unsigned long long>(replayed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* nodes_flag = dssp::bench::FlagValue(argc, argv, "--nodes");
+  const char* repl_flag = dssp::bench::FlagValue(argc, argv, "--replication");
+  const char* json_path = dssp::bench::FlagValue(argc, argv, "--json");
+  const bool run_oracle = dssp::bench::HasFlag(argc, argv, "--oracle");
+
+  std::vector<int> node_counts = {1, 2, 4, 8};
+  if (nodes_flag != nullptr) node_counts = {std::atoi(nodes_flag)};
+  std::vector<size_t> replications = {1, 2};
+  if (repl_flag != nullptr) {
+    replications = {static_cast<size_t>(std::atoi(repl_flag))};
+  }
+
+  if (run_oracle) {
+    for (int nodes : node_counts) {
+      for (size_t replication : replications) {
+        RunOracle(nodes, replication);
+      }
+    }
+  }
+
+  const dssp::sim::SimConfig config = SweepConfig();
+  std::printf(
+      "\nCluster scale-out — %s, %d clients, duration=%.0fs "
+      "(measured %.0fs)\n\n",
+      kApp, kSweepClients, config.duration_s,
+      config.duration_s - config.warmup_s);
+  std::printf("%5s %5s %10s %8s %8s %9s %10s %9s\n", "nodes", "repl",
+              "pages/s", "speedup", "p90(s)", "hit_rate", "fallbacks",
+              "rebalance");
+
+  std::vector<SweepPoint> points;
+  std::map<size_t, double> base_throughput;  // replication -> 1-node pages/s.
+  for (size_t replication : replications) {
+    for (int nodes : node_counts) {
+      SweepPoint point = RunSweepPoint(nodes, replication, config);
+      const dssp::sim::SimResult& tenant = point.result.tenants[0];
+      if (nodes == 1) {
+        base_throughput[replication] = point.result.throughput_pages_per_s;
+      }
+      const double base = base_throughput.count(replication)
+                              ? base_throughput[replication]
+                              : 0.0;
+      const double speedup =
+          base > 0 ? point.result.throughput_pages_per_s / base : 0.0;
+      std::printf("%5d %5zu %10.1f %8.2f %8.3f %9.3f %10llu %9llu\n", nodes,
+                  replication, point.result.throughput_pages_per_s, speedup,
+                  tenant.p90_response_s, tenant.cache_hit_rate,
+                  static_cast<unsigned long long>(point.result.fallback_ops),
+                  static_cast<unsigned long long>(point.route.rebalances));
+      points.push_back(std::move(point));
+    }
+    std::printf("\n");
+  }
+
+  // The acceptance gate: 8 members must buy at least 3x one member's
+  // throughput (per replication level swept with both endpoints).
+  for (size_t replication : replications) {
+    const SweepPoint* one = nullptr;
+    const SweepPoint* eight = nullptr;
+    for (const SweepPoint& p : points) {
+      if (p.replication != replication) continue;
+      if (p.nodes == 1) one = &p;
+      if (p.nodes == 8) eight = &p;
+    }
+    if (one == nullptr || eight == nullptr) continue;
+    const double speedup = eight->result.throughput_pages_per_s /
+                           one->result.throughput_pages_per_s;
+    std::printf("replication=%zu: 8-node speedup %.2fx (gate: >= 3x)\n",
+                replication, speedup);
+    DSSP_CHECK(speedup >= 3.0);
+  }
+
+  if (json_path != nullptr) {
+    std::vector<dssp::bench::JsonObject> rows;
+    for (const SweepPoint& point : points) {
+      dssp::bench::JsonObject row;
+      row.Set("nodes", point.nodes);
+      row.Set("replication", static_cast<uint64_t>(point.replication));
+      dssp::bench::FillResultFields(point.result.tenants[0],
+                                    config.duration_s, config.warmup_s, &row);
+      row.Set("throughput_pages_per_s",
+              point.result.throughput_pages_per_s);
+      row.Set("pages_measured",
+              static_cast<uint64_t>(point.result.pages_measured));
+      row.Set("fallback_ops", point.result.fallback_ops);
+      row.Set("unrouted_ops", point.result.unrouted_ops);
+      rows.push_back(std::move(row));
+    }
+    dssp::bench::JsonObject doc;
+    doc.Set("experiment", "ablation_cluster_scaleout");
+    doc.Set("app", kApp);
+    doc.Set("clients", kSweepClients);
+    doc.Set("duration_s", config.duration_s);
+    doc.Set("warmup_s", config.warmup_s);
+    doc.Set("oracle_ran", run_oracle);
+    doc.SetRaw("rows", dssp::bench::JsonArray(rows));
+    dssp::bench::WriteJsonFile(json_path, doc);
+  }
+  return 0;
+}

@@ -7,6 +7,9 @@
 // Environment knobs (see bench/bench_util.h): DSSP_BENCH_DURATION (the
 // paper's runs are 600 s; default 60 s here), DSSP_BENCH_SCALE,
 // DSSP_BENCH_MAX_USERS.
+//
+// Flags: --json <path> additionally writes the full result matrix (max
+// users plus the latency/hit-rate profile at that load) as one JSON file.
 
 #include <cstdio>
 
@@ -32,7 +35,9 @@ constexpr StrategyPoint kStrategies[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = dssp::bench::FlagValue(argc, argv, "--json");
+  std::vector<dssp::bench::JsonObject> json_rows;
   const dssp::sim::SimConfig config = dssp::bench::BenchSimConfig();
   std::printf(
       "Figure 8 — scalability by invalidation strategy "
@@ -57,10 +62,39 @@ int main() {
       DSSP_CHECK(result.ok());
       std::printf(" %8d", result->max_users);
       std::fflush(stdout);
+      if (json_path != nullptr) {
+        dssp::bench::JsonObject row;
+        row.Set("app", std::string(name));
+        row.Set("strategy", strategy.name);
+        row.Set("max_users", result->max_users);
+        // The profile at the highest passing probe (the scalability point).
+        const dssp::sim::SimResult* best = nullptr;
+        for (const auto& probe : result->probes) {
+          if (probe.MeetsSlo(config) &&
+              (best == nullptr || probe.num_clients > best->num_clients)) {
+            best = &probe;
+          }
+        }
+        if (best != nullptr) {
+          dssp::bench::FillResultFields(*best, config.duration_s,
+                                        config.warmup_s, &row);
+        }
+        json_rows.push_back(std::move(row));
+      }
     }
     std::printf("\n");
   }
   std::printf(
       "\nPaper shape check: MVIS >= MSIS >= MTIS >> MBS per application.\n");
+  if (json_path != nullptr) {
+    dssp::bench::JsonObject doc;
+    doc.Set("experiment", "fig8_strategy_scalability");
+    doc.Set("duration_s", config.duration_s);
+    doc.Set("warmup_s", config.warmup_s);
+    doc.Set("scale", dssp::bench::BenchScale());
+    doc.Set("p90_limit_s", config.response_time_limit_s);
+    doc.SetRaw("rows", dssp::bench::JsonArray(json_rows));
+    dssp::bench::WriteJsonFile(json_path, doc);
+  }
   return 0;
 }

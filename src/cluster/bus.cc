@@ -1,0 +1,208 @@
+#include "cluster/bus.h"
+
+#include <utility>
+
+#include "dssp/protocol.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace dssp::cluster {
+
+using service::ChannelOutcome;
+using service::ErrorResponse;
+using service::InvalidateRequest;
+using service::InvalidateResponse;
+using service::MessageType;
+using service::Seal;
+using service::Unseal;
+using service::UpdateNotice;
+
+namespace {
+
+constexpr uint64_t kNoTemplateWire = static_cast<uint64_t>(-1);
+
+std::string SealedError(StatusCode code, std::string message) {
+  return Seal(service::Encode(ErrorResponse{code, std::move(message)}));
+}
+
+}  // namespace
+
+ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
+  ChannelOutcome outcome;
+  if (!alive()) return outcome;  // Crashed/partitioned: frame on the floor.
+
+  outcome.home_deliveries = 1;
+  outcome.delivered = true;
+
+  auto inner = Unseal(frame);
+  if (!inner.ok()) {
+    outcome.response =
+        SealedError(inner.status().code(), inner.status().message());
+    return outcome;
+  }
+  auto request = service::DecodeInvalidateRequest(*inner);
+  if (!request.ok()) {
+    outcome.response =
+        SealedError(request.status().code(), request.status().message());
+    return outcome;
+  }
+
+  UpdateNotice notice;
+  notice.level = static_cast<analysis::ExposureLevel>(request->level);
+  notice.template_index =
+      request->template_index == kNoTemplateWire
+          ? service::CacheEntry::kNoTemplate
+          : static_cast<size_t>(request->template_index);
+  if (!request->statement_sql.empty()) {
+    auto statement = sql::Parse(request->statement_sql);
+    if (!statement.ok()) {
+      outcome.response = SealedError(statement.status().code(),
+                                     statement.status().message());
+      return outcome;
+    }
+    notice.statement = std::move(*statement);
+  }
+
+  uint64_t invalidated = 0;
+  {
+    std::lock_guard<std::mutex> lock(dedup_mu_);
+    const auto it = applied_nonces_.find(request->nonce);
+    if (it != applied_nonces_.end()) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      invalidated = it->second;
+    } else {
+      invalidated = node_.OnUpdate(request->app_id, notice);
+      notices_applied_.fetch_add(1, std::memory_order_relaxed);
+      applied_nonces_.emplace(request->nonce, invalidated);
+      dedup_fifo_.push_back(request->nonce);
+      if (dedup_fifo_.size() > kDedupWindow) {
+        applied_nonces_.erase(dedup_fifo_.front());
+        dedup_fifo_.pop_front();
+      }
+    }
+  }
+  outcome.response = Seal(service::Encode(InvalidateResponse{invalidated}));
+  return outcome;
+}
+
+InvalidationBus::InvalidationBus(BusOptions options)
+    : options_(std::move(options)) {}
+
+void InvalidationBus::AddMember(int node, service::Channel* channel) {
+  DSSP_CHECK(channel != nullptr);
+  auto member = std::make_unique<Member>();
+  member->node = node;
+  member->channel = channel;
+  member->client = std::make_unique<service::RetryingClient>(
+      channel, options_.retry,
+      options_.seed ^ (static_cast<uint64_t>(node) * 0x9e3779b97f4a7c15ULL));
+  const bool inserted = members_.emplace(node, std::move(member)).second;
+  DSSP_CHECK(inserted);
+}
+
+void InvalidationBus::SetWireObserver(
+    std::function<void(int node, bool ok)> observer) {
+  observer_ = std::move(observer);
+}
+
+void InvalidationBus::SetDeferred(int node, bool deferred) {
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  it->second->deferred = deferred;
+}
+
+StatusOr<InvalidationBus::DrainResult> InvalidationBus::DrainLocked(
+    Member& member) {
+  DrainResult total;
+  while (!member.queue.empty()) {
+    service::WireStats ws;
+    auto response = member.client->Call(member.queue.front(), &ws);
+    wire_retries_.fetch_add(ws.retries, std::memory_order_relaxed);
+    if (!response.ok()) {
+      // Unreachable through the whole retry budget: the frame (and
+      // everything queued behind it, order preserved) waits for the next
+      // drain. Invalidations already applied by earlier frames stand.
+      failed_deliveries_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_) observer_(member.node, false);
+      return response.status();
+    }
+    if (observer_) observer_(member.node, true);
+    if (service::PeekType(*response) == MessageType::kInvalidateResponse) {
+      auto ack = service::DecodeInvalidateResponse(*response);
+      DSSP_CHECK(ack.ok());
+      ++total.frames;
+      total.entries += ack->entries_invalidated;
+      delivered_frames_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The member answered but rejected the frame (kError): deterministic,
+      // so retrying is pointless — drop it and keep the queue moving.
+      failed_deliveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    member.queue.pop_front();
+  }
+  return total;
+}
+
+PublishOutcome InvalidationBus::Publish(const std::string& app_id,
+                                        const UpdateNotice& notice) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+
+  InvalidateRequest request;
+  request.app_id = app_id;
+  request.level = static_cast<uint8_t>(notice.level);
+  request.template_index =
+      notice.template_index == service::CacheEntry::kNoTemplate
+          ? kNoTemplateWire
+          : static_cast<uint64_t>(notice.template_index);
+  if (notice.statement.has_value()) {
+    request.statement_sql = sql::ToSql(*notice.statement);
+  }
+  request.nonce = next_nonce_.fetch_add(1, std::memory_order_relaxed);
+  const std::string frame = service::Encode(request);
+
+  PublishOutcome outcome;
+  for (auto& [node, member] : members_) {
+    std::lock_guard<std::mutex> lock(member->mu);
+    member->queue.push_back(frame);
+    if (member->deferred || member->queue.size() <= options_.bus_lag) {
+      ++outcome.deferred_members;
+      continue;
+    }
+    auto drained = DrainLocked(*member);
+    if (drained.ok()) {
+      outcome.entries_invalidated += drained->entries;
+      ++outcome.delivered_members;
+    } else {
+      ++outcome.failed_members;
+    }
+  }
+  return outcome;
+}
+
+StatusOr<uint64_t> InvalidationBus::Flush(int node) {
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  DSSP_ASSIGN_OR_RETURN(const DrainResult drained, DrainLocked(*it->second));
+  return drained.frames;
+}
+
+size_t InvalidationBus::Pending(int node) const {
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->queue.size();
+}
+
+BusCounters InvalidationBus::counters() const {
+  BusCounters out;
+  out.published = published_.load(std::memory_order_relaxed);
+  out.delivered_frames = delivered_frames_.load(std::memory_order_relaxed);
+  out.failed_deliveries =
+      failed_deliveries_.load(std::memory_order_relaxed);
+  out.wire_retries = wire_retries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace dssp::cluster

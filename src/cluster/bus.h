@@ -1,0 +1,175 @@
+#ifndef DSSP_CLUSTER_BUS_H_
+#define DSSP_CLUSTER_BUS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "dssp/channel.h"
+#include "dssp/node.h"
+#include "dssp/retry.h"
+
+namespace dssp::cluster {
+
+// In-process wire endpoint of one cluster member: the DirectChannel
+// equivalent for the node<->node invalidation wire. Accepts sealed
+// kInvalidateRequest frames, applies them to the member's DsspNode, and
+// answers with a sealed kInvalidateResponse — so the publishing side can run
+// the ordinary RetryingClient (and, wrapped in a FaultInjectingChannel, the
+// ordinary fault model) against it.
+//
+// At-most-once: each frame carries a nonce; a retried or transport-
+// duplicated frame whose nonce was already applied returns the stored
+// invalidation count without touching the node — re-running would not break
+// cache correctness (invalidation is idempotent on entries) but WOULD
+// advance the staleness epoch twice, silently tightening every k-staleness
+// bound derived from it.
+//
+// Kill() simulates a crash or partition of this member: every frame is
+// dropped undelivered until Revive(). The node object itself stays intact,
+// exactly like a process that lost its network: its (possibly stale) cache
+// survives to the rejoin, which is why the rejoin path must drain the
+// pending queue before the member serves again.
+class NodeChannel : public service::Channel {
+ public:
+  static constexpr size_t kDedupWindow = 65536;
+
+  explicit NodeChannel(service::DsspNode& node) : node_(node) {}
+
+  service::ChannelOutcome RoundTrip(std::string_view frame) override;
+
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  uint64_t notices_applied() const {
+    return notices_applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  service::DsspNode& node_;
+  std::atomic<bool> alive_{true};
+  std::atomic<uint64_t> notices_applied_{0};
+  std::atomic<uint64_t> duplicates_suppressed_{0};
+
+  // Nonce -> entries invalidated, bounded FIFO (mirrors HomeServer's update
+  // dedup). The mutex also serializes apply, so a concurrent retry of the
+  // same nonce cannot double-apply.
+  std::mutex dedup_mu_;
+  std::unordered_map<uint64_t, uint64_t> applied_nonces_;
+  std::deque<uint64_t> dedup_fifo_;
+};
+
+struct BusOptions {
+  // Staleness bound: the most undelivered notices a reachable member may
+  // accumulate before Publish synchronously drains it. 0 (default) delivers
+  // on every publish — the strongest bound, and what the consistency oracle
+  // runs under. A member lagging beyond the bound must not serve lookups
+  // (the router enforces this via Pending()).
+  size_t bus_lag = 0;
+  service::RetryPolicy retry;
+  uint64_t seed = 0xB05B05B0;
+};
+
+// Per-publish outcome, aggregated over members.
+struct PublishOutcome {
+  uint64_t entries_invalidated = 0;  // Summed over members delivered to now.
+  int delivered_members = 0;
+  int deferred_members = 0;  // Queued within the lag bound or marked down.
+  int failed_members = 0;    // Wire retry budget exhausted; notice kept.
+};
+
+// Cumulative bus counters (relaxed-atomic snapshot).
+struct BusCounters {
+  uint64_t published = 0;          // Publish calls.
+  uint64_t delivered_frames = 0;   // Frames acknowledged by a member.
+  uint64_t failed_deliveries = 0;  // Drain attempts that hit the wire limit.
+  uint64_t wire_retries = 0;       // RetryingClient retries, all members.
+};
+
+// Fans each exposure-gated UpdateNotice out to every member node over the
+// hardened wire path (sealed frames, bounded-backoff retries, nonce dedup —
+// all inherited from the PR-2 machinery, so a lossy inter-node wire gets
+// fault tolerance for free). Every member has a FIFO pending queue; a frame
+// leaves the queue only once its delivery is acknowledged, so an
+// unreachable member accumulates exactly the notices it missed and replays
+// them, in order, when the router drains it at rejoin.
+//
+// Thread-safe. Queue discipline is per member: a slow member never blocks
+// fan-out to the others.
+class InvalidationBus {
+ public:
+  explicit InvalidationBus(BusOptions options = BusOptions{});
+
+  InvalidationBus(const InvalidationBus&) = delete;
+  InvalidationBus& operator=(const InvalidationBus&) = delete;
+
+  // Registers a member reachable over `channel` (not owned; must outlive
+  // the bus). Members must be added before the first Publish.
+  void AddMember(int node, service::Channel* channel);
+
+  // Observer invoked after every completed wire call to a member:
+  // (node, ok). The router wires this into the MembershipTable, making bus
+  // deliveries the failure detector's primary signal source.
+  void SetWireObserver(std::function<void(int node, bool ok)> observer);
+
+  // Marks a member deferred: Publish only queues for it, never attempts
+  // delivery (the router defers members it has declared down, so a dead
+  // node does not cost a retry storm on every update).
+  void SetDeferred(int node, bool deferred);
+
+  // Encodes the notice once and enqueues it for every member, then drains
+  // each non-deferred member whose queue exceeds the lag bound.
+  PublishOutcome Publish(const std::string& app_id,
+                         const service::UpdateNotice& notice);
+
+  // Drains one member's queue in FIFO order, stopping at the first frame
+  // whose delivery fails (that frame and everything behind it stay queued).
+  // Returns the frames replayed, or the wire error.
+  StatusOr<uint64_t> Flush(int node);
+
+  size_t Pending(int node) const;
+  BusCounters counters() const;
+
+ private:
+  struct Member {
+    int node = 0;
+    service::Channel* channel = nullptr;
+    std::unique_ptr<service::RetryingClient> client;
+    mutable std::mutex mu;  // Guards queue + deferred.
+    std::deque<std::string> queue;
+    bool deferred = false;
+  };
+
+  struct DrainResult {
+    uint64_t frames = 0;   // Frames acknowledged (applied or deduped).
+    uint64_t entries = 0;  // Cache entries those frames invalidated.
+  };
+
+  // Drains member.queue; caller holds member.mu.
+  StatusOr<DrainResult> DrainLocked(Member& member);
+
+  BusOptions options_;
+  std::map<int, std::unique_ptr<Member>> members_;
+  std::function<void(int, bool)> observer_;
+  std::atomic<uint64_t> next_nonce_{1};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> delivered_frames_{0};
+  std::atomic<uint64_t> failed_deliveries_{0};
+  std::atomic<uint64_t> wire_retries_{0};
+};
+
+}  // namespace dssp::cluster
+
+#endif  // DSSP_CLUSTER_BUS_H_

@@ -1,0 +1,104 @@
+#include "cluster/membership.h"
+
+#include "common/macros.h"
+
+namespace dssp::cluster {
+
+const char* NodeHealthName(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kAlive:
+      return "alive";
+    case NodeHealth::kSuspect:
+      return "suspect";
+    case NodeHealth::kDown:
+      return "down";
+  }
+  DSSP_UNREACHABLE("bad NodeHealth");
+}
+
+MembershipTable::MembershipTable(MembershipPolicy policy) : policy_(policy) {
+  DSSP_CHECK(policy_.suspect_after > 0 &&
+             policy_.down_after >= policy_.suspect_after);
+}
+
+void MembershipTable::AddNode(int node) {
+  DSSP_CHECK(node >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.try_emplace(node);
+}
+
+NodeHealth MembershipTable::health(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  return it->second.health;
+}
+
+bool MembershipTable::Servable(int node) const {
+  return health(node) != NodeHealth::kDown;
+}
+
+bool MembershipTable::ReportFailure(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  Member& member = it->second;
+  if (member.health == NodeHealth::kDown) return false;
+  ++member.consecutive_failures;
+  NodeHealth next = member.health;
+  if (member.consecutive_failures >= policy_.down_after) {
+    next = NodeHealth::kDown;
+  } else if (member.consecutive_failures >= policy_.suspect_after) {
+    next = NodeHealth::kSuspect;
+  }
+  if (next == member.health) return false;
+  member.health = next;
+  if (next == NodeHealth::kSuspect) ++member.counters.suspect_transitions;
+  if (next == NodeHealth::kDown) ++member.counters.down_transitions;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+bool MembershipTable::ReportSuccess(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  Member& member = it->second;
+  member.consecutive_failures = 0;
+  if (member.health != NodeHealth::kSuspect) return false;
+  member.health = NodeHealth::kAlive;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+bool MembershipTable::Rejoin(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  Member& member = it->second;
+  if (member.health != NodeHealth::kDown) return false;
+  member.health = NodeHealth::kAlive;
+  member.consecutive_failures = 0;
+  ++member.counters.rejoins;
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+std::vector<int> MembershipTable::ServableNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> nodes;
+  nodes.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
+    if (member.health != NodeHealth::kDown) nodes.push_back(id);
+  }
+  return nodes;
+}
+
+MemberCounters MembershipTable::counters(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  return it->second.counters;
+}
+
+}  // namespace dssp::cluster

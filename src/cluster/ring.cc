@@ -1,0 +1,101 @@
+#include "cluster/ring.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/hash.h"
+#include "common/macros.h"
+
+namespace dssp::cluster {
+
+namespace {
+
+// Distinct SipHash key halves for ring positions vs. cache keys, so a cache
+// key can never be engineered to collide with a virtual-node position.
+constexpr uint64_t kVnodeK1 = 0x72696e672d766e64ULL;  // "ring-vnd"
+constexpr uint64_t kKeyK1 = 0x72696e672d6b6579ULL;    // "ring-key"
+
+uint64_t VnodePoint(uint64_t seed, int node, int vnode) {
+  char buf[8];
+  const uint32_t n = static_cast<uint32_t>(node);
+  const uint32_t v = static_cast<uint32_t>(vnode);
+  std::memcpy(buf, &n, 4);
+  std::memcpy(buf + 4, &v, 4);
+  return SipHash24(seed, kVnodeK1, std::string_view(buf, sizeof(buf)));
+}
+
+}  // namespace
+
+HashRing::HashRing(uint64_t seed, int vnodes_per_node)
+    : seed_(seed), vnodes_(vnodes_per_node) {
+  DSSP_CHECK(vnodes_ > 0);
+}
+
+void HashRing::AddNode(int node) {
+  DSSP_CHECK(node >= 0);
+  if (!nodes_.insert(node).second) return;
+  for (int v = 0; v < vnodes_; ++v) {
+    // On the astronomically unlikely 64-bit collision the smaller node id
+    // wins deterministically, keeping placement a pure function of the
+    // member set.
+    const uint64_t point = VnodePoint(seed_, node, v);
+    const auto it = points_.find(point);
+    if (it == points_.end() || node < it->second) points_[point] = node;
+  }
+}
+
+void HashRing::RemoveNode(int node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = it->second == node ? points_.erase(it) : std::next(it);
+  }
+  // Restore any points this node had won from a colliding member.
+  for (int other : nodes_) {
+    for (int v = 0; v < vnodes_; ++v) {
+      const uint64_t point = VnodePoint(seed_, other, v);
+      const auto it = points_.find(point);
+      if (it == points_.end() || other < it->second) points_[point] = other;
+    }
+  }
+}
+
+uint64_t HashRing::KeyPoint(std::string_view key) const {
+  return SipHash24(seed_, kKeyK1, key);
+}
+
+std::vector<int> HashRing::Owners(std::string_view key,
+                                  size_t replicas) const {
+  std::vector<int> owners;
+  if (points_.empty() || replicas == 0) return owners;
+  const size_t want = std::min(replicas, nodes_.size());
+  owners.reserve(want);
+  // Walk clockwise from the key's position, collecting distinct nodes.
+  auto it = points_.lower_bound(KeyPoint(key));
+  for (size_t step = 0; step < points_.size() && owners.size() < want;
+       ++step) {
+    if (it == points_.end()) it = points_.begin();
+    bool seen = false;
+    for (int node : owners) seen = seen || node == it->second;
+    if (!seen) owners.push_back(it->second);
+    ++it;
+  }
+  return owners;
+}
+
+int HashRing::OwnerOf(std::string_view key) const {
+  const std::vector<int> owners = Owners(key, 1);
+  return owners.empty() ? -1 : owners[0];
+}
+
+std::vector<double> HashRing::LoadShares(size_t probes) const {
+  const int max_node = nodes_.empty() ? -1 : *nodes_.rbegin();
+  std::vector<double> shares(static_cast<size_t>(max_node + 1), 0.0);
+  if (points_.empty() || probes == 0) return shares;
+  for (size_t i = 0; i < probes; ++i) {
+    const int owner = OwnerOf("probe:" + std::to_string(i));
+    shares[static_cast<size_t>(owner)] += 1.0 / static_cast<double>(probes);
+  }
+  return shares;
+}
+
+}  // namespace dssp::cluster

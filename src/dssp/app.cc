@@ -11,7 +11,7 @@ constexpr size_t kRequestOverheadBytes = 64;
 
 }  // namespace
 
-ScalableApp::ScalableApp(std::string app_id, DsspNode* dssp,
+ScalableApp::ScalableApp(std::string app_id, CacheBackend* dssp,
                          crypto::KeyRing keyring)
     : home_(std::move(app_id), std::move(keyring)),
       dssp_(dssp),

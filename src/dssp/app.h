@@ -65,6 +65,8 @@ struct WirePolicy {
 // A Web application running against a shared DSSP: owns the home server
 // (master database + keys) and the client-side logic that encrypts
 // statements, computes exposure-dependent cache keys, and decrypts results.
+// The `dssp` backend may be a single DsspNode or a cluster::ClusterRouter
+// fronting many; the application cannot tell the difference.
 //
 // Usage:
 //   ScalableApp app("bookstore", &dssp, crypto::KeyRing::FromPassphrase(...));
@@ -75,7 +77,7 @@ struct WirePolicy {
 //   app.Query("Q1", {Value(5)});                      // serve traffic
 class ScalableApp {
  public:
-  ScalableApp(std::string app_id, DsspNode* dssp, crypto::KeyRing keyring);
+  ScalableApp(std::string app_id, CacheBackend* dssp, crypto::KeyRing keyring);
 
   HomeServer& home() { return home_; }
   const HomeServer& home() const { return home_; }
@@ -154,7 +156,7 @@ class ScalableApp {
   };
 
   HomeServer home_;
-  DsspNode* dssp_;
+  CacheBackend* dssp_;
   analysis::ExposureAssignment exposure_;
   bool finalized_ = false;
 

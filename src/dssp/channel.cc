@@ -6,6 +6,41 @@
 
 namespace dssp::service {
 
+Status FaultProfile::Validate() const {
+  const struct {
+    const char* name;
+    double value;
+  } probabilities[] = {
+      {"drop_request", drop_request},
+      {"drop_response", drop_response},
+      {"corrupt_request", corrupt_request},
+      {"corrupt_response", corrupt_response},
+      {"duplicate_request", duplicate_request},
+      {"delay_probability", delay_probability},
+  };
+  for (const auto& p : probabilities) {
+    // The negated comparison also rejects NaN.
+    if (!(p.value >= 0.0 && p.value <= 1.0)) {
+      return InvalidArgumentError(std::string(p.name) +
+                                  " must be a probability in [0, 1]");
+    }
+  }
+  if (!(delay_mean_s >= 0.0)) {
+    return InvalidArgumentError("delay_mean_s must be >= 0");
+  }
+  if (max_corrupt_bytes < 0) {
+    return InvalidArgumentError("max_corrupt_bytes must be >= 0");
+  }
+  return Status::Ok();
+}
+
+FaultInjectingChannel::FaultInjectingChannel(Channel& inner,
+                                             FaultProfile profile,
+                                             uint64_t seed)
+    : inner_(inner), profile_(profile), rng_(seed) {
+  DSSP_CHECK_OK(profile_.Validate());
+}
+
 ChannelOutcome DirectChannel::RoundTrip(std::string_view request_frame) {
   ChannelOutcome outcome;
   outcome.delivered = true;

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/random.h"
+#include "common/status.h"
 
 namespace dssp::service {
 
@@ -58,6 +59,12 @@ struct FaultProfile {
   double delay_probability = 0;  // Chance of an extra latency spike.
   double delay_mean_s = 0.040;   // Mean of the exponential spike.
   int max_corrupt_bytes = 4;     // Damage size per corruption event.
+
+  // Rejects probabilities outside [0, 1] and negative delay_mean_s /
+  // max_corrupt_bytes. Checked at channel construction: an out-of-range
+  // probability would silently clamp inside the RNG and a negative delay
+  // mean would emit NaNs into the timing model mid-run.
+  Status Validate() const;
 };
 
 // Decorator injecting drops, corruption, duplication, and delay spikes into
@@ -65,8 +72,9 @@ struct FaultProfile {
 // frame — exactly the damage the sealed-frame checksum must catch.
 class FaultInjectingChannel : public Channel {
  public:
-  FaultInjectingChannel(Channel& inner, FaultProfile profile, uint64_t seed)
-      : inner_(inner), profile_(profile), rng_(seed) {}
+  // DSSP_CHECKs profile.Validate() — a malformed fault model is a harness
+  // bug, caught at construction rather than as corrupted statistics later.
+  FaultInjectingChannel(Channel& inner, FaultProfile profile, uint64_t seed);
 
   ChannelOutcome RoundTrip(std::string_view request_frame) override;
 

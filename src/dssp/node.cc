@@ -201,6 +201,14 @@ size_t DsspNode::ClearCache(const std::string& app_id) {
   return app == nullptr ? 0 : app->cache.Clear();
 }
 
+std::vector<std::string> DsspNode::AppIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [id, app] : apps_) ids.push_back(id);
+  return ids;
+}
+
 size_t DsspNode::CacheSize(const std::string& app_id) const {
   const AppState* app = FindApp(app_id);
   return app == nullptr ? 0 : app->cache.size();

@@ -8,6 +8,7 @@
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "analysis/exposure.h"
 #include "analysis/plan.h"
@@ -63,6 +64,31 @@ struct CacheCounters {
   }
 };
 
+// The cache-service surface a ScalableApp talks to. One DsspNode implements
+// it directly (the paper's single-proxy deployment); a cluster::ClusterRouter
+// implements it by composing many nodes behind a consistent-hash ring. The
+// backend is chosen at construction and never changes, so the single-node
+// hot path stays what it always was.
+class CacheBackend {
+ public:
+  virtual ~CacheBackend() = default;
+
+  virtual Status RegisterApp(std::string app_id,
+                             const catalog::Catalog* catalog,
+                             const templates::TemplateSet* templates) = 0;
+  virtual std::optional<CacheEntry> Lookup(const std::string& app_id,
+                                           const std::string& key) = 0;
+  virtual std::optional<CacheEntry> LookupStale(
+      const std::string& app_id, const std::string& key,
+      uint64_t max_updates_behind) = 0;
+  virtual void Store(const std::string& app_id, CacheEntry entry) = 0;
+  virtual size_t OnUpdate(const std::string& app_id,
+                          const UpdateNotice& notice) = 0;
+  virtual size_t ClearCache(const std::string& app_id) = 0;
+  virtual void SetStaleRetention(const std::string& app_id,
+                                 size_t max_entries) = 0;
+};
+
 // The shared Database Scalability Service Provider node: caches (possibly
 // encrypted) query results for many applications and keeps them consistent
 // by invalidating on updates, using only each entry's exposed information.
@@ -76,7 +102,7 @@ struct CacheCounters {
 // QueryCache), and stats are relaxed atomics. Operations on an app_id that
 // was never registered degrade gracefully (miss / no-op / zero) rather than
 // aborting: a shared provider must tolerate traffic for unknown tenants.
-class DsspNode {
+class DsspNode : public CacheBackend {
  public:
   DsspNode() = default;
 
@@ -85,7 +111,7 @@ class DsspNode {
   // when an entry's or update's exposure level permits; both must outlive
   // the node. Fails on duplicate id.
   Status RegisterApp(std::string app_id, const catalog::Catalog* catalog,
-                     const templates::TemplateSet* templates);
+                     const templates::TemplateSet* templates) override;
 
   bool HasApp(std::string_view app_id) const;
 
@@ -93,8 +119,8 @@ class DsspNode {
   // entry (a pointer into the cache would dangle under concurrent
   // invalidation); unknown app ids miss.
   std::optional<CacheEntry> Lookup(const std::string& app_id,
-                                   const std::string& key);
-  void Store(const std::string& app_id, CacheEntry entry);
+                                   const std::string& key) override;
+  void Store(const std::string& app_id, CacheEntry entry) override;
 
   // Degraded-mode lookup: a recently invalidated entry for `key`, if it is
   // at most `max_updates_behind` observed updates stale (see
@@ -102,15 +128,17 @@ class DsspNode {
   // Counted as a stale hit, never as a regular hit.
   std::optional<CacheEntry> LookupStale(const std::string& app_id,
                                         const std::string& key,
-                                        uint64_t max_updates_behind);
+                                        uint64_t max_updates_behind) override;
 
   // Caps the app's stale side store (0 = retention off, the default).
-  void SetStaleRetention(const std::string& app_id, size_t max_entries);
+  void SetStaleRetention(const std::string& app_id,
+                         size_t max_entries) override;
 
   // Invalidation on a completed update; returns entries invalidated.
   // Drains the app's cache shard by shard, so concurrent lookups in other
   // shards proceed while one shard is being pruned.
-  size_t OnUpdate(const std::string& app_id, const UpdateNotice& notice);
+  size_t OnUpdate(const std::string& app_id,
+                  const UpdateNotice& notice) override;
 
   // Caps one application's cache entry count (0 = unlimited). A shared
   // provider uses this to bound each tenant's memory; overflow evicts the
@@ -124,7 +152,11 @@ class DsspNode {
   CacheCounters GetCacheCounters(const std::string& app_id) const;
 
   // Drops an application's whole cache (e.g., to start an experiment cold).
-  size_t ClearCache(const std::string& app_id);
+  size_t ClearCache(const std::string& app_id) override;
+
+  // Ids of all registered applications, sorted. A cluster fan-out layer
+  // uses this to audit that every member carries the same tenant set.
+  std::vector<std::string> AppIds() const;
 
   size_t CacheSize(const std::string& app_id) const;
 

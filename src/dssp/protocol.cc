@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/exposure.h"
 #include "common/hash.h"
 #include "dssp/home_server.h"
 
@@ -87,6 +88,22 @@ std::string Encode(const ErrorResponse& message) {
   std::string out(1, static_cast<char>(MessageType::kError));
   AppendU64(&out, static_cast<uint64_t>(message.code));
   AppendString(&out, message.message);
+  return out;
+}
+
+std::string Encode(const InvalidateRequest& message) {
+  std::string out(1, static_cast<char>(MessageType::kInvalidateRequest));
+  out.push_back(static_cast<char>(message.level));
+  AppendU64(&out, message.template_index);
+  AppendString(&out, message.app_id);
+  AppendString(&out, message.statement_sql);
+  AppendU64(&out, message.nonce);
+  return out;
+}
+
+std::string Encode(const InvalidateResponse& message) {
+  std::string out(1, static_cast<char>(MessageType::kInvalidateResponse));
+  AppendU64(&out, message.entries_invalidated);
   return out;
 }
 
@@ -197,6 +214,41 @@ StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame) {
   message.code = static_cast<StatusCode>(code);
   if (!ReadString(frame, &pos, &message.message)) {
     return ParseError("malformed error response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<InvalidateRequest> DecodeInvalidateRequest(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(
+      CheckType(frame, MessageType::kInvalidateRequest, &pos));
+  if (pos >= frame.size()) return ParseError("truncated invalidate request");
+  InvalidateRequest message;
+  message.level = static_cast<uint8_t>(frame[pos++]);
+  // The level byte must name a real exposure level; the range comes from
+  // the enum, not a literal.
+  if (message.level > static_cast<uint8_t>(analysis::ExposureLevel::kView)) {
+    return ParseError("bad exposure level in invalidate request");
+  }
+  if (!ReadU64(frame, &pos, &message.template_index) ||
+      !ReadString(frame, &pos, &message.app_id) ||
+      !ReadString(frame, &pos, &message.statement_sql) ||
+      !ReadU64(frame, &pos, &message.nonce) || message.nonce == 0) {
+    return ParseError("malformed invalidate request");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<InvalidateResponse> DecodeInvalidateResponse(
+    std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(
+      CheckType(frame, MessageType::kInvalidateResponse, &pos));
+  InvalidateResponse message;
+  if (!ReadU64(frame, &pos, &message.entries_invalidated)) {
+    return ParseError("malformed invalidate response");
   }
   DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
   return message;

@@ -29,6 +29,14 @@ enum class MessageType : uint8_t {
   kError = 5,           // home -> DSSP: status code + message.
   kSealed = 6,          // Integrity envelope: checksum + inner frame.
 
+  // Cluster invalidation bus (DSSP node <-> DSSP node, src/cluster): an
+  // exposure-gated update notice fanned out to every member node, and its
+  // acknowledgement. The notice carries exactly what the update's exposure
+  // level already revealed to the publishing node — nothing extra crosses
+  // the inter-node wire.
+  kInvalidateRequest = 7,
+  kInvalidateResponse = 8,
+
   // Sentinel: one past the last frame type. Keep last; PeekType derives the
   // valid range from it so adding a type cannot desynchronize dispatch.
   kMessageTypeEnd,
@@ -61,6 +69,25 @@ struct ErrorResponse {
   std::string message;
 };
 
+// One exposure-gated update notice on the cluster invalidation bus. The
+// statement (when the update's level exposes one) travels as SQL text and is
+// re-parsed by the receiving node; `level` is the analysis::ExposureLevel as
+// a byte; `template_index` uses ~0 for "not exposed".
+struct InvalidateRequest {
+  std::string app_id;
+  uint8_t level = 0;
+  uint64_t template_index = static_cast<uint64_t>(-1);
+  std::string statement_sql;  // Empty when the notice carries no statement.
+  // At-most-once dedup nonce (never 0): a retried or duplicated bus frame
+  // must not re-run invalidation (and must not advance the staleness epoch
+  // twice).
+  uint64_t nonce = 0;
+};
+
+struct InvalidateResponse {
+  uint64_t entries_invalidated = 0;
+};
+
 // Frame encoding/decoding. Decoders validate the type byte and payload
 // structure and fail (never crash) on malformed frames.
 std::string Encode(const QueryRequest& message);
@@ -68,6 +95,8 @@ std::string Encode(const QueryResponse& message);
 std::string Encode(const UpdateRequest& message);
 std::string Encode(const UpdateResponse& message);
 std::string Encode(const ErrorResponse& message);
+std::string Encode(const InvalidateRequest& message);
+std::string Encode(const InvalidateResponse& message);
 
 // Peeks the frame type; nullopt if the frame is empty or the type unknown.
 std::optional<MessageType> PeekType(std::string_view frame);
@@ -88,6 +117,8 @@ StatusOr<QueryResponse> DecodeQueryResponse(std::string_view frame);
 StatusOr<UpdateRequest> DecodeUpdateRequest(std::string_view frame);
 StatusOr<UpdateResponse> DecodeUpdateResponse(std::string_view frame);
 StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame);
+StatusOr<InvalidateRequest> DecodeInvalidateRequest(std::string_view frame);
+StatusOr<InvalidateResponse> DecodeInvalidateResponse(std::string_view frame);
 
 class HomeServer;
 

@@ -1,0 +1,256 @@
+#include "sim/cluster_sim.h"
+
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/histogram.h"
+#include "sim/resource.h"
+
+namespace dssp::sim {
+
+namespace {
+
+struct Event {
+  double time;
+  uint64_t seq;  // Tie-break for determinism.
+  int client;
+
+  bool operator>(const Event& other) const {
+    return time > other.time || (time == other.time && seq > other.seq);
+  }
+};
+
+struct ClientState {
+  size_t tenant = 0;
+  bool in_page = false;
+  double page_start = 0;
+  std::vector<DbOp> ops;
+  size_t op_index = 0;
+};
+
+struct TenantState {
+  Tenant spec;
+  QueueingResource home_cpu;
+  LatencyHistogram response_times;
+  SimResult result;
+  uint64_t hits = 0;
+  uint64_t lookups = 0;
+
+  TenantState(const Tenant& tenant, int home_workers)
+      : spec(tenant), home_cpu(home_workers) {
+    result.num_clients = tenant.num_clients;
+  }
+};
+
+}  // namespace
+
+StatusOr<ClusterSimResult> RunClusterSimulation(
+    cluster::ClusterRouter& router, std::vector<Tenant> tenants,
+    const SimConfig& config, const ClusterScenario& scenario) {
+  DSSP_CHECK(!tenants.empty());
+  const int num_nodes = router.num_nodes();
+  if (scenario.kill_at_s >= 0) {
+    DSSP_CHECK(scenario.kill_node >= 0 && scenario.kill_node < num_nodes);
+  }
+  Rng rng(config.seed);
+
+  // One FIFO worker pool per member node — the scale-out resource.
+  std::vector<QueueingResource> node_cpus;
+  node_cpus.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    node_cpus.emplace_back(config.dssp_workers);
+  }
+
+  ClusterSimResult cluster_result;
+  cluster_result.node_ops.assign(static_cast<size_t>(num_nodes), 0);
+
+  std::vector<std::unique_ptr<TenantState>> states;
+  std::vector<ClientState> clients;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    DSSP_CHECK(tenants[t].app != nullptr && tenants[t].generator != nullptr &&
+               tenants[t].num_clients > 0);
+    states.push_back(
+        std::make_unique<TenantState>(tenants[t], config.home_workers));
+    for (int c = 0; c < tenants[t].num_clients; ++c) {
+      ClientState client;
+      client.tenant = t;
+      clients.push_back(std::move(client));
+    }
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  uint64_t seq = 0;
+  for (size_t c = 0; c < clients.size(); ++c) {
+    events.push(Event{rng.NextDouble() * config.think_time_mean_s, seq++,
+                      static_cast<int>(c)});
+  }
+
+  const double client_bw = config.client_bandwidth_bps / 8.0;  // bytes/s
+  const double wan_bw = config.wan_bandwidth_bps / 8.0;
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+    const double now = event.time;
+    if (now > config.duration_s) break;
+
+    // Fire the chaos scenario at its virtual instants. The rejoin retries
+    // on subsequent events until the drain goes through (it can fail when
+    // the bus wire carries injected faults).
+    if (!cluster_result.kill_fired && scenario.kill_at_s >= 0 &&
+        now >= scenario.kill_at_s) {
+      router.KillNode(scenario.kill_node);
+      cluster_result.kill_fired = true;
+    }
+    if (cluster_result.kill_fired && !cluster_result.rejoin_fired &&
+        scenario.rejoin_at_s >= 0 && now >= scenario.rejoin_at_s) {
+      auto replayed = router.ReviveNode(scenario.kill_node);
+      if (replayed.ok()) {
+        cluster_result.rejoin_fired = true;
+        cluster_result.rejoin_replayed = *replayed;
+      }
+    }
+
+    ClientState& client = clients[event.client];
+    TenantState& tenant = *states[client.tenant];
+    if (!client.in_page) {
+      client.in_page = true;
+      client.page_start = now;
+      client.ops = tenant.spec.generator->NextPage(rng);
+      client.op_index = 0;
+    }
+
+    if (client.op_index >= client.ops.size()) {
+      if (now >= config.warmup_s) {
+        tenant.response_times.Record(now - client.page_start);
+        ++cluster_result.pages_measured;
+      }
+      ++tenant.result.pages_completed;
+      client.in_page = false;
+      const double think = rng.NextExponential(config.think_time_mean_s);
+      events.push(Event{now + think, seq++, event.client});
+      continue;
+    }
+
+    const DbOp& op = client.ops[client.op_index++];
+    service::AccessStats stats;
+    bool op_failed = false;
+    if (op.is_update) {
+      auto effect = tenant.spec.app->Update(op.template_id, op.params, &stats);
+      if (effect.ok()) {
+        ++tenant.result.home_updates;
+      } else if (effect.status().code() == StatusCode::kUnavailable ||
+                 effect.status().code() == StatusCode::kDeadlineExceeded) {
+        op_failed = true;
+      } else {
+        return effect.status();
+      }
+    } else {
+      auto ignored = tenant.spec.app->Query(op.template_id, op.params, &stats);
+      if (!ignored.ok()) {
+        if (ignored.status().code() != StatusCode::kUnavailable &&
+            ignored.status().code() != StatusCode::kDeadlineExceeded) {
+          return ignored.status();
+        }
+        op_failed = true;
+      }
+      ++tenant.lookups;
+      if (stats.cache_hit) ++tenant.hits;
+      if (!stats.cache_hit && !stats.served_stale && !op_failed) {
+        ++tenant.result.home_queries;
+      }
+    }
+    ++tenant.result.db_ops;
+    tenant.result.entries_invalidated += stats.entries_invalidated;
+    tenant.result.wire_retries += stats.wire_retries;
+    tenant.result.wire_timeouts += stats.wire_timeouts;
+    if (stats.served_stale) ++tenant.result.stale_serves;
+    if (op_failed) ++tenant.result.failed_ops;
+
+    // Which member did the cache work? The router recorded it while the op
+    // executed above (thread-local, so this event loop reads its own op).
+    const cluster::RouteInfo route = cluster::ClusterRouter::ConsumeLastRoute();
+    int charge_node = route.node;
+    if (charge_node < 0) {
+      // No servable owner: the router still hashed and probed. Charge a
+      // deterministic stand-in pool so the op is not free.
+      charge_node = event.client % num_nodes;
+      ++cluster_result.unrouted_ops;
+    } else if (route.replica_fallback) {
+      ++cluster_result.fallback_ops;
+    }
+    ++cluster_result.node_ops[static_cast<size_t>(charge_node)];
+
+    // Client -> DSSP cluster.
+    const double at_dssp =
+        now + config.client_latency_s +
+        static_cast<double>(stats.request_bytes) / client_bw;
+    // Per-member processing: only the routed member's pool is occupied —
+    // this is where adding nodes buys throughput.
+    const double dssp_service =
+        config.dssp_lookup_s + static_cast<double>(stats.entries_invalidated) *
+                                   config.dssp_per_invalidation_s;
+    double dssp_done =
+        node_cpus[static_cast<size_t>(charge_node)].Schedule(at_dssp,
+                                                             dssp_service);
+
+    if ((!stats.cache_hit || stats.is_update) && !stats.served_stale &&
+        !op_failed) {
+      const double at_home =
+          dssp_done + config.wan_latency_s +
+          static_cast<double>(stats.wan_request_bytes) / wan_bw;
+      const double home_service =
+          stats.is_update
+              ? config.home_update_base_s
+              : config.home_query_base_s +
+                    static_cast<double>(stats.result_rows) *
+                        config.home_query_per_row_s;
+      const double home_done = tenant.home_cpu.Schedule(at_home, home_service);
+      dssp_done = home_done + config.wan_latency_s +
+                  static_cast<double>(stats.wan_response_bytes) / wan_bw;
+    }
+    dssp_done += stats.wire_delay_s;
+
+    // DSSP -> client.
+    const double at_client =
+        dssp_done + config.client_latency_s +
+        static_cast<double>(stats.response_bytes) / client_bw;
+    events.push(Event{at_client, seq++, event.client});
+  }
+
+  for (const auto& state : states) {
+    SimResult result = state->result;
+    const LatencyHistogram& h = state->response_times;
+    if (!h.empty()) {
+      result.mean_response_s = h.Mean();
+      result.p50_response_s = h.Percentile(0.50);
+      result.p90_response_s = h.Percentile(config.percentile);
+      result.p99_response_s = h.Percentile(0.99);
+      result.max_response_s = h.Max();
+    } else {
+      result.mean_response_s = config.duration_s;
+      result.p50_response_s = config.duration_s;
+      result.p90_response_s = config.duration_s;
+      result.p99_response_s = config.duration_s;
+      result.max_response_s = config.duration_s;
+    }
+    result.cache_hit_rate =
+        state->lookups == 0 ? 0.0
+                            : static_cast<double>(state->hits) /
+                                  static_cast<double>(state->lookups);
+    cluster_result.tenants.push_back(result);
+  }
+
+  cluster_result.measured_duration_s = config.duration_s - config.warmup_s;
+  cluster_result.throughput_pages_per_s =
+      cluster_result.measured_duration_s <= 0
+          ? 0.0
+          : static_cast<double>(cluster_result.pages_measured) /
+                cluster_result.measured_duration_s;
+  return cluster_result;
+}
+
+}  // namespace dssp::sim

@@ -1,0 +1,59 @@
+#ifndef DSSP_SIM_CLUSTER_SIM_H_
+#define DSSP_SIM_CLUSTER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/router.h"
+#include "common/status.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace dssp::sim {
+
+// Optional mid-run failover chaos: kill one member at a virtual instant and
+// (optionally) rejoin it later. Negative times disable each step.
+struct ClusterScenario {
+  double kill_at_s = -1;
+  int kill_node = 0;
+  double rejoin_at_s = -1;
+};
+
+// RunClusterSimulation outcome: the familiar per-tenant results plus
+// cluster-level routing and failover accounting.
+struct ClusterSimResult {
+  std::vector<SimResult> tenants;
+
+  // Pages completing inside the measured window (after warmup), all
+  // tenants; the scale-out ablation's throughput metric.
+  size_t pages_measured = 0;
+  double measured_duration_s = 0;
+  double throughput_pages_per_s = 0;
+
+  // DB ops charged to each member's worker pool by the router's RouteInfo.
+  std::vector<uint64_t> node_ops;
+  uint64_t fallback_ops = 0;  // Served by a non-preferred replica.
+  uint64_t unrouted_ops = 0;  // No servable owner: fell through to home.
+
+  // Failover bookkeeping (meaningful when the scenario fired).
+  bool kill_fired = false;
+  bool rejoin_fired = false;
+  uint64_t rejoin_replayed = 0;  // Invalidation notices drained at rejoin.
+};
+
+// The multi-tenant discrete-event simulation, re-pointed at a cluster: the
+// single shared DSSP worker pool becomes one FIFO pool per member node, and
+// each operation's service time is charged to the member that actually
+// handled it (the router records the route thread-locally per operation).
+// Timing semantics are otherwise identical to RunMultiTenantSimulation, so
+// a 1-node cluster reproduces the single-node numbers.
+//
+// Every tenant's ScalableApp must already be constructed over `router` as
+// its CacheBackend and finalized/populated.
+StatusOr<ClusterSimResult> RunClusterSimulation(
+    cluster::ClusterRouter& router, std::vector<Tenant> tenants,
+    const SimConfig& config, const ClusterScenario& scenario = {});
+
+}  // namespace dssp::sim
+
+#endif  // DSSP_SIM_CLUSTER_SIM_H_

@@ -255,6 +255,154 @@ TEST(QueryCacheTest, InvariantsSurviveMixedInterleavings) {
   ExpectConsistent(cache);
 }
 
+// ----- Stale side store (bounded-staleness retention). -----
+
+TEST(StaleStoreTest, RetentionOffByDefault) {
+  QueryCache cache;
+  cache.Insert(Entry("k", 0));
+  cache.Erase("k");
+  EXPECT_EQ(cache.StaleSize(), 0u);
+  EXPECT_FALSE(cache.LookupStale("k", 100).has_value());
+}
+
+TEST(StaleStoreTest, InvalidationRetainsAndKStalenessAges) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  cache.Insert(Entry("k", 0));
+  cache.Erase("k");  // Consistency removal: retained at epoch 0.
+  cache.BumpUpdateEpoch();  // The update that killed it: now 1 behind.
+
+  ASSERT_TRUE(cache.LookupStale("k", 1).has_value());
+  EXPECT_EQ(cache.LookupStale("k", 1)->blob, "blob:k");
+  EXPECT_FALSE(cache.LookupStale("k", 0).has_value());
+
+  // Each further observed update ages the copy by one epoch; a bound of k
+  // serves it until it is k+1 updates behind.
+  cache.BumpUpdateEpoch();
+  cache.BumpUpdateEpoch();
+  EXPECT_FALSE(cache.LookupStale("k", 2).has_value());
+  ASSERT_TRUE(cache.LookupStale("k", 3).has_value());
+}
+
+TEST(StaleStoreTest, EraseGroupAndInvalidateEntriesRetainToo) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  cache.Insert(Entry("g0-a", 0));
+  cache.Insert(Entry("g0-b", 0));
+  cache.Insert(Entry("g1-a", 1));
+  cache.EraseGroup(0);
+  cache.InvalidateEntries([](size_t group) { return group == 1; },
+                          [](const CacheEntry&) { return true; });
+  cache.BumpUpdateEpoch();
+  EXPECT_EQ(cache.StaleSize(), 3u);
+  EXPECT_TRUE(cache.LookupStale("g0-a", 1).has_value());
+  EXPECT_TRUE(cache.LookupStale("g0-b", 1).has_value());
+  EXPECT_TRUE(cache.LookupStale("g1-a", 1).has_value());
+}
+
+TEST(StaleStoreTest, CapacityEvictionsAreNotRetained) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  cache.SetCapacity(2);
+  cache.Insert(Entry("a", 0));
+  cache.Insert(Entry("b", 0));
+  cache.Insert(Entry("c", 0));  // Insert-overflow evicts "a".
+  ASSERT_EQ(cache.insert_evictions(), 1u);
+  EXPECT_FALSE(cache.LookupStale("a", 100).has_value());
+
+  cache.SetCapacity(1);  // Shrink evicts "b".
+  ASSERT_EQ(cache.shrink_evictions(), 1u);
+  EXPECT_FALSE(cache.LookupStale("b", 100).has_value());
+  EXPECT_EQ(cache.StaleSize(), 0u);
+
+  // An eviction victim that was ALSO invalidated earlier keeps only the
+  // invalidation-time copy: eviction never refreshes or removes it.
+  cache.SetCapacity(0);
+  cache.Insert(Entry("d", 0));
+  cache.Erase("d");
+  cache.BumpUpdateEpoch();
+  EXPECT_TRUE(cache.LookupStale("d", 1).has_value());
+}
+
+TEST(StaleStoreTest, FifoBoundDropsOldestRetained) {
+  QueryCache cache;
+  cache.SetStaleRetention(2);
+  for (const char* key : {"a", "b", "c"}) {
+    cache.Insert(Entry(key, 0));
+    cache.Erase(key);
+  }
+  EXPECT_EQ(cache.StaleSize(), 2u);
+  EXPECT_FALSE(cache.LookupStale("a", 100).has_value());  // Oldest dropped.
+  EXPECT_TRUE(cache.LookupStale("b", 100).has_value());
+  EXPECT_TRUE(cache.LookupStale("c", 100).has_value());
+
+  // Re-invalidating a retained key refreshes its FIFO slot, not a new one.
+  cache.Insert(Entry("b", 0));
+  cache.Erase("b");
+  EXPECT_EQ(cache.StaleSize(), 2u);
+  EXPECT_TRUE(cache.LookupStale("c", 100).has_value());
+}
+
+TEST(StaleStoreTest, FreshInsertSupersedesStaleCopy) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  cache.Insert(Entry("k", 0));
+  cache.Erase("k");
+  ASSERT_TRUE(cache.LookupStale("k", 100).has_value());
+
+  // A fresh value for the key arrives: the stale copy must die with it —
+  // serving it later would resurrect a value older than one the client
+  // already saw.
+  CacheEntry fresh = Entry("k", 0);
+  fresh.blob = "fresh";
+  cache.Insert(fresh);
+  EXPECT_FALSE(cache.LookupStale("k", 100).has_value());
+  EXPECT_EQ(cache.StaleSize(), 0u);
+
+  // And invalidating the fresh value retains the NEW blob, not the old one.
+  cache.Erase("k");
+  cache.BumpUpdateEpoch();
+  ASSERT_TRUE(cache.LookupStale("k", 1).has_value());
+  EXPECT_EQ(cache.LookupStale("k", 1)->blob, "fresh");
+}
+
+TEST(StaleStoreTest, DisablingRetentionAndClearDropEverything) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  cache.Insert(Entry("a", 0));
+  cache.Erase("a");
+  ASSERT_EQ(cache.StaleSize(), 1u);
+  cache.SetStaleRetention(0);
+  EXPECT_EQ(cache.StaleSize(), 0u);
+  EXPECT_FALSE(cache.LookupStale("a", 100).has_value());
+
+  cache.SetStaleRetention(8);
+  cache.Insert(Entry("b", 0));
+  cache.Erase("b");
+  cache.Insert(Entry("c", 0));
+  ASSERT_EQ(cache.StaleSize(), 1u);
+  // Clear is an administrative reset: live entries AND stale copies go.
+  cache.Clear();
+  EXPECT_EQ(cache.StaleSize(), 0u);
+  EXPECT_FALSE(cache.LookupStale("b", 100).has_value());
+}
+
+TEST(StaleStoreTest, ShrinkingRetentionTrimsOldestFirst) {
+  QueryCache cache;
+  cache.SetStaleRetention(8);
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    cache.Insert(Entry(key, 0));
+    cache.Erase(key);
+  }
+  ASSERT_EQ(cache.StaleSize(), 5u);
+  cache.SetStaleRetention(2);
+  EXPECT_EQ(cache.StaleSize(), 2u);
+  EXPECT_TRUE(cache.LookupStale("k3", 100).has_value());
+  EXPECT_TRUE(cache.LookupStale("k4", 100).has_value());
+  EXPECT_FALSE(cache.LookupStale("k2", 100).has_value());
+}
+
 TEST(QueryCacheTest, OverwriteAtCapacityDoesNotEvict) {
   QueryCache cache;
   cache.SetCapacity(2);

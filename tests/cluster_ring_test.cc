@@ -1,0 +1,141 @@
+#include "cluster/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dssp::cluster {
+namespace {
+
+std::string Key(int i) { return "key-" + std::to_string(i); }
+
+TEST(HashRingTest, SingleNodeOwnsEverything) {
+  HashRing ring(/*seed=*/1);
+  ring.AddNode(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.OwnerOf(Key(i)), 0);
+    EXPECT_EQ(ring.Owners(Key(i), 3), std::vector<int>{0});
+  }
+}
+
+TEST(HashRingTest, EmptyRingHasNoOwners) {
+  HashRing ring(/*seed=*/1);
+  EXPECT_EQ(ring.OwnerOf("k"), -1);
+  EXPECT_TRUE(ring.Owners("k", 2).empty());
+  ring.AddNode(3);
+  ring.RemoveNode(3);
+  EXPECT_EQ(ring.OwnerOf("k"), -1);
+}
+
+TEST(HashRingTest, PlacementIsDeterministicInSeedAndMembers) {
+  HashRing a(/*seed=*/42), b(/*seed=*/42);
+  // Insertion order must not matter: placement is a pure function of the
+  // (seed, member set) pair.
+  for (int n : {0, 1, 2, 3}) a.AddNode(n);
+  for (int n : {3, 1, 0, 2}) b.AddNode(n);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Owners(Key(i), 2), b.Owners(Key(i), 2)) << Key(i);
+  }
+}
+
+TEST(HashRingTest, DifferentSeedsGiveDifferentPlacements) {
+  HashRing a(/*seed=*/1), b(/*seed=*/2);
+  for (int n = 0; n < 4; ++n) {
+    a.AddNode(n);
+    b.AddNode(n);
+  }
+  int differing = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.OwnerOf(Key(i)) != b.OwnerOf(Key(i))) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(HashRingTest, OwnersAreDistinctAndCappedByMembership) {
+  HashRing ring(/*seed=*/7);
+  for (int n = 0; n < 3; ++n) ring.AddNode(n);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<int> owners = ring.Owners(Key(i), 5);
+    EXPECT_EQ(owners.size(), 3u);
+    std::set<int> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), owners.size());
+  }
+}
+
+TEST(HashRingTest, AddAndRemoveAreIdempotent) {
+  HashRing ring(/*seed=*/9);
+  ring.AddNode(0);
+  ring.AddNode(1);
+  const int before = ring.OwnerOf("stable-key");
+  ring.AddNode(1);  // Already present.
+  EXPECT_EQ(ring.OwnerOf("stable-key"), before);
+  ring.RemoveNode(7);  // Never added.
+  EXPECT_EQ(ring.OwnerOf("stable-key"), before);
+  EXPECT_EQ(ring.num_nodes(), 2u);
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsTheRemovedNodesKeys) {
+  HashRing ring(/*seed=*/13);
+  for (int n = 0; n < 8; ++n) ring.AddNode(n);
+  std::map<std::string, int> before;
+  for (int i = 0; i < 2000; ++i) before[Key(i)] = ring.OwnerOf(Key(i));
+
+  ring.RemoveNode(3);
+  for (const auto& [key, owner] : before) {
+    if (owner == 3) {
+      EXPECT_NE(ring.OwnerOf(key), 3);
+    } else {
+      // The consistent-hashing property: keys not owned by the departed
+      // node keep their placement.
+      EXPECT_EQ(ring.OwnerOf(key), owner) << key;
+    }
+  }
+}
+
+TEST(HashRingTest, RejoinRestoresTheOriginalPlacement) {
+  HashRing ring(/*seed=*/17);
+  for (int n = 0; n < 4; ++n) ring.AddNode(n);
+  std::map<std::string, std::vector<int>> before;
+  for (int i = 0; i < 500; ++i) before[Key(i)] = ring.Owners(Key(i), 2);
+  ring.RemoveNode(2);
+  ring.AddNode(2);
+  for (const auto& [key, owners] : before) {
+    EXPECT_EQ(ring.Owners(key, 2), owners) << key;
+  }
+}
+
+TEST(HashRingTest, VirtualNodesBalanceLoad) {
+  HashRing ring(/*seed=*/21);
+  for (int n = 0; n < 8; ++n) ring.AddNode(n);
+  const std::vector<double> shares = ring.LoadShares(/*probes=*/20000);
+  ASSERT_EQ(shares.size(), 8u);
+  const double max = *std::max_element(shares.begin(), shares.end());
+  const double min = *std::min_element(shares.begin(), shares.end());
+  EXPECT_GT(min, 0.0);
+  // 64 vnodes/node keeps the spread modest; the bound here is deliberately
+  // loose so the test pins the property, not one hash function's luck.
+  EXPECT_LT(max / min, 2.5) << "max=" << max << " min=" << min;
+}
+
+TEST(HashRingTest, ReplicaOrderIsPreferenceOrder) {
+  HashRing ring(/*seed=*/23);
+  for (int n = 0; n < 4; ++n) ring.AddNode(n);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<int> owners = ring.Owners(Key(i), 3);
+    ASSERT_GE(owners.size(), 2u);
+    EXPECT_EQ(owners[0], ring.OwnerOf(Key(i)));
+    // Dropping the owner promotes the first replica.
+    HashRing without(/*seed=*/23);
+    for (int n = 0; n < 4; ++n) {
+      if (n != owners[0]) without.AddNode(n);
+    }
+    EXPECT_EQ(without.OwnerOf(Key(i)), owners[1]) << Key(i);
+  }
+}
+
+}  // namespace
+}  // namespace dssp::cluster

@@ -1,0 +1,141 @@
+// Cluster simulator tests: a 1-node cluster must reproduce the single-node
+// simulator's numbers exactly, and the kill/rejoin scenario must complete
+// with zero failed client operations.
+
+#include "sim/cluster_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/router.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "dssp/node.h"
+#include "sim/simulator.h"
+#include "workloads/application.h"
+
+namespace dssp::sim {
+namespace {
+
+struct System {
+  std::unique_ptr<service::ScalableApp> app;
+  std::unique_ptr<workloads::Application> workload;
+  std::unique_ptr<SessionGenerator> generator;
+};
+
+System BuildBookstore(service::CacheBackend* backend) {
+  System system;
+  system.app = std::make_unique<service::ScalableApp>(
+      "bookstore", backend, crypto::KeyRing::FromPassphrase("sim-test"));
+  system.workload = workloads::MakeApplication("bookstore");
+  EXPECT_TRUE(system.workload->Setup(*system.app, /*scale=*/0.2,
+                                     /*seed=*/5)
+                  .ok());
+  EXPECT_TRUE(system.app->Finalize().ok());
+  system.generator = system.workload->NewSession(/*seed=*/9);
+  return system;
+}
+
+SimConfig TestConfig() {
+  SimConfig config;
+  config.duration_s = 40.0;
+  config.think_time_mean_s = 1.0;
+  config.dssp_workers = 2;
+  config.seed = 31;
+  return config;
+}
+
+TEST(ClusterSimTest, OneNodeClusterReproducesSingleNodeNumbers) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 1;
+  cluster::ClusterRouter router(options);
+  System clustered = BuildBookstore(&router);
+
+  service::DsspNode node;
+  System single = BuildBookstore(&node);
+
+  const SimConfig config = TestConfig();
+  auto cluster_result = RunClusterSimulation(
+      router, {Tenant{clustered.app.get(), clustered.generator.get(), 40}},
+      config);
+  ASSERT_TRUE(cluster_result.ok());
+  auto single_result = RunMultiTenantSimulation(
+      {Tenant{single.app.get(), single.generator.get(), 40}}, config);
+  ASSERT_TRUE(single_result.ok());
+
+  const SimResult& a = cluster_result->tenants[0];
+  const SimResult& b = (*single_result)[0];
+  EXPECT_EQ(a.pages_completed, b.pages_completed);
+  EXPECT_EQ(a.db_ops, b.db_ops);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  EXPECT_EQ(a.entries_invalidated, b.entries_invalidated);
+  EXPECT_EQ(a.home_queries, b.home_queries);
+  EXPECT_EQ(a.home_updates, b.home_updates);
+  EXPECT_DOUBLE_EQ(a.mean_response_s, b.mean_response_s);
+  EXPECT_DOUBLE_EQ(a.p90_response_s, b.p90_response_s);
+  EXPECT_EQ(a.failed_ops, 0u);
+
+  // All ops were charged to the only member; none fell through unrouted
+  // except home-only operations, which both paths treat identically.
+  ASSERT_EQ(cluster_result->node_ops.size(), 1u);
+  EXPECT_GT(cluster_result->node_ops[0], 0u);
+  EXPECT_EQ(cluster_result->fallback_ops, 0u);
+}
+
+TEST(ClusterSimTest, KillAndRejoinCompletesWithZeroFailedOps) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  cluster::ClusterRouter router(options);
+  System system = BuildBookstore(&router);
+
+  const SimConfig config = TestConfig();
+  ClusterScenario scenario;
+  scenario.kill_node = 1;
+  scenario.kill_at_s = config.duration_s / 3.0;
+  scenario.rejoin_at_s = 2.0 * config.duration_s / 3.0;
+
+  auto result = RunClusterSimulation(
+      router, {Tenant{system.app.get(), system.generator.get(), 60}}, config,
+      scenario);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_TRUE(result->kill_fired);
+  EXPECT_TRUE(result->rejoin_fired);
+  EXPECT_EQ(result->tenants[0].failed_ops, 0u);
+  EXPECT_GT(result->tenants[0].pages_completed, 0u);
+
+  // The killed member went down and came back; the others kept serving.
+  const auto counters = router.membership().counters(scenario.kill_node);
+  EXPECT_EQ(counters.down_transitions, 1u);
+  EXPECT_EQ(counters.rejoins, 1u);
+  EXPECT_EQ(router.membership().health(scenario.kill_node),
+            cluster::NodeHealth::kAlive);
+  ASSERT_EQ(result->node_ops.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(result->node_ops[i], 0u) << "node " << i;
+  }
+}
+
+TEST(ClusterSimTest, ScenarioDefaultsAreInert) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 2;
+  cluster::ClusterRouter router(options);
+  System system = BuildBookstore(&router);
+
+  SimConfig config = TestConfig();
+  config.duration_s = 20.0;
+  auto result = RunClusterSimulation(
+      router, {Tenant{system.app.get(), system.generator.get(), 20}}, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->kill_fired);
+  EXPECT_FALSE(result->rejoin_fired);
+  EXPECT_EQ(result->rejoin_replayed, 0u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(router.membership().health(i), cluster::NodeHealth::kAlive);
+  }
+}
+
+}  // namespace
+}  // namespace dssp::sim

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -164,6 +165,69 @@ TEST_F(FaultChannelTest, DuplicatedNoncedUpdateAppliesOnce) {
   auto effect = UnwrapUpdateResponse(*Unseal(outcome.response));
   ASSERT_TRUE(effect.ok());
   EXPECT_EQ(effect->rows_affected, 1u);
+}
+
+// ----- FaultProfile validation. -----
+
+TEST(FaultProfileValidateTest, DefaultAndFullProfilesAreValid) {
+  EXPECT_TRUE(FaultProfile{}.Validate().ok());
+  FaultProfile full;
+  full.drop_request = 1.0;
+  full.drop_response = 1.0;
+  full.corrupt_request = 1.0;
+  full.corrupt_response = 1.0;
+  full.duplicate_request = 1.0;
+  full.delay_probability = 1.0;
+  full.delay_mean_s = 0.0;
+  full.max_corrupt_bytes = 0;
+  EXPECT_TRUE(full.Validate().ok());
+}
+
+TEST(FaultProfileValidateTest, RejectsOutOfRangeProbabilities) {
+  const auto probability_fields = {
+      &FaultProfile::drop_request,    &FaultProfile::drop_response,
+      &FaultProfile::corrupt_request, &FaultProfile::corrupt_response,
+      &FaultProfile::duplicate_request, &FaultProfile::delay_probability,
+  };
+  for (auto field : probability_fields) {
+    FaultProfile profile;
+    profile.*field = -0.01;
+    EXPECT_FALSE(profile.Validate().ok());
+    profile.*field = 1.01;
+    EXPECT_FALSE(profile.Validate().ok());
+    profile.*field = std::nan("");
+    EXPECT_FALSE(profile.Validate().ok());
+    profile.*field = 0.5;
+    EXPECT_TRUE(profile.Validate().ok());
+  }
+}
+
+TEST(FaultProfileValidateTest, RejectsNegativeDelayAndCorruptBytes) {
+  FaultProfile profile;
+  profile.delay_mean_s = -0.001;
+  EXPECT_FALSE(profile.Validate().ok());
+  profile.delay_mean_s = std::nan("");
+  EXPECT_FALSE(profile.Validate().ok());
+  profile = FaultProfile{};
+  profile.max_corrupt_bytes = -1;
+  EXPECT_FALSE(profile.Validate().ok());
+}
+
+TEST(FaultProfileValidateTest, MessageNamesTheOffendingField) {
+  FaultProfile profile;
+  profile.corrupt_response = 2.0;
+  const Status status = profile.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("corrupt_response"), std::string::npos)
+      << status.message();
+}
+
+using FaultProfileValidateDeathTest = FaultChannelTest;
+
+TEST_F(FaultProfileValidateDeathTest, ChannelConstructionChecksTheProfile) {
+  FaultProfile bad;
+  bad.drop_request = 7.0;
+  EXPECT_DEATH(FaultInjectingChannel(*direct_, bad, 1), "drop_request");
 }
 
 // ----- RetryingClient against a scripted channel. -----
