@@ -174,6 +174,22 @@ const sql::Value* Fetch(const ValueRef& ref, const sql::Statement& update,
                         const sql::Statement& query) {
   switch (ref.source) {
     case Source::kConst:
+    case Source::kQueryWhere:
+      return FetchFromQuery(ref, query);
+    case Source::kUpdateWhere:
+    case Source::kInsertValue:
+    case Source::kSetValue:
+      return FetchFromUpdate(ref, update);
+  }
+  DSSP_UNREACHABLE("bad ValueRef source");
+}
+
+}  // namespace
+
+const sql::Value* FetchFromQuery(const ValueRef& ref,
+                                 const sql::Statement& query) {
+  switch (ref.source) {
+    case Source::kConst:
       return &ref.literal;
     case Source::kQueryWhere: {
       if (query.kind() != sql::StatementKind::kSelect) return nullptr;
@@ -183,6 +199,16 @@ const sql::Value* Fetch(const ValueRef& ref, const sql::Statement& update,
           ref.rhs ? where[ref.index].rhs : where[ref.index].lhs;
       return sql::IsLiteral(op) ? &std::get<sql::Value>(op) : nullptr;
     }
+    default:
+      return nullptr;
+  }
+}
+
+const sql::Value* FetchFromUpdate(const ValueRef& ref,
+                                  const sql::Statement& update) {
+  switch (ref.source) {
+    case Source::kConst:
+      return &ref.literal;
     case Source::kUpdateWhere: {
       const std::vector<sql::Comparison>* where = nullptr;
       if (update.kind() == sql::StatementKind::kDelete) {
@@ -213,11 +239,10 @@ const sql::Value* Fetch(const ValueRef& ref, const sql::Statement& update,
                  ? &std::get<sql::Value>(set[ref.index].second)
                  : nullptr;
     }
+    default:
+      return nullptr;
   }
-  DSSP_UNREACHABLE("bad ValueRef source");
 }
-
-}  // namespace
 
 const char* PlanKindName(PlanKind kind) {
   switch (kind) {

@@ -234,6 +234,18 @@ StmtDecision EvaluatePairPlan(const PairPlan& plan,
                               const sql::Statement& update,
                               const sql::Statement& query);
 
+// Fetches the runtime value a query-side ValueRef (kConst / kQueryWhere)
+// denotes from a bound SELECT; nullptr when the statement's shape does not
+// match the compiled coordinates or the ref is update-side. The returned
+// pointer aliases `query` (or `ref` for constants).
+const sql::Value* FetchFromQuery(const ValueRef& ref,
+                                 const sql::Statement& query);
+
+// Update-side counterpart (kConst / kUpdateWhere / kInsertValue /
+// kSetValue); nullptr on shape mismatch or a query-side ref.
+const sql::Value* FetchFromUpdate(const ValueRef& ref,
+                                  const sql::Statement& update);
+
 }  // namespace dssp::analysis
 
 #endif  // DSSP_ANALYSIS_PLAN_H_

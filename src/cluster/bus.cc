@@ -47,6 +47,16 @@ ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
     return outcome;
   }
 
+  // Refuse a level byte outside the legal update range before force-casting
+  // it into the enum; the node re-validates, but an arbitrary byte must not
+  // reach enum-typed code at all.
+  if (request->level > static_cast<uint8_t>(analysis::ExposureLevel::kStmt)) {
+    outcome.response =
+        SealedError(StatusCode::kInvalidArgument,
+                    "invalidate request exposure level out of range");
+    return outcome;
+  }
+
   UpdateNotice notice;
   notice.level = static_cast<analysis::ExposureLevel>(request->level);
   notice.template_index =
@@ -61,6 +71,17 @@ ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
       return outcome;
     }
     notice.statement = std::move(*statement);
+  }
+
+  // Reject malformed/misrouted notices (e.g. a template index out of range
+  // for this app) with an error frame instead of applying them. Rejected
+  // frames are deliberately NOT recorded in the nonce map: they applied
+  // nothing, so a later corrected frame with the same nonce must not be
+  // suppressed as a duplicate.
+  const Status valid = node_.ValidateNotice(request->app_id, notice);
+  if (!valid.ok()) {
+    outcome.response = SealedError(valid.code(), valid.message());
+    return outcome;
   }
 
   uint64_t invalidated = 0;

@@ -185,7 +185,17 @@ std::optional<CacheEntry> ClusterRouter::LookupStale(
   for (size_t idx = 0; idx < owners.size(); ++idx) {
     const int node = owners[idx];
     Member& member = *members_[CheckIndex(node)];
-    auto entry = member.node->LookupStale(app_id, key, max_updates_behind);
+    // Updates still queued on the bus for this member have not bumped its
+    // local epoch yet, so an entry it retained reads `pending` updates
+    // fresher than it globally is. Tighten the k-staleness bound by the
+    // backlog (and skip the member when the backlog alone exceeds it).
+    const uint64_t pending = bus_.Pending(node);
+    if (pending > max_updates_behind) {
+      lagging_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    auto entry =
+        member.node->LookupStale(app_id, key, max_updates_behind - pending);
     if (!entry.has_value()) continue;
     tls_last_route = RouteInfo{node, idx != 0, true};
     return entry;

@@ -6,13 +6,39 @@
 
 namespace dssp::service {
 
+namespace {
+
+// All keys of a group, in the same sorted order the pre-index std::set
+// iteration produced (determinism: stale-retention FIFO order depends on
+// visit order).
+std::vector<std::string> AllGroupKeys(const ValueKeyMap& by_value,
+                                      const std::set<std::string>& rest) {
+  std::vector<std::string> keys(rest.begin(), rest.end());
+  for (const auto& [value, members] : by_value) {
+    keys.insert(keys.end(), members.begin(), members.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
 void QueryCache::RemoveLocked(
     Shard& shard, std::unordered_map<std::string, Stored>::iterator it,
     bool retain_stale) {
   const auto group_it = shard.groups.find(it->second.entry.template_index);
   if (group_it != shard.groups.end()) {
-    group_it->second.erase(it->first);
-    if (group_it->second.empty()) shard.groups.erase(group_it);
+    Group& group = group_it->second;
+    if (it->second.index_key.has_value()) {
+      const auto value_it = group.by_value.find(*it->second.index_key);
+      if (value_it != group.by_value.end()) {
+        value_it->second.erase(it->first);
+        if (value_it->second.empty()) group.by_value.erase(value_it);
+      }
+    } else {
+      group.rest.erase(it->first);
+    }
+    if (group.empty()) shard.groups.erase(group_it);
   }
   shard.lru.erase(it->second.lru_position);
   if (retain_stale) RetainStale(std::move(it->second.entry));
@@ -126,12 +152,30 @@ void QueryCache::Insert(CacheEntry entry) {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.entries.find(entry.key);
     if (it != shard.entries.end()) RemoveLocked(shard, it);
-    shard.groups[entry.template_index].insert(entry.key);
+    // Index statement-exposed entries under their discriminator bound. Only
+    // stmt/view levels qualify: their per-entry decision is the compiled
+    // statement program the probes were derived against; anything else is
+    // decided at template level and must stay in the always-visited rest.
+    std::optional<sql::Value> index_key;
+    const ViewIndexPlan* index = view_index_.load(std::memory_order_acquire);
+    if (index != nullptr && entry.template_index != CacheEntry::kNoTemplate &&
+        entry.statement.has_value() &&
+        (entry.level == analysis::ExposureLevel::kStmt ||
+         entry.level == analysis::ExposureLevel::kView)) {
+      index_key = index->IndexKeyFor(entry.template_index, *entry.statement);
+    }
+    Group& group = shard.groups[entry.template_index];
+    if (index_key.has_value()) {
+      group.by_value[*index_key].insert(entry.key);
+    } else {
+      group.rest.insert(entry.key);
+    }
     shard.lru.push_front(entry.key);
     std::string key = entry.key;
     shard.entries.emplace(
         std::move(key),
-        Stored{std::move(entry), shard.lru.begin(), NextTick()});
+        Stored{std::move(entry), shard.lru.begin(), NextTick(),
+               std::move(index_key)});
     size_.fetch_add(1, std::memory_order_relaxed);
     // A fresh entry supersedes any stale copy retained for this key.
     if (stale_capacity_.load(std::memory_order_relaxed) != 0) {
@@ -171,7 +215,10 @@ std::vector<std::string> QueryCache::GroupEntryKeys(size_t group) const {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.groups.find(group);
     if (it == shard.groups.end()) continue;
-    keys.insert(keys.end(), it->second.begin(), it->second.end());
+    keys.insert(keys.end(), it->second.rest.begin(), it->second.rest.end());
+    for (const auto& [value, members] : it->second.by_value) {
+      keys.insert(keys.end(), members.begin(), members.end());
+    }
   }
   std::sort(keys.begin(), keys.end());
   return keys;
@@ -183,8 +230,10 @@ size_t QueryCache::EraseGroup(size_t group) {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.groups.find(group);
     if (it == shard.groups.end()) continue;
-    count += it->second.size();
-    for (const std::string& key : it->second) {
+    const std::vector<std::string> keys =
+        AllGroupKeys(it->second.by_value, it->second.rest);
+    count += keys.size();
+    for (const std::string& key : keys) {
       const auto entry_it = shard.entries.find(key);
       DSSP_CHECK(entry_it != shard.entries.end());
       shard.lru.erase(entry_it->second.lru_position);
@@ -201,6 +250,13 @@ size_t QueryCache::EraseGroup(size_t group) {
 size_t QueryCache::InvalidateEntries(
     const std::function<bool(size_t group)>& group_may_invalidate,
     const std::function<bool(const CacheEntry&)>& should_invalidate) {
+  return InvalidateEntries(group_may_invalidate, should_invalidate, nullptr);
+}
+
+size_t QueryCache::InvalidateEntries(
+    const std::function<bool(size_t group)>& group_may_invalidate,
+    const std::function<bool(const CacheEntry&)>& should_invalidate,
+    const std::function<GroupProbe(size_t group)>& group_probe) {
   size_t invalidated = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -214,8 +270,31 @@ size_t QueryCache::InvalidateEntries(
       if (!group_may_invalidate(group)) continue;
       const auto group_it = shard.groups.find(group);
       DSSP_CHECK(group_it != shard.groups.end());
-      const std::vector<std::string> keys(group_it->second.begin(),
-                                          group_it->second.end());
+      const Group& members = group_it->second;
+      std::vector<std::string> keys;
+      GroupProbe::Mode mode = GroupProbe::Mode::kScanAll;
+      if (group_probe != nullptr && !members.by_value.empty()) {
+        const GroupProbe probe = group_probe(group);
+        mode = probe.mode;
+        if (mode == GroupProbe::Mode::kProbe) {
+          // Rest entries plus the probes' candidates; the set keeps the
+          // visit order sorted, like the full scan's.
+          std::set<std::string> candidates(members.rest.begin(),
+                                           members.rest.end());
+          probe.CollectCandidates(members.by_value, &candidates);
+          keys.assign(candidates.begin(), candidates.end());
+        }
+      }
+      switch (mode) {
+        case GroupProbe::Mode::kScanAll:
+          keys = AllGroupKeys(members.by_value, members.rest);
+          break;
+        case GroupProbe::Mode::kScanRest:
+          keys.assign(members.rest.begin(), members.rest.end());
+          break;
+        case GroupProbe::Mode::kProbe:
+          break;  // Collected above.
+      }
       for (const std::string& key : keys) {
         const auto it = shard.entries.find(key);
         DSSP_CHECK(it != shard.entries.end());

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/exposure.h"
+#include "dssp/view_index.h"
 #include "engine/query_result.h"
 #include "sql/ast.h"
 
@@ -124,12 +125,35 @@ class QueryCache {
   // `group_may_invalidate` returns false and erasing each remaining entry
   // for which `should_invalidate` returns true. Returns entries erased.
   //
-  // Both callbacks run under a shard lock and must not call back into this
-  // cache. `group_may_invalidate` may be called once per (shard, group);
-  // memoize in the caller if the decision is expensive.
+  // All callbacks run under a shard lock and must not call back into this
+  // cache. `group_may_invalidate` (and `group_probe`) may be called once
+  // per (shard, group); memoize in the caller if the decision is expensive.
   size_t InvalidateEntries(
       const std::function<bool(size_t group)>& group_may_invalidate,
       const std::function<bool(const CacheEntry&)>& should_invalidate);
+
+  // Predicate-indexed variant: `group_probe` narrows which entries of a
+  // surviving group are visited (GroupProbe::kScanAll reproduces the plain
+  // scan; kScanRest / kProbe skip indexed entries the ViewIndexPlan proved
+  // `should_invalidate` would decline). Unindexed entries are always
+  // visited. Entry visit order within a group is the same sorted key order
+  // as the plain scan, so stale-retention FIFO order is identical whenever
+  // the erased sets are.
+  size_t InvalidateEntries(
+      const std::function<bool(size_t group)>& group_may_invalidate,
+      const std::function<bool(const CacheEntry&)>& should_invalidate,
+      const std::function<GroupProbe(size_t group)>& group_probe);
+
+  // Installs the compiled predicate index used to key entries at Insert
+  // (`plan` must outlive the cache or be reset to nullptr first). Entries
+  // inserted before the plan is installed stay in their group's unindexed
+  // rest set, which every probe visits — sound, just unpruned.
+  void SetViewIndex(const ViewIndexPlan* plan) {
+    view_index_.store(plan, std::memory_order_release);
+  }
+  const ViewIndexPlan* view_index() const {
+    return view_index_.load(std::memory_order_acquire);
+  }
 
   // Erases everything; returns how many. Also drops the stale side store.
   size_t Clear();
@@ -177,12 +201,27 @@ class QueryCache {
     // so each shard's LRU list is sorted by tick (front = newest) and the
     // global LRU victim is the smallest tail tick over all shards.
     uint64_t tick = 0;
+    // Discriminator bound this entry is indexed under in its group's
+    // by_value map; nullopt = the entry lives in the group's rest set.
+    std::optional<sql::Value> index_key;
+  };
+
+  // One template group's membership, split by indexability: entries whose
+  // exposed statement yields a discriminator bound live in the ordered
+  // by_value index (probed sublinearly at invalidation time); everything
+  // else — blind/template-level entries, missing literals, NULL bounds —
+  // lives in `rest`, which every probe mode visits.
+  struct Group {
+    ValueKeyMap by_value;
+    std::set<std::string> rest;
+
+    bool empty() const { return by_value.empty() && rest.empty(); }
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, Stored> entries;
-    std::map<size_t, std::set<std::string>> groups;
+    std::map<size_t, Group> groups;
     std::list<std::string> lru;  // Most-recently-used at the front.
   };
 
@@ -217,6 +256,7 @@ class QueryCache {
   };
 
   std::array<Shard, kNumShards> shards_;
+  std::atomic<const ViewIndexPlan*> view_index_{nullptr};
   mutable std::mutex stale_mu_;
   std::unordered_map<std::string, StaleStored> stale_;
   std::list<std::string> stale_fifo_;  // Oldest at the front.

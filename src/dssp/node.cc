@@ -16,6 +16,7 @@ DsspStats DsspNode::AtomicStats::Snapshot() const {
   out.entries_invalidated =
       entries_invalidated.load(std::memory_order_relaxed);
   out.stale_hits = stale_hits.load(std::memory_order_relaxed);
+  out.rejected_notices = rejected_notices.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -37,6 +38,12 @@ Status DsspNode::RegisterApp(std::string app_id,
   // analysis per cached entry.
   state.plan = std::make_unique<const analysis::InvalidationPlan>(
       analysis::InvalidationPlan::Compile(*templates, *catalog));
+  // Derive the predicate index from the compiled plan and install it before
+  // any entry is stored, so every statement-exposed entry gets keyed under
+  // its discriminator bound.
+  state.view_index = std::make_unique<const ViewIndexPlan>(
+      ViewIndexPlan::Compile(*templates, *catalog, *state.plan));
+  state.cache.SetViewIndex(state.view_index.get());
   state.strategy = std::make_unique<invalidation::MixedStrategy>(
       *catalog, state.plan.get());
   return Status::Ok();
@@ -78,10 +85,15 @@ std::optional<CacheEntry> DsspNode::LookupStale(const std::string& app_id,
                                                 uint64_t max_updates_behind) {
   AppState* app = FindApp(app_id);
   if (app == nullptr) return std::nullopt;
+  // Degraded-mode requests are still lookups: counting the hit without the
+  // lookup (or dropping the miss) would inflate the reported hit rate.
+  app->stats.lookups.fetch_add(1, std::memory_order_relaxed);
   std::optional<CacheEntry> entry =
       app->cache.LookupStale(key, max_updates_behind);
   if (entry.has_value()) {
     app->stats.stale_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    app->stats.misses.fetch_add(1, std::memory_order_relaxed);
   }
   return entry;
 }
@@ -100,17 +112,55 @@ void DsspNode::Store(const std::string& app_id, CacheEntry entry) {
   app->cache.Insert(std::move(entry));
 }
 
+Status DsspNode::ValidateNoticeFor(const AppState& app,
+                                   const UpdateNotice& notice) {
+  // Updates never expose views; a wire frame can also carry an arbitrary
+  // level byte, which arrives here force-cast into the enum.
+  const int level = static_cast<int>(notice.level);
+  if (level < static_cast<int>(analysis::ExposureLevel::kBlind) ||
+      level > static_cast<int>(analysis::ExposureLevel::kStmt)) {
+    return InvalidArgumentError("update notice exposure level out of range");
+  }
+  // A blind notice reveals no template, so a junk index is ignored rather
+  // than rejected (matching the pre-validation behavior).
+  if (notice.level != analysis::ExposureLevel::kBlind &&
+      notice.template_index != CacheEntry::kNoTemplate &&
+      notice.template_index >= app.templates->num_updates()) {
+    return InvalidArgumentError("update notice template index out of range");
+  }
+  return Status::Ok();
+}
+
+Status DsspNode::ValidateNotice(const std::string& app_id,
+                                const UpdateNotice& notice) const {
+  const AppState* app = FindApp(app_id);
+  // Unknown tenants no-op in OnUpdate; there is nothing to validate against.
+  if (app == nullptr) return Status::Ok();
+  return ValidateNoticeFor(*app, notice);
+}
+
+const ViewIndexPlan* DsspNode::GetViewIndex(const std::string& app_id) const {
+  const AppState* app = FindApp(app_id);
+  return app == nullptr ? nullptr : app->view_index.get();
+}
+
 size_t DsspNode::OnUpdate(const std::string& app_id,
                           const UpdateNotice& notice) {
   AppState* app = FindApp(app_id);
   if (app == nullptr) return 0;
+  // A malformed or misrouted notice (e.g. a cluster frame for a different
+  // membership epoch) must not kill a shared node: refuse it, count it, and
+  // leave the update epoch alone — nothing was observed.
+  if (!ValidateNoticeFor(*app, notice).ok()) {
+    app->stats.rejected_notices.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   app->stats.updates_observed.fetch_add(1, std::memory_order_relaxed);
 
   invalidation::UpdateView update_view;
   update_view.level = notice.level;
   if (notice.level != analysis::ExposureLevel::kBlind &&
       notice.template_index != CacheEntry::kNoTemplate) {
-    DSSP_CHECK(notice.template_index < app->templates->num_updates());
     update_view.tmpl = &app->templates->updates()[notice.template_index];
     update_view.template_index = notice.template_index;
   }
@@ -165,8 +215,42 @@ size_t DsspNode::OnUpdate(const std::string& app_id,
            invalidation::Decision::kInvalidate;
   };
 
+  // Predicate-index probe, one per surviving group (memoized like the group
+  // decisions above). Only a statement-exposed update can be probed: the
+  // index's skip proofs are derived against the compiled statement programs,
+  // which need the update's bound literals. The probe only prunes which
+  // entries are *visited*; every visited entry still goes through
+  // should_invalidate, so a probed pass can never invalidate an entry the
+  // plain scan would keep.
+  const ViewIndexPlan* view_index = app->view_index.get();
+  const bool can_probe =
+      predicate_index_enabled_.load(std::memory_order_relaxed) &&
+      view_index != nullptr &&
+      notice.level == analysis::ExposureLevel::kStmt &&
+      update_view.tmpl != nullptr && update_view.statement != nullptr;
+  static thread_local std::vector<GroupProbe> group_probes;
+  static thread_local std::vector<int8_t> probe_ready;
+  if (can_probe) {
+    group_probes.resize(num_groups);
+    probe_ready.assign(num_groups, 0);
+  }
+  const auto group_probe = [&](size_t group) -> GroupProbe {
+    if (group >= app->templates->num_queries()) {
+      return GroupProbe{};  // Blind group (kNoTemplate): always scan all.
+    }
+    if (!probe_ready[group]) {
+      group_probes[group] = view_index->BuildGroupProbe(
+          update_view.template_index, group, *update_view.statement);
+      probe_ready[group] = 1;
+    }
+    return group_probes[group];
+  };
+
   const size_t invalidated =
-      app->cache.InvalidateEntries(group_may_invalidate, should_invalidate);
+      can_probe ? app->cache.InvalidateEntries(group_may_invalidate,
+                                               should_invalidate, group_probe)
+                : app->cache.InvalidateEntries(group_may_invalidate,
+                                               should_invalidate);
   app->stats.entries_invalidated.fetch_add(invalidated,
                                            std::memory_order_relaxed);
   // Entries this update just killed are now exactly 1 update stale.

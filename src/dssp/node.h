@@ -14,6 +14,7 @@
 #include "analysis/plan.h"
 #include "catalog/schema.h"
 #include "dssp/cache.h"
+#include "dssp/view_index.h"
 #include "invalidation/strategies.h"
 #include "templates/template_set.h"
 
@@ -41,8 +42,13 @@ struct DsspStats {
   uint64_t updates_observed = 0;
   uint64_t entries_invalidated = 0;
   // Degraded-mode serves from the stale side store (home unreachable);
-  // counted separately from `hits` — they are not consistency hits.
+  // counted separately from `hits` — they are not consistency hits. Stale
+  // lookups do count toward `lookups` (and `misses` when they find
+  // nothing), so hit_rate() reflects degraded-mode traffic.
   uint64_t stale_hits = 0;
+  // Malformed or misrouted update notices refused by OnUpdate (bad exposure
+  // level, out-of-range template index). Not counted as updates_observed.
+  uint64_t rejected_notices = 0;
 
   double hit_rate() const {
     return lookups == 0 ? 0.0
@@ -136,9 +142,35 @@ class DsspNode : public CacheBackend {
 
   // Invalidation on a completed update; returns entries invalidated.
   // Drains the app's cache shard by shard, so concurrent lookups in other
-  // shards proceed while one shard is being pruned.
+  // shards proceed while one shard is being pruned. A notice that fails
+  // ValidateNotice is rejected (counted in rejected_notices, no epoch
+  // advance) instead of aborting the node.
   size_t OnUpdate(const std::string& app_id,
                   const UpdateNotice& notice) override;
+
+  // Structural validation of an update notice against the app's published
+  // templates: the exposure level must be a valid *update* level (blind /
+  // template / stmt — updates never expose views) and an exposed template
+  // index must be in range. Unknown apps validate trivially (OnUpdate
+  // no-ops for them). Used by OnUpdate and by the cluster bus endpoint to
+  // refuse malformed frames before acknowledging them.
+  Status ValidateNotice(const std::string& app_id,
+                        const UpdateNotice& notice) const;
+
+  // Toggles the predicate-indexed invalidation path (default on). When off,
+  // OnUpdate scans every entry of every surviving group — the pre-index
+  // behavior — which the differential test and the ablation use as the
+  // reference. Safe to flip at any time.
+  void SetPredicateIndexEnabled(bool enabled) {
+    predicate_index_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool predicate_index_enabled() const {
+    return predicate_index_enabled_.load(std::memory_order_relaxed);
+  }
+
+  // The compiled predicate-index plan of an app (nullptr when unknown);
+  // introspection for tests and the ablation harness.
+  const ViewIndexPlan* GetViewIndex(const std::string& app_id) const;
 
   // Caps one application's cache entry count (0 = unlimited). A shared
   // provider uses this to bound each tenant's memory; overflow evicts the
@@ -175,6 +207,7 @@ class DsspNode : public CacheBackend {
     std::atomic<uint64_t> updates_observed{0};
     std::atomic<uint64_t> entries_invalidated{0};
     std::atomic<uint64_t> stale_hits{0};
+    std::atomic<uint64_t> rejected_notices{0};
 
     DsspStats Snapshot() const;
   };
@@ -187,9 +220,15 @@ class DsspNode : public CacheBackend {
     // decisions from it instead of re-deriving the template analysis per
     // cached entry. Owned here so the strategy's pointer stays valid.
     std::unique_ptr<const analysis::InvalidationPlan> plan;
+    // Predicate index derived from `plan`; the cache keys entries under it
+    // at Insert and OnUpdate probes it to visit only candidate entries.
+    std::unique_ptr<const ViewIndexPlan> view_index;
     std::unique_ptr<invalidation::MixedStrategy> strategy;
     AtomicStats stats;
   };
+
+  static Status ValidateNoticeFor(const AppState& app,
+                                  const UpdateNotice& notice);
 
   // nullptr when the app was never registered. The returned state is
   // stable: apps are never unregistered and map nodes do not move.
@@ -198,6 +237,7 @@ class DsspNode : public CacheBackend {
 
   mutable std::shared_mutex mu_;  // Guards the apps_ map structure.
   std::map<std::string, AppState, std::less<>> apps_;
+  std::atomic<bool> predicate_index_enabled_{true};
 };
 
 }  // namespace dssp::service

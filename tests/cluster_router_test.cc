@@ -476,5 +476,108 @@ TEST(ClusterConcurrencyTest, ParallelTrafficWithKillAndRejoinStaysSafe) {
   }
 }
 
+// ----- Malformed-notice handling on the bus endpoint. -----
+
+// A frame the node refuses (template index out of range for the app) must
+// answer with an error and must NOT consume its nonce: a later corrected
+// frame reusing the nonce still applies.
+TEST(NodeChannelTest, RejectedNoticeIsNotNonceRecorded) {
+  service::DsspNode node;
+  auto app = MakeKvApp("kv", &node);
+  NodeChannel channel(node);
+
+  service::InvalidateRequest bad = MakeInvalidate("kv", 5);
+  bad.level = 1;  // Template-level...
+  bad.template_index = 999;  // ...with an index the app never published.
+  auto outcome = channel.RoundTrip(Seal(Encode(bad)));
+  ASSERT_TRUE(outcome.delivered);
+  auto inner = service::Unseal(outcome.response);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(service::PeekType(*inner), service::MessageType::kError);
+  EXPECT_EQ(channel.notices_applied(), 0u);
+  // The endpoint refuses the frame before OnUpdate ever sees it; the
+  // node-level rejection counter is for notices that reach the node.
+  EXPECT_EQ(node.stats("kv").rejected_notices, 0u);
+
+  service::InvalidateRequest fixed = MakeInvalidate("kv", 5);  // Same nonce.
+  fixed.level = 1;
+  fixed.template_index = 0;
+  outcome = channel.RoundTrip(Seal(Encode(fixed)));
+  ASSERT_TRUE(outcome.delivered);
+  EXPECT_EQ(channel.notices_applied(), 1u);
+  EXPECT_EQ(channel.duplicates_suppressed(), 0u);
+
+  // An out-of-range level byte is refused before it ever becomes an enum.
+  service::InvalidateRequest bad_level = MakeInvalidate("kv", 6);
+  bad_level.level = 7;
+  outcome = channel.RoundTrip(Seal(Encode(bad_level)));
+  ASSERT_TRUE(outcome.delivered);
+  inner = service::Unseal(outcome.response);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(service::PeekType(*inner), service::MessageType::kError);
+  EXPECT_EQ(channel.notices_applied(), 1u);
+}
+
+// A remote invalidation delivered through the bus endpoint must advance the
+// member's staleness epoch exactly once — duplicates (retried frames) are
+// deduplicated and must not age retained entries twice.
+TEST(NodeChannelTest, RemoteInvalidationAdvancesStaleEpochOnce) {
+  service::DsspNode node;
+  auto app = MakeKvApp("kv", &node);
+  NodeChannel channel(node);
+  node.SetStaleRetention("kv", 10);
+  service::CacheEntry entry;
+  entry.key = "k";
+  entry.blob = "blob";
+  node.Store("kv", std::move(entry));
+
+  const std::string frame = Seal(Encode(MakeInvalidate("kv", 9)));
+  ASSERT_TRUE(channel.RoundTrip(frame).delivered);
+  EXPECT_TRUE(node.LookupStale("kv", "k", 1).has_value());
+  EXPECT_FALSE(node.LookupStale("kv", "k", 0).has_value());
+
+  // Same nonce again: suppressed, the entry is still only one behind.
+  ASSERT_TRUE(channel.RoundTrip(frame).delivered);
+  EXPECT_EQ(channel.duplicates_suppressed(), 1u);
+  EXPECT_TRUE(node.LookupStale("kv", "k", 1).has_value());
+}
+
+// ----- k-staleness vs. bus backlog. -----
+
+// Updates still queued on the bus for a member have not bumped its local
+// epoch: an entry it retained reads fresher than it globally is. The router
+// must tighten the caller's staleness bound by the member's backlog.
+TEST(ClusterRouterTest, StaleBoundTightensWithBusBacklog) {
+  ClusterOptions options;
+  options.num_nodes = 1;
+  options.replication = 1;
+  options.bus.bus_lag = 3;  // Defer delivery while <= 3 frames queue.
+  ClusterRouter router(options);
+  auto app = MakeKvApp("kv", &router);
+  router.SetStaleRetention("kv", 10);
+
+  service::CacheEntry entry;
+  entry.key = "k";
+  entry.blob = "blob";
+  router.node(0).Store("kv", std::move(entry));
+
+  service::UpdateNotice blind;  // Blind: invalidates everything.
+  router.OnUpdate("kv", blind);
+  ASSERT_TRUE(router.bus().Flush(0).ok());  // U1 applied: entry 1 behind.
+  router.OnUpdate("kv", blind);  // U2, U3: deferred under the lag bound —
+  router.OnUpdate("kv", blind);  // the member is 2 frames behind globally.
+  ASSERT_EQ(router.bus().Pending(0), 2u);
+
+  // Globally the entry is 3 updates behind (U1 applied + 2 queued).
+  EXPECT_TRUE(router.LookupStale("kv", "k", 3).has_value());
+  // A bound of 2 must miss: the member alone would report 1 behind and
+  // serve it, but the backlog makes that answer 3 behind in global terms.
+  EXPECT_FALSE(router.LookupStale("kv", "k", 2).has_value());
+  // A bound below the backlog itself skips the member entirely.
+  const uint64_t skips_before = router.route_stats().lagging_skips;
+  EXPECT_FALSE(router.LookupStale("kv", "k", 1).has_value());
+  EXPECT_GT(router.route_stats().lagging_skips, skips_before);
+}
+
 }  // namespace
 }  // namespace dssp::cluster

@@ -191,5 +191,87 @@ TEST_F(NodeTest, CacheCountersSplitEvictionCauses) {
   EXPECT_EQ(counters.total_evictions(), 4u);
 }
 
+// Regression: LookupStale must feed the lookup/miss counters like Lookup
+// does — a degraded-mode deployment otherwise reports a hit rate computed
+// over a denominator that ignores most of its traffic.
+TEST_F(NodeTest, StaleLookupsCountAsLookupsAndMisses) {
+  node_.SetStaleRetention("toystore", 8);
+  CacheEntry entry;
+  entry.key = "stale-key";
+  entry.blob = "blob";
+  node_.Store("toystore", std::move(entry));
+  const std::string key = "stale-key";
+
+  UpdateNotice notice;
+  notice.level = ExposureLevel::kBlind;
+  ASSERT_EQ(node_.OnUpdate("toystore", notice), 1u);
+
+  const DsspStats before = node_.stats("toystore");
+  ASSERT_TRUE(node_.LookupStale("toystore", key, 1).has_value());  // Hit.
+  EXPECT_FALSE(node_.LookupStale("toystore", key, 0).has_value());  // Miss.
+  EXPECT_FALSE(node_.LookupStale("toystore", "nope", 5).has_value());
+
+  const DsspStats after = node_.stats("toystore");
+  EXPECT_EQ(after.lookups, before.lookups + 3);
+  EXPECT_EQ(after.misses, before.misses + 2);
+  EXPECT_EQ(after.stale_hits, before.stale_hits + 1);
+  EXPECT_EQ(after.hits, before.hits);  // Stale hits are not fresh hits.
+}
+
+// Regression: a malformed notice (out-of-range template index or exposure
+// level) must be refused and counted, not abort the shared node.
+TEST_F(NodeTest, MalformedNoticeIsRejectedNotFatal) {
+  ASSERT_TRUE(app_->Query("Q2", {Value(7)}).ok());
+
+  UpdateNotice bad_index;
+  bad_index.level = ExposureLevel::kTemplate;
+  bad_index.template_index = 999;
+  EXPECT_EQ(node_.OnUpdate("toystore", bad_index), 0u);
+
+  UpdateNotice bad_level;
+  bad_level.level = static_cast<ExposureLevel>(7);
+  EXPECT_EQ(node_.OnUpdate("toystore", bad_level), 0u);
+
+  UpdateNotice view_level;  // Updates never expose views.
+  view_level.level = ExposureLevel::kView;
+  view_level.template_index = 0;
+  EXPECT_EQ(node_.OnUpdate("toystore", view_level), 0u);
+
+  const DsspStats stats = node_.stats("toystore");
+  EXPECT_EQ(stats.rejected_notices, 3u);
+  EXPECT_EQ(stats.updates_observed, 0u);
+  EXPECT_EQ(node_.CacheSize("toystore"), 1u);  // Nothing invalidated.
+
+  // The node survives and a well-formed notice still applies.
+  UpdateNotice good;
+  good.level = ExposureLevel::kBlind;
+  EXPECT_EQ(node_.OnUpdate("toystore", good), 1u);
+  EXPECT_EQ(node_.stats("toystore").updates_observed, 1u);
+}
+
+// Rejected notices must not advance the staleness epoch: an entry that is
+// one observed update behind stays one behind through any amount of junk.
+TEST_F(NodeTest, RejectedNoticesDoNotAdvanceStaleEpoch) {
+  node_.SetStaleRetention("toystore", 8);
+  CacheEntry entry;
+  entry.key = "epoch-key";
+  entry.blob = "blob";
+  node_.Store("toystore", std::move(entry));
+  const std::string key = "epoch-key";
+
+  UpdateNotice good;
+  good.level = ExposureLevel::kBlind;
+  ASSERT_EQ(node_.OnUpdate("toystore", good), 1u);
+
+  UpdateNotice bad;
+  bad.level = ExposureLevel::kTemplate;
+  bad.template_index = 12345;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(node_.OnUpdate("toystore", bad), 0u);
+  }
+  // Still exactly one update behind.
+  EXPECT_TRUE(node_.LookupStale("toystore", key, 1).has_value());
+}
+
 }  // namespace
 }  // namespace dssp::service
