@@ -1,5 +1,7 @@
 #include "cluster/bus.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <utility>
 
 #include "dssp/protocol.h"
@@ -10,6 +12,8 @@ namespace dssp::cluster {
 
 using service::ChannelOutcome;
 using service::ErrorResponse;
+using service::InvalidateBatchRequest;
+using service::InvalidateBatchResponse;
 using service::InvalidateRequest;
 using service::InvalidateResponse;
 using service::MessageType;
@@ -27,6 +31,94 @@ std::string SealedError(StatusCode code, std::string message) {
 
 }  // namespace
 
+StatusOr<uint64_t> NodeChannel::ApplyNoticeLocked(std::string_view inner) {
+  DSSP_ASSIGN_OR_RETURN(InvalidateRequest request,
+                        service::DecodeInvalidateRequest(inner));
+
+  // Refuse a level byte outside the legal update range before force-casting
+  // it into the enum; the node re-validates, but an arbitrary byte must not
+  // reach enum-typed code at all.
+  if (request.level > static_cast<uint8_t>(analysis::ExposureLevel::kStmt)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "invalidate request exposure level out of range");
+  }
+
+  UpdateNotice notice;
+  notice.level = static_cast<analysis::ExposureLevel>(request.level);
+  notice.template_index =
+      request.template_index == kNoTemplateWire
+          ? service::CacheEntry::kNoTemplate
+          : static_cast<size_t>(request.template_index);
+  if (!request.statement_sql.empty()) {
+    DSSP_ASSIGN_OR_RETURN(notice.statement, sql::Parse(request.statement_sql));
+  }
+
+  // Reject malformed/misrouted notices (e.g. a template index out of range
+  // for this app) instead of applying them. Rejected notices are
+  // deliberately NOT recorded in the nonce map: they applied nothing, so a
+  // later corrected frame with the same nonce must not be suppressed as a
+  // duplicate.
+  DSSP_RETURN_IF_ERROR(node_.ValidateNotice(request.app_id, notice));
+
+  const auto it = applied_nonces_.find(request.nonce);
+  if (it != applied_nonces_.end()) {
+    duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  const uint64_t invalidated = node_.OnUpdate(request.app_id, notice);
+  notices_applied_.fetch_add(1, std::memory_order_relaxed);
+  applied_nonces_.emplace(request.nonce, invalidated);
+  dedup_fifo_.push_back(request.nonce);
+  if (dedup_fifo_.size() > kDedupWindow) {
+    applied_nonces_.erase(dedup_fifo_.front());
+    dedup_fifo_.pop_front();
+  }
+  return invalidated;
+}
+
+std::string NodeChannel::HandleBatch(std::string_view inner) {
+  auto batch = service::DecodeInvalidateBatchRequest(inner);
+  if (!batch.ok()) {
+    return service::Encode(
+        ErrorResponse{batch.status().code(), batch.status().message()});
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(dedup_mu_);
+  // At-most-once for the whole envelope: a retried batch (response lost on
+  // the wire) replays the stored acks byte for byte instead of touching the
+  // node again. The per-notice nonce check below would suppress re-applies
+  // anyway, but replaying the acks keeps duplicate accounting exact.
+  const auto it = applied_batches_.find(batch->nonce);
+  if (it != applied_batches_.end()) {
+    duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  InvalidateBatchResponse response;
+  response.acks.reserve(batch->notices.size());
+  for (const std::string& notice_frame : batch->notices) {
+    InvalidateBatchResponse::Ack ack;
+    auto applied = ApplyNoticeLocked(notice_frame);
+    if (applied.ok()) {
+      ack.accepted = true;
+      ack.entries_invalidated = *applied;
+    } else {
+      ack.accepted = false;
+      ack.code = applied.status().code();
+    }
+    response.acks.push_back(ack);
+  }
+  std::string encoded = service::Encode(response);
+  applied_batches_.emplace(batch->nonce, encoded);
+  batch_fifo_.push_back(batch->nonce);
+  if (batch_fifo_.size() > kDedupWindow) {
+    applied_batches_.erase(batch_fifo_.front());
+    batch_fifo_.pop_front();
+  }
+  return encoded;
+}
+
 ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
   ChannelOutcome outcome;
   if (!alive()) return outcome;  // Crashed/partitioned: frame on the floor.
@@ -40,69 +132,23 @@ ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
         SealedError(inner.status().code(), inner.status().message());
     return outcome;
   }
-  auto request = service::DecodeInvalidateRequest(*inner);
-  if (!request.ok()) {
-    outcome.response =
-        SealedError(request.status().code(), request.status().message());
+
+  if (service::PeekType(*inner) == MessageType::kInvalidateBatchRequest) {
+    outcome.response = Seal(HandleBatch(*inner));
     return outcome;
   }
 
-  // Refuse a level byte outside the legal update range before force-casting
-  // it into the enum; the node re-validates, but an arbitrary byte must not
-  // reach enum-typed code at all.
-  if (request->level > static_cast<uint8_t>(analysis::ExposureLevel::kStmt)) {
-    outcome.response =
-        SealedError(StatusCode::kInvalidArgument,
-                    "invalidate request exposure level out of range");
-    return outcome;
-  }
-
-  UpdateNotice notice;
-  notice.level = static_cast<analysis::ExposureLevel>(request->level);
-  notice.template_index =
-      request->template_index == kNoTemplateWire
-          ? service::CacheEntry::kNoTemplate
-          : static_cast<size_t>(request->template_index);
-  if (!request->statement_sql.empty()) {
-    auto statement = sql::Parse(request->statement_sql);
-    if (!statement.ok()) {
-      outcome.response = SealedError(statement.status().code(),
-                                     statement.status().message());
-      return outcome;
-    }
-    notice.statement = std::move(*statement);
-  }
-
-  // Reject malformed/misrouted notices (e.g. a template index out of range
-  // for this app) with an error frame instead of applying them. Rejected
-  // frames are deliberately NOT recorded in the nonce map: they applied
-  // nothing, so a later corrected frame with the same nonce must not be
-  // suppressed as a duplicate.
-  const Status valid = node_.ValidateNotice(request->app_id, notice);
-  if (!valid.ok()) {
-    outcome.response = SealedError(valid.code(), valid.message());
-    return outcome;
-  }
-
-  uint64_t invalidated = 0;
+  StatusOr<uint64_t> invalidated = uint64_t{0};
   {
     std::lock_guard<std::mutex> lock(dedup_mu_);
-    const auto it = applied_nonces_.find(request->nonce);
-    if (it != applied_nonces_.end()) {
-      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
-      invalidated = it->second;
-    } else {
-      invalidated = node_.OnUpdate(request->app_id, notice);
-      notices_applied_.fetch_add(1, std::memory_order_relaxed);
-      applied_nonces_.emplace(request->nonce, invalidated);
-      dedup_fifo_.push_back(request->nonce);
-      if (dedup_fifo_.size() > kDedupWindow) {
-        applied_nonces_.erase(dedup_fifo_.front());
-        dedup_fifo_.pop_front();
-      }
-    }
+    invalidated = ApplyNoticeLocked(*inner);
   }
-  outcome.response = Seal(service::Encode(InvalidateResponse{invalidated}));
+  if (!invalidated.ok()) {
+    outcome.response = SealedError(invalidated.status().code(),
+                                   invalidated.status().message());
+    return outcome;
+  }
+  outcome.response = Seal(service::Encode(InvalidateResponse{*invalidated}));
   return outcome;
 }
 
@@ -133,34 +179,101 @@ void InvalidationBus::SetDeferred(int node, bool deferred) {
   it->second->deferred = deferred;
 }
 
+StatusOr<InvalidationBus::DrainResult> InvalidationBus::SendSingleLocked(
+    Member& member) {
+  DrainResult result;
+  service::WireStats ws;
+  auto response = member.client->Call(member.queue.front(), &ws);
+  wire_retries_.fetch_add(ws.retries, std::memory_order_relaxed);
+  if (!response.ok()) {
+    // Unreachable through the whole retry budget: the frame (and everything
+    // queued behind it, order preserved) waits for the next drain.
+    // Invalidations already applied by earlier frames stand.
+    unreachable_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_) observer_(member.node, false);
+    return response.status();
+  }
+  if (observer_) observer_(member.node, true);
+  if (service::PeekType(*response) == MessageType::kInvalidateResponse) {
+    auto ack = service::DecodeInvalidateResponse(*response);
+    DSSP_CHECK(ack.ok());
+    ++result.frames;
+    result.entries += ack->entries_invalidated;
+    delivered_notices_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The member answered but rejected the frame (kError): deterministic,
+    // so retrying is pointless — drop it and keep the queue moving. The
+    // member is now permanently behind by this notice; Dropped() exposes
+    // that to the router so stale reads stop trusting its backlog count.
+    dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+    ++member.dropped;
+  }
+  member.queue.pop_front();
+  return result;
+}
+
+StatusOr<InvalidationBus::DrainResult> InvalidationBus::SendBatchLocked(
+    Member& member, size_t count) {
+  InvalidateBatchRequest batch;
+  batch.nonce = next_nonce_.fetch_add(1, std::memory_order_relaxed);
+  batch.notices.reserve(count);
+  for (size_t i = 0; i < count; ++i) batch.notices.push_back(member.queue[i]);
+
+  service::WireStats ws;
+  auto response = member.client->Call(service::Encode(batch), &ws);
+  wire_retries_.fetch_add(ws.retries, std::memory_order_relaxed);
+  if (!response.ok()) {
+    // The whole envelope failed on the wire; every notice stays queued, in
+    // order, exactly as under the unbatched path. One unreachable_failure
+    // per wire exchange (not per notice) — the counter tracks wire events.
+    unreachable_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_) observer_(member.node, false);
+    return response.status();
+  }
+  if (observer_) observer_(member.node, true);
+  batches_sent_.fetch_add(1, std::memory_order_relaxed);
+  batched_notices_.fetch_add(count, std::memory_order_relaxed);
+
+  DrainResult result;
+  if (service::PeekType(*response) == MessageType::kInvalidateBatchResponse) {
+    auto acks = service::DecodeInvalidateBatchResponse(*response);
+    DSSP_CHECK(acks.ok());
+    DSSP_CHECK(acks->acks.size() == count);
+    // Partial-ack: each notice settles on its own — an accepted one counts
+    // as delivered, a refused one as dropped (deterministic refusal, never
+    // retried) — so one bad notice cannot poison the batch around it.
+    for (const auto& ack : acks->acks) {
+      if (ack.accepted) {
+        ++result.frames;
+        result.entries += ack.entries_invalidated;
+        delivered_notices_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        dropped_frames_.fetch_add(1, std::memory_order_relaxed);
+        ++member.dropped;
+      }
+    }
+  } else {
+    // The member refused the whole envelope (malformed batch — defensive;
+    // we built it ourselves). Deterministic, so drop all of it.
+    dropped_frames_.fetch_add(count, std::memory_order_relaxed);
+    member.dropped += count;
+  }
+  member.queue.erase(member.queue.begin(),
+                     member.queue.begin() + static_cast<ptrdiff_t>(count));
+  return result;
+}
+
 StatusOr<InvalidationBus::DrainResult> InvalidationBus::DrainLocked(
     Member& member) {
+  const size_t max_batch = options_.max_batch > 0 ? options_.max_batch : 1;
   DrainResult total;
   while (!member.queue.empty()) {
-    service::WireStats ws;
-    auto response = member.client->Call(member.queue.front(), &ws);
-    wire_retries_.fetch_add(ws.retries, std::memory_order_relaxed);
-    if (!response.ok()) {
-      // Unreachable through the whole retry budget: the frame (and
-      // everything queued behind it, order preserved) waits for the next
-      // drain. Invalidations already applied by earlier frames stand.
-      failed_deliveries_.fetch_add(1, std::memory_order_relaxed);
-      if (observer_) observer_(member.node, false);
-      return response.status();
-    }
-    if (observer_) observer_(member.node, true);
-    if (service::PeekType(*response) == MessageType::kInvalidateResponse) {
-      auto ack = service::DecodeInvalidateResponse(*response);
-      DSSP_CHECK(ack.ok());
-      ++total.frames;
-      total.entries += ack->entries_invalidated;
-      delivered_frames_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      // The member answered but rejected the frame (kError): deterministic,
-      // so retrying is pointless — drop it and keep the queue moving.
-      failed_deliveries_.fetch_add(1, std::memory_order_relaxed);
-    }
-    member.queue.pop_front();
+    const size_t count = std::min(max_batch, member.queue.size());
+    auto sent = count > 1 ? SendBatchLocked(member, count)
+                          : SendSingleLocked(member);
+    if (!sent.ok()) return sent.status();
+    total.frames += sent->frames;
+    total.entries += sent->entries;
   }
   return total;
 }
@@ -216,12 +329,22 @@ size_t InvalidationBus::Pending(int node) const {
   return it->second->queue.size();
 }
 
-BusCounters InvalidationBus::counters() const {
-  BusCounters out;
+uint64_t InvalidationBus::Dropped(int node) const {
+  const auto it = members_.find(node);
+  DSSP_CHECK(it != members_.end());
+  std::lock_guard<std::mutex> lock(it->second->mu);
+  return it->second->dropped;
+}
+
+BusStats InvalidationBus::stats() const {
+  BusStats out;
   out.published = published_.load(std::memory_order_relaxed);
-  out.delivered_frames = delivered_frames_.load(std::memory_order_relaxed);
-  out.failed_deliveries =
-      failed_deliveries_.load(std::memory_order_relaxed);
+  out.delivered_notices = delivered_notices_.load(std::memory_order_relaxed);
+  out.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  out.batched_notices = batched_notices_.load(std::memory_order_relaxed);
+  out.dropped_frames = dropped_frames_.load(std::memory_order_relaxed);
+  out.unreachable_failures =
+      unreachable_failures_.load(std::memory_order_relaxed);
   out.wire_retries = wire_retries_.load(std::memory_order_relaxed);
   return out;
 }

@@ -56,19 +56,39 @@ class NodeChannel : public service::Channel {
   uint64_t duplicates_suppressed() const {
     return duplicates_suppressed_.load(std::memory_order_relaxed);
   }
+  uint64_t batches_received() const {
+    return batches_received_.load(std::memory_order_relaxed);
+  }
 
  private:
+  // Decodes, validates, nonce-dedups, and applies one kInvalidateRequest
+  // frame; caller holds dedup_mu_. Returns the entries invalidated, or the
+  // (deterministic) refusal status.
+  StatusOr<uint64_t> ApplyNoticeLocked(std::string_view inner);
+
+  // Handles an unsealed kInvalidateBatchRequest; returns the unsealed
+  // response frame (kInvalidateBatchResponse, or kError for a malformed
+  // envelope).
+  std::string HandleBatch(std::string_view inner);
+
   service::DsspNode& node_;
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> notices_applied_{0};
   std::atomic<uint64_t> duplicates_suppressed_{0};
+  std::atomic<uint64_t> batches_received_{0};
 
   // Nonce -> entries invalidated, bounded FIFO (mirrors HomeServer's update
   // dedup). The mutex also serializes apply, so a concurrent retry of the
-  // same nonce cannot double-apply.
+  // same nonce cannot double-apply. Batch envelopes get their own dedup map
+  // (nonce -> full encoded response) so a retried batch whose response was
+  // lost replays the stored acks verbatim; the per-notice map stays the
+  // authoritative guard — a notice that already arrived via a singleton
+  // frame is suppressed even when it reappears inside a batch.
   std::mutex dedup_mu_;
   std::unordered_map<uint64_t, uint64_t> applied_nonces_;
   std::deque<uint64_t> dedup_fifo_;
+  std::unordered_map<uint64_t, std::string> applied_batches_;
+  std::deque<uint64_t> batch_fifo_;
 };
 
 struct BusOptions {
@@ -76,8 +96,15 @@ struct BusOptions {
   // accumulate before Publish synchronously drains it. 0 (default) delivers
   // on every publish — the strongest bound, and what the consistency oracle
   // runs under. A member lagging beyond the bound must not serve lookups
-  // (the router enforces this via Pending()).
+  // (the router enforces this via Pending()). The bound counts NOTICES, not
+  // wire frames, so it is identical under batched and unbatched fan-out.
   size_t bus_lag = 0;
+  // Most notices coalesced into one sealed kInvalidateBatchRequest frame
+  // when a drain finds more than one queued. 1 (default) = legacy
+  // frame-per-notice wire, byte-identical to the pre-batching bus. Under
+  // update storms, a batch of N amortizes one seal/retry round trip over N
+  // notices; per-member FIFO order and the invalidation set are unchanged.
+  size_t max_batch = 1;
   service::RetryPolicy retry;
   uint64_t seed = 0xB05B05B0;
 };
@@ -90,12 +117,20 @@ struct PublishOutcome {
   int failed_members = 0;    // Wire retry budget exhausted; notice kept.
 };
 
-// Cumulative bus counters (relaxed-atomic snapshot).
-struct BusCounters {
-  uint64_t published = 0;          // Publish calls.
-  uint64_t delivered_frames = 0;   // Frames acknowledged by a member.
-  uint64_t failed_deliveries = 0;  // Drain attempts that hit the wire limit.
-  uint64_t wire_retries = 0;       // RetryingClient retries, all members.
+// Cumulative bus counters (relaxed-atomic snapshot). Permanent drops and
+// transient unreachability are deliberately separate: a dropped frame
+// vanished from its queue (the member refused it — deterministic, never
+// retried), while an unreachable failure keeps the frame queued for the
+// next drain. Conflating them would let silently-vanished notices hide
+// inside ordinary wire noise.
+struct BusStats {
+  uint64_t published = 0;           // Publish calls (one notice each).
+  uint64_t delivered_notices = 0;   // Notices acknowledged by a member.
+  uint64_t batches_sent = 0;        // Multi-notice frames put on the wire.
+  uint64_t batched_notices = 0;     // Notices that rode those frames.
+  uint64_t dropped_frames = 0;      // Refused notices, removed from queues.
+  uint64_t unreachable_failures = 0;  // Wire budget exhausted; frames kept.
+  uint64_t wire_retries = 0;        // RetryingClient retries, all members.
 };
 
 // Fans each exposure-gated UpdateNotice out to every member node over the
@@ -134,39 +169,55 @@ class InvalidationBus {
   PublishOutcome Publish(const std::string& app_id,
                          const service::UpdateNotice& notice);
 
-  // Drains one member's queue in FIFO order, stopping at the first frame
-  // whose delivery fails (that frame and everything behind it stay queued).
-  // Returns the frames replayed, or the wire error.
+  // Drains one member's queue in FIFO order — coalescing up to max_batch
+  // notices per wire frame — stopping at the first frame whose delivery
+  // fails (that frame and everything behind it stay queued). Returns the
+  // notices replayed, or the wire error.
   StatusOr<uint64_t> Flush(int node);
 
   size_t Pending(int node) const;
-  BusCounters counters() const;
+
+  // Notices this member refused (deterministically) and the bus therefore
+  // dropped. A member with dropped notices is permanently behind by that
+  // many updates with nothing left to replay — the router must treat it as
+  // backlog-unsafe for k-staleness reads.
+  uint64_t Dropped(int node) const;
+
+  BusStats stats() const;
 
  private:
   struct Member {
     int node = 0;
     service::Channel* channel = nullptr;
     std::unique_ptr<service::RetryingClient> client;
-    mutable std::mutex mu;  // Guards queue + deferred.
+    mutable std::mutex mu;  // Guards queue + deferred + dropped.
     std::deque<std::string> queue;
     bool deferred = false;
+    uint64_t dropped = 0;
   };
 
   struct DrainResult {
-    uint64_t frames = 0;   // Frames acknowledged (applied or deduped).
-    uint64_t entries = 0;  // Cache entries those frames invalidated.
+    uint64_t frames = 0;   // Notices acknowledged (applied or deduped).
+    uint64_t entries = 0;  // Cache entries those notices invalidated.
   };
 
   // Drains member.queue; caller holds member.mu.
   StatusOr<DrainResult> DrainLocked(Member& member);
+
+  // One singleton / one batched wire exchange; caller holds member.mu.
+  StatusOr<DrainResult> SendSingleLocked(Member& member);
+  StatusOr<DrainResult> SendBatchLocked(Member& member, size_t count);
 
   BusOptions options_;
   std::map<int, std::unique_ptr<Member>> members_;
   std::function<void(int, bool)> observer_;
   std::atomic<uint64_t> next_nonce_{1};
   std::atomic<uint64_t> published_{0};
-  std::atomic<uint64_t> delivered_frames_{0};
-  std::atomic<uint64_t> failed_deliveries_{0};
+  std::atomic<uint64_t> delivered_notices_{0};
+  std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> batched_notices_{0};
+  std::atomic<uint64_t> dropped_frames_{0};
+  std::atomic<uint64_t> unreachable_failures_{0};
   std::atomic<uint64_t> wire_retries_{0};
 };
 

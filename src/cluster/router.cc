@@ -185,6 +185,14 @@ std::optional<CacheEntry> ClusterRouter::LookupStale(
   for (size_t idx = 0; idx < owners.size(); ++idx) {
     const int node = owners[idx];
     Member& member = *members_[CheckIndex(node)];
+    // A member that refused notices is permanently behind by that many
+    // updates with nothing queued to replay — its backlog count understates
+    // its true staleness, so no k bound derived from Pending() is sound.
+    // Backlog-unsafe: skip it for stale reads entirely.
+    if (bus_.Dropped(node) > 0) {
+      lagging_skips_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     // Updates still queued on the bus for this member have not bumped its
     // local epoch yet, so an entry it retained reads `pending` updates
     // fresher than it globally is. Tighten the k-staleness bound by the
@@ -307,6 +315,7 @@ NodeRouteStats ClusterRouter::node_stats(int i) const {
   out.warming_lookups =
       member.warming_lookups.load(std::memory_order_relaxed);
   out.bus_pending = bus_.Pending(i);
+  out.bus_dropped = bus_.Dropped(i);
   out.cache_entries = member.node->TotalCacheSize();
   return out;
 }

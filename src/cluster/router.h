@@ -46,6 +46,12 @@ struct NodeRouteStats {
   uint64_t stores = 0;                 // Entries written (incl. replicas).
   uint64_t warming_lookups = 0;        // Lookups inside the rejoin window.
   size_t bus_pending = 0;              // Undelivered invalidation notices.
+  uint64_t bus_dropped = 0;  // Notices this member refused (lost forever);
+                             // nonzero makes it backlog-unsafe for stale
+                             // reads — fresh lookups are unaffected because
+                             // refusals are symmetric across members (every
+                             // member validates against the same app
+                             // registration).
   size_t cache_entries = 0;
 };
 

@@ -107,6 +107,28 @@ std::string Encode(const InvalidateResponse& message) {
   return out;
 }
 
+std::string Encode(const InvalidateBatchRequest& message) {
+  std::string out(1, static_cast<char>(MessageType::kInvalidateBatchRequest));
+  AppendU64(&out, message.nonce);
+  AppendU64(&out, message.notices.size());
+  for (const std::string& notice : message.notices) {
+    AppendString(&out, notice);
+  }
+  return out;
+}
+
+std::string Encode(const InvalidateBatchResponse& message) {
+  std::string out(1,
+                  static_cast<char>(MessageType::kInvalidateBatchResponse));
+  AppendU64(&out, message.acks.size());
+  for (const InvalidateBatchResponse::Ack& ack : message.acks) {
+    out.push_back(ack.accepted ? 1 : 0);
+    AppendU64(&out, ack.accepted ? ack.entries_invalidated
+                                 : static_cast<uint64_t>(ack.code));
+  }
+  return out;
+}
+
 std::optional<MessageType> PeekType(std::string_view frame) {
   if (frame.empty()) return std::nullopt;
   const uint8_t type = static_cast<uint8_t>(frame[0]);
@@ -249,6 +271,76 @@ StatusOr<InvalidateResponse> DecodeInvalidateResponse(
   InvalidateResponse message;
   if (!ReadU64(frame, &pos, &message.entries_invalidated)) {
     return ParseError("malformed invalidate response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<InvalidateBatchRequest> DecodeInvalidateBatchRequest(
+    std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(
+      CheckType(frame, MessageType::kInvalidateBatchRequest, &pos));
+  InvalidateBatchRequest message;
+  uint64_t count = 0;
+  if (!ReadU64(frame, &pos, &message.nonce) || message.nonce == 0 ||
+      !ReadU64(frame, &pos, &count)) {
+    return ParseError("malformed invalidate batch request");
+  }
+  // Every entry needs at least its 8-byte length prefix, so an honest count
+  // is bounded by the remaining bytes — reject allocation bombs before
+  // reserving anything.
+  if (count == 0 || count > (frame.size() - pos) / sizeof(uint64_t)) {
+    return ParseError("bad notice count in invalidate batch request");
+  }
+  message.notices.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string notice;
+    if (!ReadString(frame, &pos, &notice)) {
+      return ParseError("truncated notice in invalidate batch request");
+    }
+    message.notices.push_back(std::move(notice));
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<InvalidateBatchResponse> DecodeInvalidateBatchResponse(
+    std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(
+      CheckType(frame, MessageType::kInvalidateBatchResponse, &pos));
+  InvalidateBatchResponse message;
+  uint64_t count = 0;
+  if (!ReadU64(frame, &pos, &count)) {
+    return ParseError("malformed invalidate batch response");
+  }
+  constexpr size_t kAckBytes = 1 + sizeof(uint64_t);
+  if (count > (frame.size() - pos) / kAckBytes) {
+    return ParseError("bad ack count in invalidate batch response");
+  }
+  message.acks.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (pos >= frame.size()) {
+      return ParseError("truncated invalidate batch response");
+    }
+    InvalidateBatchResponse::Ack ack;
+    ack.accepted = frame[pos++] != 0;
+    uint64_t value = 0;
+    if (!ReadU64(frame, &pos, &value)) {
+      return ParseError("truncated invalidate batch response");
+    }
+    if (ack.accepted) {
+      ack.entries_invalidated = value;
+    } else {
+      // A refusal must carry a real error code (kOk refusals are garbage).
+      if (value == 0 ||
+          value >= static_cast<uint64_t>(StatusCode::kStatusCodeEnd)) {
+        return ParseError("bad status code in invalidate batch response");
+      }
+      ack.code = static_cast<StatusCode>(value);
+    }
+    message.acks.push_back(ack);
   }
   DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
   return message;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/database.h"
@@ -36,6 +37,14 @@ enum class MessageType : uint8_t {
   // the inter-node wire.
   kInvalidateRequest = 7,
   kInvalidateResponse = 8,
+
+  // Batched invalidation fan-out (DSSP node <-> DSSP node): a member's
+  // pending FIFO coalesced into one sealed frame carrying N notices under a
+  // single batch nonce, amortizing the per-frame seal/retry overhead of
+  // update storms. The response acks each notice individually, so one
+  // refused notice does not poison the batch.
+  kInvalidateBatchRequest = 9,
+  kInvalidateBatchResponse = 10,
 
   // Sentinel: one past the last frame type. Keep last; PeekType derives the
   // valid range from it so adding a type cannot desynchronize dispatch.
@@ -88,6 +97,29 @@ struct InvalidateResponse {
   uint64_t entries_invalidated = 0;
 };
 
+// N update notices coalesced into one wire frame, FIFO order preserved. Each
+// entry is a complete encoded kInvalidateRequest frame (with its own
+// per-notice dedup nonce), so batching changes only the envelope: the notice
+// payloads are byte-identical to the unbatched wire. The batch nonce (never
+// 0) deduplicates the whole frame at-most-once — a retried batch whose
+// response was lost returns the stored acks instead of re-running anything.
+struct InvalidateBatchRequest {
+  uint64_t nonce = 0;
+  std::vector<std::string> notices;  // Encoded kInvalidateRequest frames.
+};
+
+// Per-notice acknowledgement, batch order. A refused notice (malformed or
+// misrouted — deterministic, so retrying is pointless) reports its status
+// code without blocking the notices around it.
+struct InvalidateBatchResponse {
+  struct Ack {
+    bool accepted = false;
+    uint64_t entries_invalidated = 0;            // Valid when accepted.
+    StatusCode code = StatusCode::kOk;           // Valid when refused.
+  };
+  std::vector<Ack> acks;
+};
+
 // Frame encoding/decoding. Decoders validate the type byte and payload
 // structure and fail (never crash) on malformed frames.
 std::string Encode(const QueryRequest& message);
@@ -97,6 +129,8 @@ std::string Encode(const UpdateResponse& message);
 std::string Encode(const ErrorResponse& message);
 std::string Encode(const InvalidateRequest& message);
 std::string Encode(const InvalidateResponse& message);
+std::string Encode(const InvalidateBatchRequest& message);
+std::string Encode(const InvalidateBatchResponse& message);
 
 // Peeks the frame type; nullopt if the frame is empty or the type unknown.
 std::optional<MessageType> PeekType(std::string_view frame);
@@ -119,6 +153,10 @@ StatusOr<UpdateResponse> DecodeUpdateResponse(std::string_view frame);
 StatusOr<ErrorResponse> DecodeErrorResponse(std::string_view frame);
 StatusOr<InvalidateRequest> DecodeInvalidateRequest(std::string_view frame);
 StatusOr<InvalidateResponse> DecodeInvalidateResponse(std::string_view frame);
+StatusOr<InvalidateBatchRequest> DecodeInvalidateBatchRequest(
+    std::string_view frame);
+StatusOr<InvalidateBatchResponse> DecodeInvalidateBatchResponse(
+    std::string_view frame);
 
 class HomeServer;
 

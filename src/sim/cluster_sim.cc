@@ -1,27 +1,18 @@
 #include "sim/cluster_sim.h"
 
+#include <algorithm>
 #include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "sim/event_executor.h"
 #include "sim/histogram.h"
 #include "sim/resource.h"
 
 namespace dssp::sim {
 
 namespace {
-
-struct Event {
-  double time;
-  uint64_t seq;  // Tie-break for determinism.
-  int client;
-
-  bool operator>(const Event& other) const {
-    return time > other.time || (time == other.time && seq > other.seq);
-  }
-};
 
 struct ClientState {
   size_t tenant = 0;
@@ -54,6 +45,7 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
   const int num_nodes = router.num_nodes();
   if (scenario.kill_at_s >= 0) {
     DSSP_CHECK(scenario.kill_node >= 0 && scenario.kill_node < num_nodes);
+    DSSP_CHECK(scenario.rejoin_retry_s > 0);
   }
   Rng rng(config.seed);
 
@@ -81,40 +73,74 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
     }
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  uint64_t seq = 0;
-  for (size_t c = 0; c < clients.size(); ++c) {
-    events.push(Event{rng.NextDouble() * config.think_time_mean_s, seq++,
-                      static_cast<int>(c)});
+  EventExecutorOptions exec_options;
+  if (config.sim_threads > 0) exec_options.harvest_threads = config.sim_threads;
+  if (config.sim_epoch_s > 0) exec_options.epoch_s = config.sim_epoch_s;
+  EventExecutor executor(exec_options);
+
+  // The chaos scenario is a first-class event: scheduled before the client
+  // arrivals so its seq (the equal-time tie-break) makes it fire ahead of
+  // any client event landing on the same virtual instant. The rejoin is
+  // scheduled when the kill fires, so `rejoin_at_s < kill_at_s` degenerates
+  // to "rejoin immediately after the kill" exactly as before.
+  if (scenario.kill_at_s >= 0) {
+    executor.Schedule(scenario.kill_at_s, scenario.kill_node,
+                      SimEventKind::kKill);
+  }
+
+  if (config.exponential_arrivals) {
+    // Poisson arrivals at the steady-state aggregate rate N / think_mean:
+    // exponential inter-arrival gaps, one draw per client (same rng stream
+    // length as the legacy stagger).
+    const double gap_mean =
+        config.think_time_mean_s / static_cast<double>(clients.size());
+    double arrival = 0;
+    for (size_t c = 0; c < clients.size(); ++c) {
+      arrival += rng.NextExponential(gap_mean);
+      executor.Schedule(arrival, static_cast<int32_t>(c));
+    }
+  } else {
+    // Legacy: stagger initial arrivals uniformly over one think time.
+    for (size_t c = 0; c < clients.size(); ++c) {
+      executor.Schedule(rng.NextDouble() * config.think_time_mean_s,
+                        static_cast<int32_t>(c));
+    }
   }
 
   const double client_bw = config.client_bandwidth_bps / 8.0;  // bytes/s
   const double wan_bw = config.wan_bandwidth_bps / 8.0;
 
-  while (!events.empty()) {
-    const Event event = events.top();
-    events.pop();
+  Status error = Status::Ok();
+  executor.Run([&](const SimEvent& event) -> bool {
     const double now = event.time;
-    if (now > config.duration_s) break;
+    if (now > config.duration_s) return false;
 
-    // Fire the chaos scenario at its virtual instants. The rejoin retries
-    // on subsequent events until the drain goes through (it can fail when
-    // the bus wire carries injected faults).
-    if (!cluster_result.kill_fired && scenario.kill_at_s >= 0 &&
-        now >= scenario.kill_at_s) {
-      router.KillNode(scenario.kill_node);
+    if (event.kind == SimEventKind::kKill) {
+      router.KillNode(event.client);
       cluster_result.kill_fired = true;
+      cluster_result.kill_fired_at_s = now;
+      if (scenario.rejoin_at_s >= 0) {
+        executor.Schedule(std::max(scenario.rejoin_at_s, now), event.client,
+                          SimEventKind::kRejoin);
+      }
+      return true;
     }
-    if (cluster_result.kill_fired && !cluster_result.rejoin_fired &&
-        scenario.rejoin_at_s >= 0 && now >= scenario.rejoin_at_s) {
-      auto replayed = router.ReviveNode(scenario.kill_node);
+    if (event.kind == SimEventKind::kRejoin) {
+      // The drain can fail when the bus wire carries injected faults; retry
+      // at a fixed virtual interval until it goes through or the run ends.
+      auto replayed = router.ReviveNode(event.client);
       if (replayed.ok()) {
         cluster_result.rejoin_fired = true;
+        cluster_result.rejoin_fired_at_s = now;
         cluster_result.rejoin_replayed = *replayed;
+      } else {
+        executor.Schedule(now + scenario.rejoin_retry_s, event.client,
+                          SimEventKind::kRejoin);
       }
+      return true;
     }
 
-    ClientState& client = clients[event.client];
+    ClientState& client = clients[static_cast<size_t>(event.client)];
     TenantState& tenant = *states[client.tenant];
     if (!client.in_page) {
       client.in_page = true;
@@ -131,8 +157,8 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
       ++tenant.result.pages_completed;
       client.in_page = false;
       const double think = rng.NextExponential(config.think_time_mean_s);
-      events.push(Event{now + think, seq++, event.client});
-      continue;
+      executor.Schedule(now + think, event.client);
+      return true;
     }
 
     const DbOp& op = client.ops[client.op_index++];
@@ -146,14 +172,16 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
                  effect.status().code() == StatusCode::kDeadlineExceeded) {
         op_failed = true;
       } else {
-        return effect.status();
+        error = effect.status();
+        return false;
       }
     } else {
       auto ignored = tenant.spec.app->Query(op.template_id, op.params, &stats);
       if (!ignored.ok()) {
         if (ignored.status().code() != StatusCode::kUnavailable &&
             ignored.status().code() != StatusCode::kDeadlineExceeded) {
-          return ignored.status();
+          error = ignored.status();
+          return false;
         }
         op_failed = true;
       }
@@ -218,8 +246,10 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
     const double at_client =
         dssp_done + config.client_latency_s +
         static_cast<double>(stats.response_bytes) / client_bw;
-    events.push(Event{at_client, seq++, event.client});
-  }
+    executor.Schedule(at_client, event.client);
+    return true;
+  });
+  if (!error.ok()) return error;
 
   for (const auto& state : states) {
     SimResult result = state->result;
@@ -250,6 +280,8 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
           ? 0.0
           : static_cast<double>(cluster_result.pages_measured) /
                 cluster_result.measured_duration_s;
+  cluster_result.events_executed = executor.events_executed();
+  cluster_result.executor_epochs = executor.epochs_run();
   return cluster_result;
 }
 

@@ -12,11 +12,16 @@
 namespace dssp::sim {
 
 // Optional mid-run failover chaos: kill one member at a virtual instant and
-// (optionally) rejoin it later. Negative times disable each step.
+// (optionally) rejoin it later. Negative times disable each step. Kill and
+// rejoin are scheduled as first-class simulation events, so they fire at
+// their exact virtual time even when the event queue is quiet.
 struct ClusterScenario {
   double kill_at_s = -1;
   int kill_node = 0;
   double rejoin_at_s = -1;
+  // A rejoin whose drain fails (e.g. injected bus faults) is retried this
+  // much later, until it succeeds or the run ends.
+  double rejoin_retry_s = 0.25;
 };
 
 // RunClusterSimulation outcome: the familiar per-tenant results plus
@@ -39,14 +44,23 @@ struct ClusterSimResult {
   bool kill_fired = false;
   bool rejoin_fired = false;
   uint64_t rejoin_replayed = 0;  // Invalidation notices drained at rejoin.
+  double kill_fired_at_s = -1;    // Exact virtual kill instant.
+  double rejoin_fired_at_s = -1;  // Exact virtual rejoin instant.
+
+  // Event-executor accounting.
+  uint64_t events_executed = 0;
+  uint64_t executor_epochs = 0;
 };
 
 // The multi-tenant discrete-event simulation, re-pointed at a cluster: the
 // single shared DSSP worker pool becomes one FIFO pool per member node, and
 // each operation's service time is charged to the member that actually
 // handled it (the router records the route thread-locally per operation).
-// Timing semantics are otherwise identical to RunMultiTenantSimulation, so
-// a 1-node cluster reproduces the single-node numbers.
+// Driven by the epoch-based EventExecutor, so million-client runs multiplex
+// over a fixed thread set instead of a global heap; execution stays
+// serialized in (time, seq) order, and timing semantics are identical to
+// RunMultiTenantSimulation, so a 1-node cluster reproduces the single-node
+// numbers bit for bit.
 //
 // Every tenant's ScalableApp must already be constructed over `router` as
 // its CacheBackend and finalized/populated.

@@ -46,6 +46,20 @@ struct SimConfig {
   // SLO used for the scalability metric.
   double response_time_limit_s = 2.0;
   double percentile = 0.90;
+
+  // Initial-arrival model. The legacy default staggers each client's first
+  // page uniformly over one think time, which biases warmup-window
+  // percentiles (a uniform ramp, not the Poisson arrivals the steady-state
+  // think model implies). true draws exponential inter-arrivals with mean
+  // think_time_mean_s / num_clients instead. Kept opt-in so the published
+  // figure runs stay bit-identical under the legacy seed.
+  bool exponential_arrivals = false;
+
+  // Event-executor shape (RunClusterSimulation only; 0 = auto). Neither
+  // affects results — execution order is deterministic in (time, seq)
+  // regardless — only how the harvest/sort work is spread over threads.
+  int sim_threads = 0;
+  double sim_epoch_s = 0;
 };
 
 }  // namespace dssp::sim

@@ -1,0 +1,205 @@
+#include "sim/event_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dssp::sim {
+
+namespace {
+
+// Below this many due events, sorting inline beats waking the pool.
+constexpr size_t kInlineSortThreshold = 4096;
+
+bool EventBefore(const SimEvent& a, const SimEvent& b) {
+  return a.time < b.time || (a.time == b.time && a.seq < b.seq);
+}
+
+}  // namespace
+
+EventExecutor::EventExecutor(EventExecutorOptions options)
+    : options_(options) {
+  DSSP_CHECK(options_.shards >= 1);
+  DSSP_CHECK(options_.epoch_s > 0);
+  shards_.resize(options_.shards);
+  if (options_.harvest_threads > 0) {
+    num_threads_ = options_.harvest_threads;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads_ = static_cast<int>(std::min(hw == 0 ? 1u : hw, 8u));
+  }
+}
+
+void EventExecutor::Schedule(double time, int32_t client, SimEventKind kind) {
+  SimEvent event;
+  event.time = time;
+  event.seq = next_seq_++;
+  event.client = client;
+  event.kind = kind;
+  if (running_) {
+    DSSP_CHECK(time >= current_time_);
+    if (EpochOf(time) == current_epoch_) {
+      // Due inside the epoch being executed: the harvested runs are already
+      // sorted, so it joins via the live heap the merge also consults.
+      live_.push(event);
+      return;
+    }
+  }
+  // Scenario events all share shard 0; they are rare, and a stable shard
+  // keeps execution order independent of how many shards exist.
+  const size_t shard =
+      kind == SimEventKind::kClient
+          ? static_cast<size_t>(static_cast<uint32_t>(client)) % shards_.size()
+          : 0;
+  shards_[shard].buckets[EpochOf(time)].push_back(event);
+}
+
+void EventExecutor::SortRuns(std::vector<std::vector<SimEvent>>& runs) {
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  if (num_threads_ <= 1 || total < kInlineSortThreshold) {
+    for (auto& run : runs) std::sort(run.begin(), run.end(), EventBefore);
+    return;
+  }
+  StartPool();
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    pool_runs_ = &runs;
+    pool_next_.store(0, std::memory_order_relaxed);
+    pool_done_ = 0;
+    ++pool_generation_;
+    pool_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return pool_done_ == workers_.size(); });
+    pool_runs_ = nullptr;
+  }
+}
+
+void EventExecutor::StartPool() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void EventExecutor::StopPool() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    pool_stop_ = true;
+    pool_cv_.notify_all();
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  pool_stop_ = false;
+}
+
+void EventExecutor::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::vector<std::vector<SimEvent>>* runs = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [&] {
+        return pool_stop_ || pool_generation_ != seen_generation;
+      });
+      if (pool_stop_) return;
+      seen_generation = pool_generation_;
+      runs = pool_runs_;
+    }
+    // Work-steal whole runs off a shared atomic cursor; per-run sort order
+    // does not depend on which worker sorted it.
+    for (size_t i = pool_next_.fetch_add(1, std::memory_order_relaxed);
+         i < runs->size();
+         i = pool_next_.fetch_add(1, std::memory_order_relaxed)) {
+      std::sort((*runs)[i].begin(), (*runs)[i].end(), EventBefore);
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      ++pool_done_;
+      if (pool_done_ == workers_.size()) done_cv_.notify_all();
+    }
+  }
+}
+
+void EventExecutor::Run(const Handler& handler) {
+  DSSP_CHECK(!running_);
+  running_ = true;
+
+  // Merge heap entries: index of a harvested run with at least one event
+  // left; ordered by that run's head event.
+  std::vector<std::vector<SimEvent>> runs;
+  std::vector<size_t> cursor;
+
+  while (true) {
+    // Global virtual-time barrier: the earliest epoch any shard has due.
+    uint64_t epoch = std::numeric_limits<uint64_t>::max();
+    for (const Shard& shard : shards_) {
+      if (shard.buckets.empty()) continue;
+      epoch = std::min(epoch, shard.buckets.begin()->first);
+    }
+    if (epoch == std::numeric_limits<uint64_t>::max()) break;
+    current_epoch_ = epoch;
+
+    // Harvest: move this epoch's bucket out of every shard that has one.
+    runs.clear();
+    for (Shard& shard : shards_) {
+      const auto it = shard.buckets.find(epoch);
+      if (it == shard.buckets.end()) continue;
+      runs.push_back(std::move(it->second));
+      shard.buckets.erase(it);
+    }
+    SortRuns(runs);
+
+    cursor.assign(runs.size(), 0);
+    auto head_after = [&](size_t a, size_t b) {
+      const SimEvent& ea = runs[a][cursor[a]];
+      const SimEvent& eb = runs[b][cursor[b]];
+      return EventBefore(eb, ea);
+    };
+    std::priority_queue<size_t, std::vector<size_t>, decltype(head_after)>
+        heads(head_after);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (!runs[i].empty()) heads.push(i);
+    }
+
+    // Execute the merged epoch serialized in (time, seq) order, folding in
+    // events the handler schedules back into this same epoch.
+    while (!heads.empty() || !live_.empty()) {
+      SimEvent event;
+      bool from_live = false;
+      if (heads.empty()) {
+        from_live = true;
+      } else if (!live_.empty()) {
+        const size_t i = heads.top();
+        from_live = EventBefore(live_.top(), runs[i][cursor[i]]);
+      }
+      if (from_live) {
+        event = live_.top();
+        live_.pop();
+      } else {
+        const size_t i = heads.top();
+        heads.pop();
+        event = runs[i][cursor[i]];
+        if (++cursor[i] < runs[i].size()) heads.push(i);
+      }
+
+      current_time_ = event.time;
+      ++events_executed_;
+      if (!handler(event)) {
+        // Stopped mid-epoch: drop everything still pending, like the
+        // classic loop breaking out with a non-empty heap.
+        live_ = {};
+        for (Shard& shard : shards_) shard.buckets.clear();
+        ++epochs_run_;
+        running_ = false;
+        StopPool();
+        return;
+      }
+    }
+    ++epochs_run_;
+  }
+
+  running_ = false;
+  StopPool();
+}
+
+}  // namespace dssp::sim

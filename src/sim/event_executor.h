@@ -1,0 +1,146 @@
+#ifndef DSSP_SIM_EVENT_EXECUTOR_H_
+#define DSSP_SIM_EVENT_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dssp::sim {
+
+// What a simulation event means to its handler. Client events drive the
+// closed-loop page model; kill/rejoin are the chaos-scenario events, made
+// first-class so they fire at their exact virtual time instead of
+// piggybacking on whichever client event happens to pop next.
+enum class SimEventKind : uint8_t {
+  kClient = 0,
+  kKill = 1,
+  kRejoin = 2,
+};
+
+struct SimEvent {
+  double time = 0;
+  uint64_t seq = 0;  // Schedule order; tie-break for determinism.
+  int32_t client = -1;  // Client index, or the node for kill/rejoin.
+  SimEventKind kind = SimEventKind::kClient;
+};
+
+struct EventExecutorOptions {
+  // Event-queue shards. A client's events always land in the same shard
+  // (client % shards), so per-shard bucket appends replace the global
+  // O(log N) heap discipline.
+  size_t shards = 64;
+  // Fixed thread set for the per-epoch harvest+sort. 0 = auto (hardware
+  // concurrency, capped at 8); 1 = fully inline, no threads.
+  int harvest_threads = 0;
+  // Virtual-time width of one epoch. Events are bucketed by
+  // floor(time / epoch_s); each Run iteration harvests exactly one epoch
+  // across all shards behind a global virtual-time barrier.
+  double epoch_s = 0.25;
+};
+
+// Epoch-based discrete-event executor built to multiplex ~10^6 closed-loop
+// clients over a fixed thread set. The classic simulator keeps one global
+// min-heap: every Schedule and every pop pays O(log N) on a single thread,
+// and at a million in-flight clients the heap IS the simulation. Here
+// Schedule is an O(1) append into a per-shard epoch bucket; Run advances a
+// global virtual-time barrier one epoch at a time — harvesting each shard's
+// due bucket, sorting shards in parallel on the fixed thread set, and
+// k-way-merging the sorted runs — then executes the merged epoch strictly
+// serialized in (time, seq) order on the calling thread.
+//
+// Determinism: execution order is the exact global (time, seq) order, the
+// same total order the single heap produces, independent of shard count and
+// thread count. Bucketing never reorders across epochs (times in epoch E
+// all precede times in epoch E+1) and the per-shard sort + merge restores
+// the order within one. Handlers run only on the Run caller's thread, so a
+// simulation using this executor reproduces the single-threaded simulator
+// bit for bit.
+//
+// The handler may Schedule freely, including into the epoch being executed:
+// such events enter a live min-heap that the merge consults alongside the
+// harvested runs. Scheduling into the past (time below the event being
+// handled) is a checked error.
+class EventExecutor {
+ public:
+  // Returns false to stop the run (remaining events are discarded).
+  using Handler = std::function<bool(const SimEvent&)>;
+
+  explicit EventExecutor(EventExecutorOptions options = EventExecutorOptions{});
+
+  EventExecutor(const EventExecutor&) = delete;
+  EventExecutor& operator=(const EventExecutor&) = delete;
+
+  // O(1) amortized. Callable before Run (seeding) and from inside a handler
+  // (the closed loop); never from other threads during Run.
+  void Schedule(double time, int32_t client,
+                SimEventKind kind = SimEventKind::kClient);
+
+  // Executes all events in global (time, seq) order until the queues drain
+  // or the handler returns false. Not reentrant.
+  void Run(const Handler& handler);
+
+  uint64_t events_executed() const { return events_executed_; }
+  uint64_t epochs_run() const { return epochs_run_; }
+  size_t shards() const { return shards_.size(); }
+  int harvest_threads() const { return num_threads_; }
+
+ private:
+  struct EventAfter {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  struct Shard {
+    // epoch index -> events due in that epoch, schedule order. Ordered map:
+    // begin() is the shard's next due epoch.
+    std::map<uint64_t, std::vector<SimEvent>> buckets;
+  };
+
+  uint64_t EpochOf(double time) const {
+    return static_cast<uint64_t>(time / options_.epoch_s);
+  }
+
+  // Sorts `runs` on the fixed thread set (inline when small or threadless).
+  void SortRuns(std::vector<std::vector<SimEvent>>& runs);
+
+  void StartPool();
+  void StopPool();
+  void WorkerLoop();
+
+  EventExecutorOptions options_;
+  std::vector<Shard> shards_;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  uint64_t epochs_run_ = 0;
+
+  // Run-time state for handler re-entry into Schedule.
+  bool running_ = false;
+  uint64_t current_epoch_ = 0;
+  double current_time_ = 0;
+  std::priority_queue<SimEvent, std::vector<SimEvent>, EventAfter> live_;
+
+  // Fixed harvest/sort thread set, started on first Run that needs it.
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::vector<SimEvent>>* pool_runs_ = nullptr;
+  std::atomic<size_t> pool_next_{0};
+  size_t pool_done_ = 0;
+  uint64_t pool_generation_ = 0;
+  bool pool_stop_ = false;
+};
+
+}  // namespace dssp::sim
+
+#endif  // DSSP_SIM_EVENT_EXECUTOR_H_

@@ -86,10 +86,23 @@ StatusOr<std::vector<SimResult>> RunMultiTenantSimulation(
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   uint64_t seq = 0;
-  // Stagger initial arrivals uniformly over one think time.
-  for (size_t c = 0; c < clients.size(); ++c) {
-    events.push(Event{rng.NextDouble() * config.think_time_mean_s, seq++,
-                      static_cast<int>(c)});
+  if (config.exponential_arrivals) {
+    // Poisson arrivals at the steady-state aggregate rate N / think_mean:
+    // exponential inter-arrival gaps, one draw per client (same rng stream
+    // length as the legacy stagger).
+    const double gap_mean =
+        config.think_time_mean_s / static_cast<double>(clients.size());
+    double arrival = 0;
+    for (size_t c = 0; c < clients.size(); ++c) {
+      arrival += rng.NextExponential(gap_mean);
+      events.push(Event{arrival, seq++, static_cast<int>(c)});
+    }
+  } else {
+    // Legacy: stagger initial arrivals uniformly over one think time.
+    for (size_t c = 0; c < clients.size(); ++c) {
+      events.push(Event{rng.NextDouble() * config.think_time_mean_s, seq++,
+                        static_cast<int>(c)});
+    }
   }
 
   const double client_bw = config.client_bandwidth_bps / 8.0;  // bytes/s

@@ -185,10 +185,13 @@ TEST(InvalidationBusTest, QueuesForDeadMemberAndReplaysInOrderOnFlush) {
   EXPECT_EQ(bus.Pending(1), 0u);
   EXPECT_EQ(dead_channel.notices_applied(), 5u);
 
-  const BusCounters counters = bus.counters();
-  EXPECT_EQ(counters.published, 5u);
-  EXPECT_EQ(counters.delivered_frames, 10u);
-  EXPECT_EQ(counters.failed_deliveries, 5u);
+  const BusStats stats = bus.stats();
+  EXPECT_EQ(stats.published, 5u);
+  EXPECT_EQ(stats.delivered_notices, 10u);
+  // The five frames that bounced off the dead wire were transient, not
+  // dropped: they stayed queued and replayed at the Flush above.
+  EXPECT_EQ(stats.unreachable_failures, 5u);
+  EXPECT_EQ(stats.dropped_frames, 0u);
 }
 
 TEST(InvalidationBusTest, DeferredMemberQueuesWithoutWireAttempts) {
@@ -203,7 +206,7 @@ TEST(InvalidationBusTest, DeferredMemberQueuesWithoutWireAttempts) {
   const PublishOutcome outcome = bus.Publish("app", notice);
   EXPECT_EQ(outcome.deferred_members, 1);
   EXPECT_EQ(outcome.failed_members, 0);
-  EXPECT_EQ(bus.counters().wire_retries, 0u);  // Never touched the wire.
+  EXPECT_EQ(bus.stats().wire_retries, 0u);  // Never touched the wire.
   EXPECT_EQ(bus.Pending(0), 1u);
 }
 
@@ -458,8 +461,8 @@ TEST(ClusterConcurrencyTest, ParallelTrafficWithKillAndRejoinStaysSafe) {
   }
 
   // Every member saw every published notice exactly once.
-  const BusCounters counters = router.bus().counters();
-  EXPECT_EQ(counters.published,
+  const BusStats stats = router.bus().stats();
+  EXPECT_EQ(stats.published,
             static_cast<uint64_t>(kThreads) * (kOpsPerThread / 3));
   for (int i = 0; i < router.num_nodes(); ++i) {
     EXPECT_EQ(router.bus().Pending(i), 0u) << "node " << i;

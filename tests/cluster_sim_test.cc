@@ -118,6 +118,132 @@ TEST(ClusterSimTest, KillAndRejoinCompletesWithZeroFailedOps) {
   }
 }
 
+// Equality across every field two runs of the same workload must agree on.
+void ExpectSameSimResult(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.pages_completed, b.pages_completed);
+  EXPECT_EQ(a.db_ops, b.db_ops);
+  EXPECT_EQ(a.cache_hit_rate, b.cache_hit_rate);
+  EXPECT_EQ(a.entries_invalidated, b.entries_invalidated);
+  EXPECT_EQ(a.home_queries, b.home_queries);
+  EXPECT_EQ(a.home_updates, b.home_updates);
+  EXPECT_EQ(a.failed_ops, b.failed_ops);
+  EXPECT_DOUBLE_EQ(a.mean_response_s, b.mean_response_s);
+  EXPECT_DOUBLE_EQ(a.p50_response_s, b.p50_response_s);
+  EXPECT_DOUBLE_EQ(a.p90_response_s, b.p90_response_s);
+  EXPECT_DOUBLE_EQ(a.p99_response_s, b.p99_response_s);
+  EXPECT_DOUBLE_EQ(a.max_response_s, b.max_response_s);
+}
+
+TEST(ClusterSimTest, ExponentialArrivalsReproduceSingleNodeNumbers) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 1;
+  cluster::ClusterRouter router(options);
+  System clustered = BuildBookstore(&router);
+
+  service::DsspNode node;
+  System single = BuildBookstore(&node);
+
+  SimConfig config = TestConfig();
+  config.exponential_arrivals = true;
+  auto cluster_result = RunClusterSimulation(
+      router, {Tenant{clustered.app.get(), clustered.generator.get(), 40}},
+      config);
+  ASSERT_TRUE(cluster_result.ok());
+  auto single_result = RunMultiTenantSimulation(
+      {Tenant{single.app.get(), single.generator.get(), 40}}, config);
+  ASSERT_TRUE(single_result.ok());
+  ExpectSameSimResult(cluster_result->tenants[0], (*single_result)[0]);
+}
+
+TEST(ClusterSimTest, ExecutorThreadShapeDoesNotChangeResults) {
+  auto run = [](int threads, double epoch_s) {
+    cluster::ClusterOptions options;
+    options.num_nodes = 2;
+    cluster::ClusterRouter router(options);
+    System system = BuildBookstore(&router);
+    SimConfig config = TestConfig();
+    config.duration_s = 25.0;
+    config.exponential_arrivals = true;
+    config.sim_threads = threads;
+    config.sim_epoch_s = epoch_s;
+    auto result = RunClusterSimulation(
+        router, {Tenant{system.app.get(), system.generator.get(), 30}},
+        config);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  const ClusterSimResult a = run(1, 0.25);
+  const ClusterSimResult b = run(4, 0.05);
+  ExpectSameSimResult(a.tenants[0], b.tenants[0]);
+  EXPECT_EQ(a.pages_measured, b.pages_measured);
+  EXPECT_EQ(a.node_ops, b.node_ops);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(ClusterSimTest, BatchedBusReproducesUnbatchedResultsAtEqualLag) {
+  auto run = [](size_t max_batch) {
+    cluster::ClusterOptions options;
+    options.num_nodes = 3;
+    options.bus.bus_lag = 8;  // Equal staleness bound on both sides.
+    options.bus.max_batch = max_batch;
+    cluster::ClusterRouter router(options);
+    System system = BuildBookstore(&router);
+    SimConfig config = TestConfig();
+    config.duration_s = 25.0;
+    auto result = RunClusterSimulation(
+        router, {Tenant{system.app.get(), system.generator.get(), 30}},
+        config);
+    EXPECT_TRUE(result.ok());
+    const auto stats = router.bus().stats();
+    if (max_batch > 1) {
+      EXPECT_GT(stats.batches_sent, 0u);  // Coalescing actually happened.
+    } else {
+      EXPECT_EQ(stats.batches_sent, 0u);
+    }
+    EXPECT_EQ(stats.dropped_frames, 0u);
+    return *result;
+  };
+
+  const ClusterSimResult unbatched = run(1);
+  const ClusterSimResult batched = run(32);
+  // Identical invalidation sets and timing: batching only reframes the
+  // wire, and bus_lag counts notices either way.
+  ExpectSameSimResult(unbatched.tenants[0], batched.tenants[0]);
+  EXPECT_EQ(unbatched.node_ops, batched.node_ops);
+  EXPECT_EQ(unbatched.pages_measured, batched.pages_measured);
+}
+
+TEST(ClusterSimTest, ScenarioFiresAtExactVirtualTime) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 4;
+  options.replication = 2;
+  cluster::ClusterRouter router(options);
+  System system = BuildBookstore(&router);
+
+  // A deliberately quiet tail: two clients with think times far longer than
+  // the run leave the event queue empty around the scenario instants. The
+  // legacy lazy check (fire on the next popped client event) would apply
+  // the kill late or never; first-class events fire exactly on time.
+  SimConfig config = TestConfig();
+  config.duration_s = 30.0;
+  config.think_time_mean_s = 500.0;
+  ClusterScenario scenario;
+  scenario.kill_node = 2;
+  scenario.kill_at_s = 11.03125;  // Off the epoch grid on purpose.
+  scenario.rejoin_at_s = 23.015625;
+
+  auto result = RunClusterSimulation(
+      router, {Tenant{system.app.get(), system.generator.get(), 2}}, config,
+      scenario);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->kill_fired);
+  EXPECT_TRUE(result->rejoin_fired);
+  EXPECT_DOUBLE_EQ(result->kill_fired_at_s, scenario.kill_at_s);
+  EXPECT_DOUBLE_EQ(result->rejoin_fired_at_s, scenario.rejoin_at_s);
+  EXPECT_EQ(router.membership().health(2), cluster::NodeHealth::kAlive);
+}
+
 TEST(ClusterSimTest, ScenarioDefaultsAreInert) {
   cluster::ClusterOptions options;
   options.num_nodes = 2;

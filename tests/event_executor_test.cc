@@ -1,0 +1,221 @@
+// EventExecutor determinism tests: the epoch-based sharded executor must
+// reproduce the exact global (time, seq) order a single min-heap produces,
+// independent of shard count, thread count, and epoch width.
+
+#include "sim/event_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dssp::sim {
+namespace {
+
+struct Executed {
+  double time;
+  uint64_t seq;
+  int32_t client;
+  SimEventKind kind;
+
+  bool operator==(const Executed& other) const {
+    return time == other.time && seq == other.seq &&
+           client == other.client && kind == other.kind;
+  }
+};
+
+// Reference model: the classic single priority queue with (time, seq)
+// ordering, seq assigned in push order.
+struct RefEvent {
+  double time;
+  uint64_t seq;
+  int32_t client;
+
+  bool operator>(const RefEvent& other) const {
+    return time > other.time || (time == other.time && seq > other.seq);
+  }
+};
+
+TEST(EventExecutorTest, EqualTimeEventsExecuteInScheduleOrder) {
+  EventExecutorOptions options;
+  options.shards = 7;  // Not a divisor of the client count: shards mix.
+  options.harvest_threads = 1;
+  EventExecutor executor(options);
+
+  // Same instant, clients spread over every shard: only seq can order them.
+  for (int32_t c = 0; c < 21; ++c) executor.Schedule(1.0, c);
+
+  std::vector<Executed> order;
+  executor.Run([&](const SimEvent& event) {
+    order.push_back({event.time, event.seq, event.client, event.kind});
+    return true;
+  });
+
+  ASSERT_EQ(order.size(), 21u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].seq, i) << "position " << i;
+    EXPECT_EQ(order[i].client, static_cast<int32_t>(i));
+  }
+}
+
+// Runs a closed-loop workload (each event schedules a follow-up until a
+// deterministic per-client horizon) under the given executor shape and
+// returns the execution order.
+std::vector<Executed> RunClosedLoop(const EventExecutorOptions& options,
+                                    int num_clients, double horizon_s) {
+  EventExecutor executor(options);
+  Rng rng(1234);
+  for (int32_t c = 0; c < num_clients; ++c) {
+    executor.Schedule(rng.NextDouble() * 2.0, c);
+  }
+  Rng think(99);
+  std::vector<Executed> order;
+  executor.Run([&](const SimEvent& event) {
+    order.push_back({event.time, event.seq, event.client, event.kind});
+    // Deterministic follow-up think time; stops past the horizon. Includes
+    // zero-delay reschedules, which land in the epoch being executed.
+    const double delay = (event.seq % 5 == 0) ? 0.0 : think.NextExponential(0.5);
+    const double next = event.time + delay;
+    if (next <= horizon_s) executor.Schedule(next, event.client);
+    return true;
+  });
+  return order;
+}
+
+TEST(EventExecutorTest, OrderMatchesSingleHeapReference) {
+  EventExecutorOptions options;
+  options.shards = 16;
+  options.harvest_threads = 1;
+  options.epoch_s = 0.25;
+  const std::vector<Executed> order = RunClosedLoop(options, 50, 10.0);
+
+  // Reference: identical workload through one priority queue.
+  std::priority_queue<RefEvent, std::vector<RefEvent>, std::greater<RefEvent>>
+      events;
+  uint64_t seq = 0;
+  Rng rng(1234);
+  for (int32_t c = 0; c < 50; ++c) {
+    events.push(RefEvent{rng.NextDouble() * 2.0, seq++, c});
+  }
+  Rng think(99);
+  std::vector<Executed> reference;
+  while (!events.empty()) {
+    const RefEvent event = events.top();
+    events.pop();
+    reference.push_back(
+        {event.time, event.seq, event.client, SimEventKind::kClient});
+    const double delay =
+        (event.seq % 5 == 0) ? 0.0 : think.NextExponential(0.5);
+    const double next = event.time + delay;
+    if (next <= 10.0) events.push(RefEvent{next, seq++, event.client});
+  }
+
+  ASSERT_EQ(order.size(), reference.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_TRUE(order[i] == reference[i]) << "diverged at event " << i;
+  }
+}
+
+TEST(EventExecutorTest, OrderInvariantUnderShardAndThreadShape) {
+  EventExecutorOptions base;
+  base.shards = 1;
+  base.harvest_threads = 1;
+  base.epoch_s = 0.5;
+  const std::vector<Executed> reference = RunClosedLoop(base, 64, 8.0);
+  ASSERT_FALSE(reference.empty());
+
+  struct Shape {
+    size_t shards;
+    int threads;
+    double epoch_s;
+  };
+  for (const Shape& shape : {Shape{64, 4, 0.5}, Shape{3, 2, 0.05},
+                             Shape{128, 8, 2.0}, Shape{16, 1, 0.125}}) {
+    EventExecutorOptions options;
+    options.shards = shape.shards;
+    options.harvest_threads = shape.threads;
+    options.epoch_s = shape.epoch_s;
+    const std::vector<Executed> order = RunClosedLoop(options, 64, 8.0);
+    ASSERT_EQ(order.size(), reference.size())
+        << "shards=" << shape.shards << " threads=" << shape.threads;
+    for (size_t i = 0; i < order.size(); ++i) {
+      ASSERT_TRUE(order[i] == reference[i])
+          << "shards=" << shape.shards << " threads=" << shape.threads
+          << " diverged at event " << i;
+    }
+  }
+}
+
+TEST(EventExecutorTest, HandlerStopDiscardsRemainingEvents) {
+  EventExecutor executor;
+  for (int32_t c = 0; c < 10; ++c) {
+    executor.Schedule(static_cast<double>(c), c);
+  }
+  int handled = 0;
+  executor.Run([&](const SimEvent& event) {
+    ++handled;
+    return event.time <= 4.0;  // Stop on the first event past the horizon.
+  });
+  EXPECT_EQ(handled, 6);  // Events at t=0..4 plus the stopping one at t=5.
+  EXPECT_EQ(executor.events_executed(), 6u);
+
+  // The executor is reusable after a stop; nothing stale leaks out.
+  executor.Schedule(100.0, 0);
+  int resumed = 0;
+  executor.Run([&](const SimEvent&) {
+    ++resumed;
+    return true;
+  });
+  EXPECT_EQ(resumed, 1);
+}
+
+TEST(EventExecutorTest, IntraEpochSchedulesInterleaveCorrectly) {
+  EventExecutorOptions options;
+  options.shards = 4;
+  options.epoch_s = 100.0;  // Everything lands in one epoch.
+  options.harvest_threads = 1;
+  EventExecutor executor(options);
+  executor.Schedule(1.0, 0);
+  executor.Schedule(5.0, 1);
+
+  std::vector<Executed> order;
+  executor.Run([&](const SimEvent& event) {
+    order.push_back({event.time, event.seq, event.client, event.kind});
+    if (event.seq == 0) {
+      // Scheduled mid-epoch: must execute between the two harvested events.
+      executor.Schedule(3.0, 2);
+    }
+    return true;
+  });
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].client, 0);
+  EXPECT_EQ(order[1].client, 2);
+  EXPECT_EQ(order[2].client, 1);
+  EXPECT_EQ(executor.epochs_run(), 1u);
+}
+
+TEST(EventExecutorTest, ScenarioKindsShareShardZeroDeterministically) {
+  EventExecutorOptions options;
+  options.shards = 8;
+  EventExecutor executor(options);
+  executor.Schedule(2.0, 1, SimEventKind::kKill);
+  executor.Schedule(2.0, 1, SimEventKind::kRejoin);
+  executor.Schedule(2.0, 5);
+
+  std::vector<SimEventKind> kinds;
+  executor.Run([&](const SimEvent& event) {
+    kinds.push_back(event.kind);
+    return true;
+  });
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], SimEventKind::kKill);
+  EXPECT_EQ(kinds[1], SimEventKind::kRejoin);
+  EXPECT_EQ(kinds[2], SimEventKind::kClient);
+}
+
+}  // namespace
+}  // namespace dssp::sim

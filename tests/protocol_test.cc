@@ -48,7 +48,11 @@ TEST(ProtocolCodecTest, ErrorRoundTrip) {
 
 TEST(ProtocolCodecTest, RejectsWrongTypeAndGarbage) {
   EXPECT_FALSE(PeekType("").has_value());
-  EXPECT_FALSE(PeekType("\x09").has_value());
+  // One past the last real type (kMessageTypeEnd) is out of range.
+  EXPECT_FALSE(
+      PeekType(std::string(
+                   1, static_cast<char>(MessageType::kMessageTypeEnd)))
+          .has_value());
   const std::string frame = Encode(UpdateResponse{1});
   EXPECT_FALSE(DecodeQueryResponse(frame).ok());
   EXPECT_FALSE(DecodeUpdateResponse(frame + "junk").ok());
