@@ -1,0 +1,140 @@
+#ifndef DSSP_ANALYSIS_AUDIT_H_
+#define DSSP_ANALYSIS_AUDIT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/exposure.h"
+#include "analysis/ipm.h"
+#include "analysis/methodology.h"
+#include "analysis/plan.h"
+#include "catalog/schema.h"
+#include "sql/ast.h"
+#include "templates/template_set.h"
+
+namespace dssp::analysis {
+
+// ---------------------------------------------------------------------------
+// Static application auditor.
+//
+// Given a registered application — schema, template set, and (optionally) an
+// exposure assignment — the auditor reuses the compiled invalidation plan
+// (analysis/plan.h), the predicate-index discriminator compiler
+// (dssp/view_index.h), the IPM characterization, and the satisfiability core
+// to emit structured diagnostics across three lenses:
+//
+//   security:    what an adversary observing the DSSP learns beyond what the
+//                Section 3.1 methodology requires (equality leakage through
+//                deterministic parameter encryption, view-exposed results,
+//                over-exposed templates, compulsory-policy violations);
+//   performance: template pairs that defeat the compiled fast paths
+//                (solver fallbacks, always-invalidate pairs, query templates
+//                with no usable discriminator, blind updates);
+//   correctness: statements that are wrong relative to the schema (type
+//                mismatches, unused parameters, dead templates whose
+//                predicates are unsatisfiable).
+//
+// Everything is static: the audit consults only the templates and the
+// catalog, never the database or the cache, so it is safe to run at
+// registration time (see DsspNode::SetStrictRegistration) and in CI against
+// committed baselines.
+//
+// Layering note: the auditor's headers live in analysis/, but audit.cc is
+// compiled into the dssp_service library — the discriminator check reuses
+// service::ViewIndexPlan, and dssp_service already links dssp_analysis, so
+// compiling the auditor into dssp_analysis would create a library cycle.
+// ---------------------------------------------------------------------------
+
+enum class AuditLens {
+  kSecurity = 0,
+  kPerformance = 1,
+  kCorrectness = 2,
+};
+
+const char* AuditLensName(AuditLens lens);
+
+enum class AuditSeverity {
+  kInfo = 0,     // Expected consequence of the chosen design; informational.
+  kWarning = 1,  // Costs security or performance; worth an explicit decision.
+  kError = 2,    // The application is wrong; strict registration refuses it.
+};
+
+const char* AuditSeverityName(AuditSeverity severity);
+
+// One diagnostic. `code` is a stable machine-readable identifier (e.g.
+// "SEC-EQ-LEAK"); the set of codes is part of the JSON schema and CI
+// baselines depend on it. `subject` names what the finding is about: a
+// template id ("Q3"), a pair ("U1/Q2"), an attribute ("items.price"), or a
+// parameter ("Q3 ?2").
+struct AuditFinding {
+  AuditLens lens = AuditLens::kCorrectness;
+  AuditSeverity severity = AuditSeverity::kInfo;
+  std::string code;
+  std::string subject;
+  std::string message;    // One-line statement of the finding.
+  std::string rationale;  // Longer justification; may be empty.
+};
+
+struct AuditOptions {
+  // Exposure levels per template. Without one, the security lens and the
+  // exposure-dependent performance checks are skipped (the correctness and
+  // plan-shape checks never need it).
+  const ExposureAssignment* exposure = nullptr;
+
+  // Step 1 compulsory-encryption policy. With both `exposure` and `policy`,
+  // the auditor reports templates exposed beyond the policy's cap as errors.
+  const CompulsoryPolicy* policy = nullptr;
+
+  // Update template ids the operator declares hot. Always-invalidate pairs
+  // reachable from a hot update are warnings instead of infos.
+  std::vector<std::string> hot_updates;
+
+  // Drop info-severity findings from the report.
+  bool include_info = true;
+
+  IpmOptions ipm;
+  InvalidationPlan::Options plan;
+};
+
+struct AuditReport {
+  // Sorted by (lens, code, subject, message); deterministic for baselines.
+  std::vector<AuditFinding> findings;
+  size_t num_errors = 0;
+  size_t num_warnings = 0;
+  size_t num_infos = 0;
+
+  bool ok() const { return num_errors == 0; }
+
+  // Human-readable report grouped by lens.
+  std::string ToText() const;
+
+  // Machine-readable report. Schema (stable; CI diffs baselines against it):
+  //   {"audit_version": 1,
+  //    "summary": {"errors": N, "warnings": N, "infos": N},
+  //    "findings": [{"lens": ..., "severity": ..., "code": ...,
+  //                  "subject": ..., "message": ..., "rationale": ...}]}
+  std::string ToJson() const;
+};
+
+// Runs every lens over the application. Cost is the plan/IPM compilation
+// cost: O(pairs * statement size).
+AuditReport AuditApplication(const templates::TemplateSet& templates,
+                             const catalog::Catalog& catalog,
+                             const AuditOptions& options = {});
+
+// Correctness lens for a single statement (exposed so tests can exercise the
+// detectors on hand-built ASTs — e.g. an unused parameter cannot be produced
+// through the parser, which assigns indexes by appearance). Appends
+// COR-TYPE-MISMATCH / COR-UNUSED-PARAM / COR-DEAD-TEMPLATE /
+// COR-CONST-CONJUNCT findings for `statement` to `findings`, with `subject`
+// naming the template.
+void AuditStatementCorrectness(const sql::Statement& statement,
+                               const catalog::Catalog& catalog,
+                               std::string_view subject,
+                               std::vector<AuditFinding>* findings);
+
+}  // namespace dssp::analysis
+
+#endif  // DSSP_ANALYSIS_AUDIT_H_

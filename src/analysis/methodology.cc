@@ -15,7 +15,7 @@ ExposureLevel Min(ExposureLevel a, ExposureLevel b) {
 
 bool IsSensitive(const templates::AttributeSet& sensitive,
                  const std::string& table, const std::string& column) {
-  return sensitive.count(templates::AttributeId{table, column}) != 0;
+  return sensitive.contains(templates::AttributeId{table, column});
 }
 
 // True if a conjunct compares a sensitive attribute against a parameter,
@@ -67,7 +67,7 @@ ExposureAssignment ComputeInitialExposure(
     ExposureLevel level = ExposureLevel::kView;
     // Sensitive attribute in the result: encrypt results.
     for (const templates::AttributeId& attr : q.preserved_attributes()) {
-      if (sensitive.count(attr) != 0) {
+      if (sensitive.contains(attr)) {
         level = Min(level, ExposureLevel::kStmt);
         break;
       }

@@ -63,7 +63,7 @@ bool TableSchema::IsPrimaryKeyColumn(std::string_view column) const {
 }
 
 Status Catalog::AddTable(TableSchema schema) {
-  if (tables_.count(schema.name()) != 0) {
+  if (tables_.contains(schema.name())) {
     return AlreadyExistsError("table " + schema.name());
   }
   for (const std::string& pk : schema.primary_key()) {

@@ -84,7 +84,7 @@ std::string NodeChannel::HandleBatch(std::string_view inner) {
   }
   batches_received_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard<std::mutex> lock(dedup_mu_);
+  MutexLock lock(dedup_mu_);
   // At-most-once for the whole envelope: a retried batch (response lost on
   // the wire) replays the stored acks byte for byte instead of touching the
   // node again. The per-notice nonce check below would suppress re-applies
@@ -140,7 +140,7 @@ ChannelOutcome NodeChannel::RoundTrip(std::string_view frame) {
 
   StatusOr<uint64_t> invalidated = uint64_t{0};
   {
-    std::lock_guard<std::mutex> lock(dedup_mu_);
+    MutexLock lock(dedup_mu_);
     invalidated = ApplyNoticeLocked(*inner);
   }
   if (!invalidated.ok()) {
@@ -175,7 +175,7 @@ void InvalidationBus::SetWireObserver(
 void InvalidationBus::SetDeferred(int node, bool deferred) {
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
-  std::lock_guard<std::mutex> lock(it->second->mu);
+  MutexLock lock(it->second->mu);
   it->second->deferred = deferred;
 }
 
@@ -297,7 +297,7 @@ PublishOutcome InvalidationBus::Publish(const std::string& app_id,
 
   PublishOutcome outcome;
   for (auto& [node, member] : members_) {
-    std::lock_guard<std::mutex> lock(member->mu);
+    MutexLock lock(member->mu);
     member->queue.push_back(frame);
     if (member->deferred || member->queue.size() <= options_.bus_lag) {
       ++outcome.deferred_members;
@@ -317,7 +317,7 @@ PublishOutcome InvalidationBus::Publish(const std::string& app_id,
 StatusOr<uint64_t> InvalidationBus::Flush(int node) {
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
-  std::lock_guard<std::mutex> lock(it->second->mu);
+  MutexLock lock(it->second->mu);
   DSSP_ASSIGN_OR_RETURN(const DrainResult drained, DrainLocked(*it->second));
   return drained.frames;
 }
@@ -325,14 +325,14 @@ StatusOr<uint64_t> InvalidationBus::Flush(int node) {
 size_t InvalidationBus::Pending(int node) const {
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
-  std::lock_guard<std::mutex> lock(it->second->mu);
+  MutexLock lock(it->second->mu);
   return it->second->queue.size();
 }
 
 uint64_t InvalidationBus::Dropped(int node) const {
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
-  std::lock_guard<std::mutex> lock(it->second->mu);
+  MutexLock lock(it->second->mu);
   return it->second->dropped;
 }
 

@@ -7,11 +7,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dssp/channel.h"
 #include "dssp/node.h"
@@ -62,9 +62,10 @@ class NodeChannel : public service::Channel {
 
  private:
   // Decodes, validates, nonce-dedups, and applies one kInvalidateRequest
-  // frame; caller holds dedup_mu_. Returns the entries invalidated, or the
-  // (deterministic) refusal status.
-  StatusOr<uint64_t> ApplyNoticeLocked(std::string_view inner);
+  // frame. Returns the entries invalidated, or the (deterministic) refusal
+  // status.
+  StatusOr<uint64_t> ApplyNoticeLocked(std::string_view inner)
+      DSSP_REQUIRES(dedup_mu_);
 
   // Handles an unsealed kInvalidateBatchRequest; returns the unsealed
   // response frame (kInvalidateBatchResponse, or kError for a malformed
@@ -84,11 +85,13 @@ class NodeChannel : public service::Channel {
   // lost replays the stored acks verbatim; the per-notice map stays the
   // authoritative guard — a notice that already arrived via a singleton
   // frame is suppressed even when it reappears inside a batch.
-  std::mutex dedup_mu_;
-  std::unordered_map<uint64_t, uint64_t> applied_nonces_;
-  std::deque<uint64_t> dedup_fifo_;
-  std::unordered_map<uint64_t, std::string> applied_batches_;
-  std::deque<uint64_t> batch_fifo_;
+  Mutex dedup_mu_;
+  std::unordered_map<uint64_t, uint64_t> applied_nonces_
+      DSSP_GUARDED_BY(dedup_mu_);
+  std::deque<uint64_t> dedup_fifo_ DSSP_GUARDED_BY(dedup_mu_);
+  std::unordered_map<uint64_t, std::string> applied_batches_
+      DSSP_GUARDED_BY(dedup_mu_);
+  std::deque<uint64_t> batch_fifo_ DSSP_GUARDED_BY(dedup_mu_);
 };
 
 struct BusOptions {
@@ -190,10 +193,10 @@ class InvalidationBus {
     int node = 0;
     service::Channel* channel = nullptr;
     std::unique_ptr<service::RetryingClient> client;
-    mutable std::mutex mu;  // Guards queue + deferred + dropped.
-    std::deque<std::string> queue;
-    bool deferred = false;
-    uint64_t dropped = 0;
+    mutable Mutex mu;
+    std::deque<std::string> queue DSSP_GUARDED_BY(mu);
+    bool deferred DSSP_GUARDED_BY(mu) = false;
+    uint64_t dropped DSSP_GUARDED_BY(mu) = 0;
   };
 
   struct DrainResult {
@@ -201,12 +204,15 @@ class InvalidationBus {
     uint64_t entries = 0;  // Cache entries those notices invalidated.
   };
 
-  // Drains member.queue; caller holds member.mu.
-  StatusOr<DrainResult> DrainLocked(Member& member);
+  // Drains member.queue.
+  StatusOr<DrainResult> DrainLocked(Member& member)
+      DSSP_REQUIRES(member.mu);
 
-  // One singleton / one batched wire exchange; caller holds member.mu.
-  StatusOr<DrainResult> SendSingleLocked(Member& member);
-  StatusOr<DrainResult> SendBatchLocked(Member& member, size_t count);
+  // One singleton / one batched wire exchange.
+  StatusOr<DrainResult> SendSingleLocked(Member& member)
+      DSSP_REQUIRES(member.mu);
+  StatusOr<DrainResult> SendBatchLocked(Member& member, size_t count)
+      DSSP_REQUIRES(member.mu);
 
   BusOptions options_;
   std::map<int, std::unique_ptr<Member>> members_;

@@ -23,12 +23,12 @@ MembershipTable::MembershipTable(MembershipPolicy policy) : policy_(policy) {
 
 void MembershipTable::AddNode(int node) {
   DSSP_CHECK(node >= 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   members_.try_emplace(node);
 }
 
 NodeHealth MembershipTable::health(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
   return it->second.health;
@@ -39,7 +39,7 @@ bool MembershipTable::Servable(int node) const {
 }
 
 bool MembershipTable::ReportFailure(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
   Member& member = it->second;
@@ -60,7 +60,7 @@ bool MembershipTable::ReportFailure(int node) {
 }
 
 bool MembershipTable::ReportSuccess(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
   Member& member = it->second;
@@ -72,7 +72,7 @@ bool MembershipTable::ReportSuccess(int node) {
 }
 
 bool MembershipTable::Rejoin(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
   Member& member = it->second;
@@ -85,7 +85,7 @@ bool MembershipTable::Rejoin(int node) {
 }
 
 std::vector<int> MembershipTable::ServableNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int> nodes;
   nodes.reserve(members_.size());
   for (const auto& [id, member] : members_) {
@@ -95,7 +95,7 @@ std::vector<int> MembershipTable::ServableNodes() const {
 }
 
 MemberCounters MembershipTable::counters(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = members_.find(node);
   DSSP_CHECK(it != members_.end());
   return it->second.counters;

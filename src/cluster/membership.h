@@ -4,8 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dssp::cluster {
 
@@ -77,8 +78,8 @@ class MembershipTable {
   };
 
   MembershipPolicy policy_;
-  mutable std::mutex mu_;
-  std::map<int, Member> members_;
+  mutable Mutex mu_;
+  std::map<int, Member> members_ DSSP_GUARDED_BY(mu_);
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -31,7 +31,7 @@ class HashRing {
   // router can reconcile toward a membership view idempotently.
   void AddNode(int node);
   void RemoveNode(int node);
-  bool HasNode(int node) const { return nodes_.count(node) != 0; }
+  bool HasNode(int node) const { return nodes_.contains(node); }
   size_t num_nodes() const { return nodes_.size(); }
 
   // The nodes responsible for `key`, owner first, then up to replicas-1

@@ -78,7 +78,7 @@ void ClusterRouter::ObserveWire(int node, bool ok) {
 
 void ClusterRouter::MaybeRebuildRing() {
   const uint64_t epoch = membership_.epoch();
-  std::lock_guard<std::mutex> lock(ring_mu_);
+  MutexLock lock(ring_mu_);
   if (epoch == ring_epoch_) return;
   const std::vector<int> servable = membership_.ServableNodes();
   // Reconcile instead of rebuilding from scratch: AddNode/RemoveNode are
@@ -100,7 +100,7 @@ std::vector<int> ClusterRouter::ServableOwners(const std::string& key) {
   MaybeRebuildRing();
   std::vector<int> owners;
   {
-    std::lock_guard<std::mutex> lock(ring_mu_);
+    MutexLock lock(ring_mu_);
     owners = ring_.Owners(key, options_.replication);
   }
   std::vector<int> servable;

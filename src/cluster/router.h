@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "cluster/bus.h"
 #include "cluster/membership.h"
 #include "cluster/ring.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dssp/channel.h"
 #include "dssp/node.h"
@@ -177,9 +177,9 @@ class ClusterRouter : public service::CacheBackend {
   MembershipTable membership_;
   InvalidationBus bus_;
 
-  mutable std::mutex ring_mu_;
-  HashRing ring_;
-  uint64_t ring_epoch_ = 0;
+  mutable Mutex ring_mu_;
+  HashRing ring_ DSSP_GUARDED_BY(ring_mu_);
+  uint64_t ring_epoch_ DSSP_GUARDED_BY(ring_mu_) = 0;
 
   std::atomic<uint64_t> lookups_{0};
   std::atomic<uint64_t> replica_fallbacks_{0};

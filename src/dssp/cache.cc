@@ -48,7 +48,7 @@ void QueryCache::RemoveLocked(
 
 void QueryCache::RetainStale(CacheEntry entry) {
   if (stale_capacity_.load(std::memory_order_relaxed) == 0) return;
-  std::lock_guard<std::mutex> lock(stale_mu_);
+  MutexLock lock(stale_mu_);
   const size_t cap = stale_capacity_.load(std::memory_order_relaxed);
   if (cap == 0) return;
   const auto it = stale_.find(entry.key);
@@ -70,7 +70,7 @@ void QueryCache::RetainStale(CacheEntry entry) {
 
 void QueryCache::SetStaleRetention(size_t max_entries) {
   stale_capacity_.store(max_entries, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stale_mu_);
+  MutexLock lock(stale_mu_);
   while (stale_.size() > max_entries) {
     stale_.erase(stale_fifo_.front());
     stale_fifo_.pop_front();
@@ -78,14 +78,14 @@ void QueryCache::SetStaleRetention(size_t max_entries) {
 }
 
 size_t QueryCache::StaleSize() const {
-  std::lock_guard<std::mutex> lock(stale_mu_);
+  MutexLock lock(stale_mu_);
   return stale_.size();
 }
 
 std::optional<CacheEntry> QueryCache::LookupStale(
     const std::string& key, uint64_t max_updates_behind) const {
   const uint64_t now = update_epoch_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(stale_mu_);
+  MutexLock lock(stale_mu_);
   const auto it = stale_.find(key);
   if (it == stale_.end()) return std::nullopt;
   if (now - it->second.epoch > max_updates_behind) return std::nullopt;
@@ -102,7 +102,7 @@ void QueryCache::EvictToCapacity(std::atomic<uint64_t>& counter) {
   // victim is the smallest tail tick over all shards.
   std::array<std::unique_lock<std::mutex>, kNumShards> locks;
   for (size_t i = 0; i < kNumShards; ++i) {
-    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu.native());
   }
   while (size_.load(std::memory_order_relaxed) > cap) {
     Shard* victim_shard = nullptr;
@@ -130,7 +130,7 @@ void QueryCache::SetCapacity(size_t max_entries) {
 
 std::optional<CacheEntry> QueryCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return std::nullopt;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_position);
@@ -140,7 +140,7 @@ std::optional<CacheEntry> QueryCache::Lookup(const std::string& key) {
 
 std::optional<CacheEntry> QueryCache::Peek(const std::string& key) const {
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return std::nullopt;
   return it->second.entry;
@@ -149,7 +149,7 @@ std::optional<CacheEntry> QueryCache::Peek(const std::string& key) const {
 void QueryCache::Insert(CacheEntry entry) {
   Shard& shard = ShardFor(entry.key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.entries.find(entry.key);
     if (it != shard.entries.end()) RemoveLocked(shard, it);
     // Index statement-exposed entries under their discriminator bound. Only
@@ -180,7 +180,7 @@ void QueryCache::Insert(CacheEntry entry) {
     // A fresh entry supersedes any stale copy retained for this key.
     if (stale_capacity_.load(std::memory_order_relaxed) != 0) {
       const std::string& fresh_key = shard.lru.front();
-      std::lock_guard<std::mutex> stale_lock(stale_mu_);
+      MutexLock stale_lock(stale_mu_);
       const auto stale_it = stale_.find(fresh_key);
       if (stale_it != stale_.end()) {
         stale_fifo_.erase(stale_it->second.fifo_position);
@@ -193,7 +193,7 @@ void QueryCache::Insert(CacheEntry entry) {
 
 void QueryCache::Erase(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.entries.find(key);
   if (it == shard.entries.end()) return;
   RemoveLocked(shard, it, /*retain_stale=*/true);
@@ -203,7 +203,7 @@ void QueryCache::Erase(const std::string& key) {
 std::vector<size_t> QueryCache::GroupKeys() const {
   std::set<size_t> keys;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto& [group, entries] : shard.groups) keys.insert(group);
   }
   return std::vector<size_t>(keys.begin(), keys.end());
@@ -212,7 +212,7 @@ std::vector<size_t> QueryCache::GroupKeys() const {
 std::vector<std::string> QueryCache::GroupEntryKeys(size_t group) const {
   std::vector<std::string> keys;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.groups.find(group);
     if (it == shard.groups.end()) continue;
     keys.insert(keys.end(), it->second.rest.begin(), it->second.rest.end());
@@ -227,7 +227,7 @@ std::vector<std::string> QueryCache::GroupEntryKeys(size_t group) const {
 size_t QueryCache::EraseGroup(size_t group) {
   size_t count = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.groups.find(group);
     if (it == shard.groups.end()) continue;
     const std::vector<std::string> keys =
@@ -259,7 +259,7 @@ size_t QueryCache::InvalidateEntries(
     const std::function<GroupProbe(size_t group)>& group_probe) {
   size_t invalidated = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     // Group ids first: erasing a group's last entry drops it from the index.
     std::vector<size_t> group_ids;
     group_ids.reserve(shard.groups.size());
@@ -312,7 +312,7 @@ size_t QueryCache::InvalidateEntries(
 size_t QueryCache::Clear() {
   size_t count = 0;
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     count += shard.entries.size();
     size_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
     shard.entries.clear();
@@ -321,7 +321,7 @@ size_t QueryCache::Clear() {
   }
   {
     // An administrative reset must not leave servable stale copies behind.
-    std::lock_guard<std::mutex> lock(stale_mu_);
+    MutexLock lock(stale_mu_);
     stale_.clear();
     stale_fifo_.clear();
   }

@@ -7,7 +7,6 @@
 #include <functional>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -15,6 +14,7 @@
 #include <vector>
 
 #include "analysis/exposure.h"
+#include "common/mutex.h"
 #include "dssp/view_index.h"
 #include "engine/query_result.h"
 #include "sql/ast.h"
@@ -219,10 +219,11 @@ class QueryCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Stored> entries;
-    std::map<size_t, Group> groups;
-    std::list<std::string> lru;  // Most-recently-used at the front.
+    mutable Mutex mu;
+    std::unordered_map<std::string, Stored> entries DSSP_GUARDED_BY(mu);
+    std::map<size_t, Group> groups DSSP_GUARDED_BY(mu);
+    // Most-recently-used at the front.
+    std::list<std::string> lru DSSP_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key) {
@@ -239,15 +240,18 @@ class QueryCache {
   // (capacity evictions). Lock order is always shard.mu -> stale_mu_.
   void RemoveLocked(Shard& shard,
                     std::unordered_map<std::string, Stored>::iterator it,
-                    bool retain_stale = false);
+                    bool retain_stale = false) DSSP_REQUIRES(shard.mu);
 
   // Stashes an invalidated entry into the bounded stale store (no-op when
   // retention is off).
   void RetainStale(CacheEntry entry);
 
   // Evicts globally least-recently-used entries until size() <= capacity,
-  // charging them to `counter`. Takes all shard locks (in index order).
-  void EvictToCapacity(std::atomic<uint64_t>& counter);
+  // charging them to `counter`. Takes all shard locks (in index order) via a
+  // dynamic lock array — a pattern thread-safety analysis cannot express, so
+  // the function opts out; it is the single multi-shard-lock path.
+  void EvictToCapacity(std::atomic<uint64_t>& counter)
+      DSSP_NO_THREAD_SAFETY_ANALYSIS;
 
   struct StaleStored {
     CacheEntry entry;
@@ -257,9 +261,11 @@ class QueryCache {
 
   std::array<Shard, kNumShards> shards_;
   std::atomic<const ViewIndexPlan*> view_index_{nullptr};
-  mutable std::mutex stale_mu_;
-  std::unordered_map<std::string, StaleStored> stale_;
-  std::list<std::string> stale_fifo_;  // Oldest at the front.
+  mutable Mutex stale_mu_;
+  std::unordered_map<std::string, StaleStored> stale_
+      DSSP_GUARDED_BY(stale_mu_);
+  // Oldest at the front.
+  std::list<std::string> stale_fifo_ DSSP_GUARDED_BY(stale_mu_);
   std::atomic<size_t> stale_capacity_{0};
   std::atomic<uint64_t> update_epoch_{0};
   std::atomic<uint64_t> tick_{0};

@@ -50,7 +50,6 @@ ChannelOutcome DirectChannel::RoundTrip(std::string_view request_frame) {
 }
 
 std::string FaultInjectingChannel::Corrupt(std::string_view frame) {
-  // Caller holds mu_.
   std::string damaged(frame);
   const int max_bytes = std::max(1, profile_.max_corrupt_bytes);
   const int bytes =
@@ -83,7 +82,7 @@ ChannelOutcome FaultInjectingChannel::RoundTrip(
   {
     // Draw every random decision in one critical section so concurrent
     // round trips each see an internally consistent fault pattern.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (rng_.NextBool(profile_.delay_probability)) {
       outcome.delay_s += rng_.NextExponential(profile_.delay_mean_s);
     }
@@ -112,7 +111,7 @@ ChannelOutcome FaultInjectingChannel::RoundTrip(
   outcome.response = std::move(first.response);
   if (corrupt_response) {
     outcome.response_corrupted = true;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     outcome.response = Corrupt(outcome.response);
   }
   return outcome;

@@ -2,10 +2,10 @@
 #define DSSP_DSSP_CHANNEL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -81,12 +81,12 @@ class FaultInjectingChannel : public Channel {
   const FaultProfile& profile() const { return profile_; }
 
  private:
-  std::string Corrupt(std::string_view frame);
+  std::string Corrupt(std::string_view frame) DSSP_REQUIRES(mu_);
 
   Channel& inner_;
   FaultProfile profile_;
-  std::mutex mu_;  // Guards rng_ (RoundTrip may be called concurrently).
-  Rng rng_;
+  Mutex mu_;  // RoundTrip may be called concurrently.
+  Rng rng_ DSSP_GUARDED_BY(mu_);
 };
 
 }  // namespace dssp::service

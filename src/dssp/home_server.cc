@@ -39,7 +39,7 @@ StatusOr<engine::UpdateEffect> HomeServer::HandleUpdate(
   }
   // Nonce-carrying update: the dedup check and the apply form one critical
   // section, so a retry racing the original cannot apply twice.
-  std::lock_guard<std::mutex> lock(dedup_mu_);
+  MutexLock lock(dedup_mu_);
   const auto it = applied_nonces_.find(nonce);
   if (it != applied_nonces_.end()) {
     duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);

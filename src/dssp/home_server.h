@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/keyring.h"
 #include "engine/database.h"
@@ -91,9 +91,10 @@ class HomeServer {
   // Nonce -> applied effect, bounded FIFO. The mutex also serializes the
   // apply of nonce-carrying updates so a concurrent retry of the same nonce
   // cannot double-apply.
-  std::mutex dedup_mu_;
-  std::unordered_map<uint64_t, engine::UpdateEffect> applied_nonces_;
-  std::deque<uint64_t> dedup_fifo_;
+  Mutex dedup_mu_;
+  std::unordered_map<uint64_t, engine::UpdateEffect> applied_nonces_
+      DSSP_GUARDED_BY(dedup_mu_);
+  std::deque<uint64_t> dedup_fifo_ DSSP_GUARDED_BY(dedup_mu_);
 };
 
 }  // namespace dssp::service

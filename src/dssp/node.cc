@@ -1,8 +1,9 @@
 #include "dssp/node.h"
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "analysis/audit.h"
 
 namespace dssp::service {
 
@@ -24,7 +25,26 @@ Status DsspNode::RegisterApp(std::string app_id,
                              const catalog::Catalog* catalog,
                              const templates::TemplateSet* templates) {
   DSSP_CHECK(catalog != nullptr && templates != nullptr);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (strict_registration()) {
+    // Audit before touching the registry: a rejected app must leave no
+    // half-registered state behind. Only error-severity findings reject;
+    // warnings are the operator's call (run tools/dssp_audit to see them).
+    const analysis::AuditReport report =
+        analysis::AuditApplication(*templates, *catalog);
+    if (report.num_errors > 0) {
+      std::string message = "strict registration refused application: ";
+      bool first = true;
+      for (const analysis::AuditFinding& finding : report.findings) {
+        if (finding.severity != analysis::AuditSeverity::kError) continue;
+        if (!first) message += "; ";
+        first = false;
+        message += finding.code + " " + finding.subject + ": " +
+                   finding.message;
+      }
+      return InvalidArgumentError(std::move(message));
+    }
+  }
+  WriterMutexLock lock(mu_);
   const auto [it, inserted] = apps_.try_emplace(std::move(app_id));
   if (!inserted) {
     return AlreadyExistsError("application " + it->first);
@@ -50,18 +70,18 @@ Status DsspNode::RegisterApp(std::string app_id,
 }
 
 bool DsspNode::HasApp(std::string_view app_id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return apps_.find(app_id) != apps_.end();
+  ReaderMutexLock lock(mu_);
+  return apps_.contains(app_id);
 }
 
 DsspNode::AppState* DsspNode::FindApp(std::string_view app_id) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = apps_.find(app_id);
   return it == apps_.end() ? nullptr : &it->second;
 }
 
 const DsspNode::AppState* DsspNode::FindApp(std::string_view app_id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   const auto it = apps_.find(app_id);
   return it == apps_.end() ? nullptr : &it->second;
 }
@@ -286,7 +306,7 @@ size_t DsspNode::ClearCache(const std::string& app_id) {
 }
 
 std::vector<std::string> DsspNode::AppIds() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> ids;
   ids.reserve(apps_.size());
   for (const auto& [id, app] : apps_) ids.push_back(id);
@@ -304,7 +324,7 @@ DsspStats DsspNode::stats(const std::string& app_id) const {
 }
 
 size_t DsspNode::TotalCacheSize() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   size_t total = 0;
   for (const auto& [id, app] : apps_) total += app.cache.size();
   return total;

@@ -5,7 +5,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "analysis/exposure.h"
 #include "analysis/plan.h"
 #include "catalog/schema.h"
+#include "common/mutex.h"
 #include "dssp/cache.h"
 #include "dssp/view_index.h"
 #include "invalidation/strategies.h"
@@ -118,6 +118,18 @@ class DsspNode : public CacheBackend {
   // the node. Fails on duplicate id.
   Status RegisterApp(std::string app_id, const catalog::Catalog* catalog,
                      const templates::TemplateSet* templates) override;
+
+  // Strict registration (default off): when enabled, RegisterApp runs the
+  // static auditor (analysis/audit.h) over the app's templates and schema
+  // first and refuses — with the findings in the error message — any app
+  // carrying error-severity findings (type mismatches, dead templates, ...).
+  // The audit is purely static, so a rejected app leaves no trace.
+  void SetStrictRegistration(bool enabled) {
+    strict_registration_.store(enabled, std::memory_order_relaxed);
+  }
+  bool strict_registration() const {
+    return strict_registration_.load(std::memory_order_relaxed);
+  }
 
   bool HasApp(std::string_view app_id) const;
 
@@ -235,9 +247,14 @@ class DsspNode : public CacheBackend {
   AppState* FindApp(std::string_view app_id);
   const AppState* FindApp(std::string_view app_id) const;
 
-  mutable std::shared_mutex mu_;  // Guards the apps_ map structure.
-  std::map<std::string, AppState, std::less<>> apps_;
+  // Guards the apps_ map *structure* only. AppState values are stable once
+  // inserted (apps are never unregistered, map nodes do not move), and each
+  // one is internally synchronized (lock-striped cache, atomic stats), so
+  // FindApp may hand out AppState pointers past the registry lock.
+  mutable SharedMutex mu_;
+  std::map<std::string, AppState, std::less<>> apps_ DSSP_GUARDED_BY(mu_);
   std::atomic<bool> predicate_index_enabled_{true};
+  std::atomic<bool> strict_registration_{false};
 };
 
 }  // namespace dssp::service

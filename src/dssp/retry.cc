@@ -14,7 +14,7 @@ double RetryingClient::NextBackoff(int retry_index) {
   backoff = std::min(backoff, policy_.max_backoff_s);
   const double jitter = std::clamp(policy_.jitter_fraction, 0.0, 1.0);
   if (jitter > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     backoff *= 1.0 + jitter * (2.0 * rng_.NextDouble() - 1.0);
   }
   return backoff;

@@ -2,10 +2,10 @@
 #define DSSP_DSSP_RETRY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "dssp/channel.h"
@@ -70,8 +70,8 @@ class RetryingClient {
 
   Channel* channel_;
   RetryPolicy policy_;
-  std::mutex mu_;  // Guards rng_.
-  Rng rng_;
+  Mutex mu_;
+  Rng rng_ DSSP_GUARDED_BY(mu_);
 };
 
 }  // namespace dssp::service

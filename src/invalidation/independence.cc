@@ -145,7 +145,7 @@ bool ModificationCannotEnter(const templates::UpdateTemplate& update_template,
     }
     if (excluded) continue;
     for (const ColumnConstraint& c : pred) {
-      if (new_values.count(c.column) == 0) combined.push_back(c);
+      if (!new_values.contains(c.column)) combined.push_back(c);
     }
     if (UnaryConjunctionSatisfiable(combined)) return false;
   }

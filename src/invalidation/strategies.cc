@@ -117,7 +117,7 @@ std::optional<bool> AnyResultRowMatches(
     for (const sql::Operand* op : {&cmp.lhs, &cmp.rhs}) {
       if (!sql::IsColumn(*op)) continue;
       const std::string& col = std::get<sql::ColumnRef>(*op).column;
-      if (column_to_output.count(col) != 0) continue;
+      if (column_to_output.contains(col)) continue;
       bool found = false;
       for (size_t k = 0; k < outputs.size(); ++k) {
         if (outputs[k].slot == slot && outputs[k].attribute.has_value() &&

@@ -62,13 +62,16 @@ void EventExecutor::SortRuns(std::vector<std::vector<SimEvent>>& runs) {
   }
   StartPool();
   {
-    std::unique_lock<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     pool_runs_ = &runs;
     pool_next_.store(0, std::memory_order_relaxed);
     pool_done_ = 0;
     ++pool_generation_;
-    pool_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return pool_done_ == workers_.size(); });
+    pool_cv_.NotifyAll();
+    // Explicit predicate loop (not the lambda-predicate wait overload):
+    // thread-safety analysis checks lambdas as separate functions that do
+    // not inherit the caller's lock set, so the guarded reads live here.
+    while (pool_done_ != workers_.size()) done_cv_.Wait(lock);
     pool_runs_ = nullptr;
   }
 }
@@ -83,12 +86,13 @@ void EventExecutor::StartPool() {
 
 void EventExecutor::StopPool() {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     pool_stop_ = true;
-    pool_cv_.notify_all();
+    pool_cv_.NotifyAll();
   }
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+  MutexLock lock(pool_mu_);
   pool_stop_ = false;
 }
 
@@ -97,10 +101,10 @@ void EventExecutor::WorkerLoop() {
   while (true) {
     std::vector<std::vector<SimEvent>>* runs = nullptr;
     {
-      std::unique_lock<std::mutex> lock(pool_mu_);
-      pool_cv_.wait(lock, [&] {
-        return pool_stop_ || pool_generation_ != seen_generation;
-      });
+      MutexLock lock(pool_mu_);
+      while (!pool_stop_ && pool_generation_ == seen_generation) {
+        pool_cv_.Wait(lock);
+      }
       if (pool_stop_) return;
       seen_generation = pool_generation_;
       runs = pool_runs_;
@@ -113,9 +117,9 @@ void EventExecutor::WorkerLoop() {
       std::sort((*runs)[i].begin(), (*runs)[i].end(), EventBefore);
     }
     {
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      MutexLock lock(pool_mu_);
       ++pool_done_;
-      if (pool_done_ == workers_.size()) done_cv_.notify_all();
+      if (pool_done_ == workers_.size()) done_cv_.NotifyAll();
     }
   }
 }

@@ -2,16 +2,15 @@
 #define DSSP_SIM_EVENT_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/mutex.h"
 
 namespace dssp::sim {
 
@@ -131,14 +130,15 @@ class EventExecutor {
   // Fixed harvest/sort thread set, started on first Run that needs it.
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex pool_mu_;
-  std::condition_variable pool_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::vector<SimEvent>>* pool_runs_ = nullptr;
+  dssp::Mutex pool_mu_;
+  dssp::CondVar pool_cv_;
+  dssp::CondVar done_cv_;
+  std::vector<std::vector<SimEvent>>* pool_runs_ DSSP_GUARDED_BY(pool_mu_) =
+      nullptr;
   std::atomic<size_t> pool_next_{0};
-  size_t pool_done_ = 0;
-  uint64_t pool_generation_ = 0;
-  bool pool_stop_ = false;
+  size_t pool_done_ DSSP_GUARDED_BY(pool_mu_) = 0;
+  uint64_t pool_generation_ DSSP_GUARDED_BY(pool_mu_) = 0;
+  bool pool_stop_ DSSP_GUARDED_BY(pool_mu_) = false;
 };
 
 }  // namespace dssp::sim

@@ -24,7 +24,7 @@ bool Disjoint(const AttributeSet& a, const AttributeSet& b) {
   const AttributeSet& small = a.size() <= b.size() ? a : b;
   const AttributeSet& large = a.size() <= b.size() ? b : a;
   return std::none_of(small.begin(), small.end(), [&](const AttributeId& x) {
-    return large.count(x) != 0;
+    return large.contains(x);
   });
 }
 

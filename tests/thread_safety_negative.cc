@@ -1,0 +1,50 @@
+// NEGATIVE thread-safety-analysis fixture — intentionally WRONG code.
+//
+// This file is NOT part of the CMake build. The CI thread-safety lane
+// compiles it directly with
+//
+//   clang++ -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety \
+//       -Isrc tests/thread_safety_negative.cc
+//
+// and asserts the compile FAILS. That proves the lane has teeth: if the
+// annotations in common/mutex.h ever stop flagging an unguarded access (a
+// macro regression, a compiler flag typo, a wrapper losing its capability
+// attribute), this fixture compiles cleanly and CI goes red.
+//
+// Under non-Clang compilers the annotations are no-ops and this file is
+// valid C++ — which is exactly why it must never be linked into a real
+// target.
+
+#include "common/mutex.h"
+
+namespace dssp {
+
+class Counter {
+ public:
+  // BUG (deliberate): reads and writes value_ without holding mu_. Clang's
+  // -Wthread-safety reports: "reading variable 'value_' requires holding
+  // mutex 'mu_'" / "writing variable ... requires holding mutex ...".
+  int UnguardedIncrement() {
+    value_ += 1;   // expected-error: writing without holding mu_
+    return value_;  // expected-error: reading without holding mu_
+  }
+
+  // Correct counterpart, so the file also documents the intended pattern.
+  int GuardedIncrement() {
+    MutexLock lock(mu_);
+    value_ += 1;
+    return value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ DSSP_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so -fsyntax-only sees the member functions instantiated.
+int Touch() {
+  Counter counter;
+  return counter.UnguardedIncrement() + counter.GuardedIncrement();
+}
+
+}  // namespace dssp

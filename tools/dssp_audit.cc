@@ -1,0 +1,134 @@
+// Static application auditor CLI.
+//
+// Usage:  dssp_audit [app] [--json [path]] [--strict] [--no-info]
+//                    [--hot U1,U2,...]
+//
+//   app       One of toystore | auction | bboard | bookstore (default:
+//             bookstore).
+//   --json    Emit the machine-readable report (schema documented in
+//             analysis/audit.h) instead of text; with a path, write it there.
+//   --strict  Exit nonzero when the report carries error-severity findings
+//             (the same gate DsspNode::SetStrictRegistration applies).
+//   --no-info Drop info-severity findings.
+//   --hot     Comma-separated update template ids to treat as hot:
+//             always-invalidate pairs they reach become warnings.
+//
+// The audited exposure assignment is the Section 3.1 methodology's
+// recommendation for the application's compulsory-encryption policy — the
+// same assignment the simulation deploys — so the report shows what the
+// *shipped* configuration leaks and where it spends invalidation work.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.h"
+#include "analysis/methodology.h"
+#include "crypto/keyring.h"
+#include "dssp/app.h"
+#include "dssp/node.h"
+#include "workloads/application.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const char* arg) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += *p;
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name = "bookstore";
+  bool json = false;
+  bool strict = false;
+  bool include_info = true;
+  std::string json_path;
+  std::vector<std::string> hot;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--no-info") == 0) {
+      include_info = false;
+    } else if (std::strcmp(argv[i], "--hot") == 0 && i + 1 < argc) {
+      hot = SplitCommas(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: dssp_audit [app] [--json [path]] "
+                   "[--strict] [--no-info] [--hot U1,U2,...]\n",
+                   argv[i]);
+      return 2;
+    } else {
+      name = argv[i];
+    }
+  }
+
+  if (name != "toystore" && name != "auction" && name != "bboard" &&
+      name != "bookstore") {
+    std::fprintf(stderr,
+                 "unknown application '%s' (expected toystore | auction | "
+                 "bboard | bookstore)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  dssp::service::DsspNode node;
+  dssp::service::ScalableApp app(
+      name, &node, dssp::crypto::KeyRing::FromPassphrase("audit"));
+  auto workload = dssp::workloads::MakeApplication(name);
+  DSSP_CHECK_OK(workload->Setup(app, /*scale=*/0.25, /*seed=*/1));
+  DSSP_CHECK_OK(app.Finalize());
+  const auto& templates = app.templates();
+  const auto& catalog = app.home().database().catalog();
+
+  const dssp::analysis::CompulsoryPolicy policy =
+      workload->CompulsoryEncryption(catalog);
+  const dssp::analysis::SecurityReport security =
+      dssp::analysis::RunMethodology(templates, catalog, policy);
+
+  dssp::analysis::AuditOptions options;
+  options.exposure = &security.final;
+  options.policy = &policy;
+  options.hot_updates = std::move(hot);
+  options.include_info = include_info;
+
+  const dssp::analysis::AuditReport report =
+      dssp::analysis::AuditApplication(templates, catalog, options);
+
+  if (json) {
+    const std::string text = report.ToJson();
+    if (json_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::FILE* out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      std::fputs(text.c_str(), out);
+      std::fclose(out);
+    }
+  } else {
+    std::printf("dssp_audit — %s (methodology exposure, %zu queries / %zu "
+                "updates)\n\n%s",
+                name.c_str(), templates.num_queries(), templates.num_updates(),
+                report.ToText().c_str());
+  }
+
+  return strict && !report.ok() ? 1 : 0;
+}
