@@ -1,19 +1,33 @@
 // Microbenchmarks for the relational engine: point lookups, joins,
 // aggregates, and update application on a populated bookstore database.
+// The *Compiled variants run the same statement through a QueryProgram
+// (compiled once, outside the timed loop) for a direct interpreter-vs-
+// program comparison on each shape.
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "bench/micro_util.h"
+#include "engine/program.h"
 #include "sql/parser.h"
 
 namespace {
 
 using dssp::bench::BuildSystem;
+using dssp::engine::QueryProgram;
 using dssp::sql::ParseOrDie;
 
 dssp::engine::Database& Db() {
   static auto* system = BuildSystem("bookstore", 1.0, 5).release();
   return system->app->home().database();
+}
+
+// The statement is parameterless, so Execute binds an empty param list.
+QueryProgram CompileOrDie(const dssp::engine::Database& db,
+                          const dssp::sql::Statement& stmt) {
+  auto program = QueryProgram::Compile(db.catalog(), stmt.select());
+  DSSP_CHECK(program.ok());
+  return *std::move(program);
 }
 
 void BM_PointQueryByPrimaryKey(benchmark::State& state) {
@@ -25,6 +39,39 @@ void BM_PointQueryByPrimaryKey(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PointQueryByPrimaryKey);
+
+void BM_PointQueryCompiled(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto program = CompileOrDie(
+      db, ParseOrDie("SELECT i_stock FROM item WHERE i_id = 417"));
+  for (auto _ : state) {
+    auto result = program.Execute(db, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PointQueryCompiled);
+
+void BM_SelectiveScanInterpreted(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto stmt =
+      ParseOrDie("SELECT i_id, i_title FROM item WHERE i_cost >= 95.0");
+  for (auto _ : state) {
+    auto result = db.ExecuteQuery(stmt);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectiveScanInterpreted);
+
+void BM_SelectiveScanCompiled(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto program = CompileOrDie(
+      db, ParseOrDie("SELECT i_id, i_title FROM item WHERE i_cost >= 95.0"));
+  for (auto _ : state) {
+    auto result = program.Execute(db, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SelectiveScanCompiled);
 
 void BM_EquiJoinWithOrderByLimit(benchmark::State& state) {
   dssp::engine::Database& db = Db();
@@ -39,6 +86,20 @@ void BM_EquiJoinWithOrderByLimit(benchmark::State& state) {
 }
 BENCHMARK(BM_EquiJoinWithOrderByLimit);
 
+void BM_EquiJoinCompiled(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto program = CompileOrDie(
+      db, ParseOrDie(
+              "SELECT i_id, i_title, a_fname, a_lname FROM item, author "
+              "WHERE item.i_a_id = author.a_id AND i_subject = 'SCIFI' "
+              "ORDER BY i_title LIMIT 50"));
+  for (auto _ : state) {
+    auto result = program.Execute(db, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EquiJoinCompiled);
+
 void BM_GroupByAggregate(benchmark::State& state) {
   dssp::engine::Database& db = Db();
   const auto stmt = ParseOrDie(
@@ -50,6 +111,19 @@ void BM_GroupByAggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupByAggregate);
+
+void BM_GroupByAggregateCompiled(benchmark::State& state) {
+  dssp::engine::Database& db = Db();
+  const auto program = CompileOrDie(
+      db, ParseOrDie(
+              "SELECT i_subject, COUNT(i_id) FROM item WHERE i_cost >= 5.0 "
+              "GROUP BY i_subject ORDER BY i_subject"));
+  for (auto _ : state) {
+    auto result = program.Execute(db, {});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GroupByAggregateCompiled);
 
 void BM_BestSellersJoinAggregate(benchmark::State& state) {
   dssp::engine::Database& db = Db();
@@ -90,4 +164,6 @@ BENCHMARK(BM_InsertDeleteRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dssp::bench::RunBenchmarkMain(argc, argv);
+}

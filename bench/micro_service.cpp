@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "bench/micro_util.h"
 
 namespace {
 
@@ -72,4 +73,6 @@ BENCHMARK(BM_UpdateWithInvalidation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return dssp::bench::RunBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,48 @@
+#ifndef DSSP_BENCH_MICRO_UTIL_H_
+#define DSSP_BENCH_MICRO_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace dssp::bench {
+
+// Drop-in replacement for BENCHMARK_MAIN() that also understands the
+// harness-wide `--json <path>` flag (the experiment binaries' spelling),
+// translating it to google-benchmark's --benchmark_out/--benchmark_out_format
+// pair. The flag must be stripped before benchmark::Initialize, which
+// rejects arguments it does not recognize.
+inline int RunBenchmarkMain(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (argv[i] + 7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dssp::bench
+
+#endif  // DSSP_BENCH_MICRO_UTIL_H_

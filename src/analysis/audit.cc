@@ -12,6 +12,7 @@
 
 #include "analysis/satisfiability.h"
 #include "dssp/view_index.h"
+#include "engine/program.h"
 #include "sql/value.h"
 #include "templates/template.h"
 
@@ -578,6 +579,18 @@ AuditReport AuditApplication(const templates::TemplateSet& templates,
         "one WHERE conjunct of the form `column op ?`; this template has no "
         "such conjunct, so its entries all land in the group's unindexed "
         "rest set and are visited on every relevant update");
+  }
+
+  for (size_t qi = 0; qi < templates.num_queries(); ++qi) {
+    const templates::QueryTemplate& q = templates.queries()[qi];
+    const StatusOr<engine::QueryProgram> program =
+        engine::QueryProgram::Compile(catalog, q.statement().select());
+    if (program.ok()) continue;
+    Add(f, AuditLens::kPerformance, AuditSeverity::kInfo,
+        "PERF-UNPLANNED-QUERY", q.id(),
+        "query template does not compile to a vectorized program: every home "
+        "server miss for " + q.id() + " runs the row-at-a-time interpreter",
+        program.status().message());
   }
 
   // --- Exposure-dependent checks (security lens + blind updates) -----------

@@ -8,7 +8,22 @@ HomeServer::HomeServer(std::string app_id, crypto::KeyRing keyring)
     : app_id_(std::move(app_id)), keyring_(std::move(keyring)) {}
 
 Status HomeServer::AddQueryTemplate(std::string_view sql) {
-  return templates_.AddQuerySql(sql, database_.catalog());
+  DSSP_RETURN_IF_ERROR(templates_.AddQuerySql(sql, database_.catalog()));
+  // Compile the template once at registration; a failure is not an error
+  // (the interpreter serves that template) but is what the dssp_audit
+  // PERF-UNPLANNED-QUERY finding reports.
+  const size_t index = templates_.queries().size() - 1;
+  const templates::QueryTemplate& tmpl = templates_.queries()[index];
+  StatusOr<engine::QueryProgram> program = engine::QueryProgram::Compile(
+      database_.catalog(), tmpl.statement().select());
+  if (program.ok()) {
+    programs_.push_back(std::move(program).value());
+  } else {
+    programs_.push_back(std::nullopt);
+  }
+  shape_to_queries_[templates::SelectShapeKey(tmpl.statement().select())]
+      .push_back(index);
+  return Status::Ok();
 }
 
 Status HomeServer::AddUpdateTemplate(std::string_view sql) {
@@ -19,12 +34,35 @@ StatusOr<std::string> HomeServer::HandleQuery(std::string_view ciphertext,
                                               bool plaintext_result) {
   const std::string sql = statement_cipher().Decrypt(ciphertext);
   DSSP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
-  DSSP_ASSIGN_OR_RETURN(engine::QueryResult result,
-                        database_.ExecuteQuery(stmt));
+  DSSP_ASSIGN_OR_RETURN(engine::QueryResult result, ExecuteParsedQuery(stmt));
   queries_executed_.fetch_add(1, std::memory_order_relaxed);
   std::string serialized = result.Serialize();
   if (plaintext_result) return serialized;
   return result_cipher().Encrypt(serialized);
+}
+
+StatusOr<engine::QueryResult> HomeServer::ExecuteParsedQuery(
+    const sql::Statement& stmt) {
+  if (program_execution_enabled_ && stmt.kind() == sql::StatementKind::kSelect &&
+      stmt.num_params == 0) {
+    const auto it =
+        shape_to_queries_.find(templates::SelectShapeKey(stmt.select()));
+    if (it != shape_to_queries_.end()) {
+      std::vector<sql::Value> params;
+      for (const size_t index : it->second) {
+        const std::optional<engine::QueryProgram>& program = programs_[index];
+        if (!program.has_value()) continue;
+        if (!templates_.queries()[index].MatchInstance(stmt.select(),
+                                                       &params)) {
+          continue;
+        }
+        program_queries_.fetch_add(1, std::memory_order_relaxed);
+        return program->Execute(database_, params);
+      }
+    }
+  }
+  interpreter_fallback_queries_.fetch_add(1, std::memory_order_relaxed);
+  return database_.ExecuteQuery(stmt);
 }
 
 StatusOr<engine::UpdateEffect> HomeServer::HandleUpdate(

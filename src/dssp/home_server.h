@@ -4,14 +4,17 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
 #include "crypto/keyring.h"
 #include "engine/database.h"
+#include "engine/program.h"
 #include "templates/template_set.h"
 
 namespace dssp::service {
@@ -77,16 +80,49 @@ class HomeServer {
     return duplicates_suppressed_.load(std::memory_order_relaxed);
   }
 
+  // Queries served by a compiled QueryProgram vs. by the reference
+  // interpreter (template not matched, template not compilable, or program
+  // execution disabled). An application whose templates all compile sees
+  // interpreter_fallback_queries() == 0.
+  uint64_t program_queries() const {
+    return program_queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t interpreter_fallback_queries() const {
+    return interpreter_fallback_queries_.load(std::memory_order_relaxed);
+  }
+
+  // Disables the compiled-program path (every query runs the interpreter).
+  // For benchmarks and differential tests; call before serving traffic.
+  void SetProgramExecutionEnabled(bool enabled) {
+    program_execution_enabled_ = enabled;
+  }
+
   static constexpr size_t kDedupWindow = 65536;
 
  private:
+  // Executes a parsed, fully-bound query: via the compiled program of the
+  // matching template when one exists, else the reference interpreter.
+  StatusOr<engine::QueryResult> ExecuteParsedQuery(const sql::Statement& stmt);
+
   std::string app_id_;
   crypto::KeyRing keyring_;
   engine::Database database_;
   templates::TemplateSet templates_;
+
+  // Compiled once per registered query template (nullopt when compilation
+  // falls back to the interpreter), parallel to templates_.queries().
+  // Shape key (templates::SelectShapeKey) -> candidate template indexes.
+  // Both are setup-phase state like templates_: mutated only by
+  // AddQueryTemplate, read without locks by HandleQuery.
+  std::vector<std::optional<engine::QueryProgram>> programs_;
+  std::unordered_map<std::string, std::vector<size_t>> shape_to_queries_;
+  bool program_execution_enabled_ = true;
+
   std::atomic<uint64_t> updates_applied_{0};
   std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> duplicates_suppressed_{0};
+  std::atomic<uint64_t> program_queries_{0};
+  std::atomic<uint64_t> interpreter_fallback_queries_{0};
 
   // Nonce -> applied effect, bounded FIFO. The mutex also serializes the
   // apply of nonce-carrying updates so a concurrent retry of the same nonce

@@ -1,0 +1,227 @@
+#include "engine/batch.h"
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+
+namespace dssp::engine {
+namespace {
+
+// Compacts `sel` in place, keeping slots for which keep(slot) is true.
+// Preserves relative order (the bit-identical-results invariant).
+template <typename Keep>
+void Compact(SelectionVector* sel, Keep keep) {
+  uint32_t* out = sel->data();
+  for (const uint32_t s : *sel) {
+    if (keep(s)) *out++ = s;
+  }
+  sel->resize(static_cast<size_t>(out - sel->data()));
+}
+
+// Fills `sel` with the live slots for which keep(slot) is true, ascending.
+// keep() is only evaluated for live slots — dead slots may hold stale
+// column data (dangling string pointers included).
+template <typename Keep>
+void FillLive(const Table& table, SelectionVector* sel, Keep keep) {
+  sel->reserve(table.num_rows());
+  const char* live = table.live();
+  const size_t n = table.slot_count();
+  for (size_t s = 0; s < n; ++s) {
+    const uint32_t u = static_cast<uint32_t>(s);
+    if (live[s] && keep(u)) sel->push_back(u);
+  }
+}
+
+// Instantiates `body` with a concrete comparator for `op`, so the per-row
+// loop compiles to a direct comparison instead of switching per row.
+//
+// The comparators are phrased in terms of < and > only, exactly as
+// sql::Value::Compare derives its three-way result — so even double NaN
+// (where Compare yields 0, i.e. "equal") produces identical outcomes.
+template <typename Body>
+void WithComparator(sql::CompareOp op, Body body) {
+  switch (op) {
+    case sql::CompareOp::kEq:
+      body([](const auto& a, const auto& b) { return !(a < b) && !(a > b); });
+      return;
+    case sql::CompareOp::kLt:
+      body([](const auto& a, const auto& b) { return a < b; });
+      return;
+    case sql::CompareOp::kLe:
+      body([](const auto& a, const auto& b) { return !(a > b); });
+      return;
+    case sql::CompareOp::kGt:
+      body([](const auto& a, const auto& b) { return a > b; });
+      return;
+    case sql::CompareOp::kGe:
+      body([](const auto& a, const auto& b) { return !(a < b); });
+      return;
+  }
+  DSSP_UNREACHABLE("bad CompareOp");
+}
+
+}  // namespace
+
+void SelectLiveSlots(const Table& table, SelectionVector* sel) {
+  sel->clear();
+  sel->reserve(table.num_rows());
+  const char* live = table.live();
+  const size_t n = table.slot_count();
+  for (size_t s = 0; s < n; ++s) {
+    if (live[s]) sel->push_back(static_cast<uint32_t>(s));
+  }
+}
+
+namespace {
+
+// Typed dispatch for `table.col <op> rhs`: resolves (declared layout,
+// rhs type, op) to one tight predicate and hands it to `apply`, which
+// either compacts an existing selection or fills one from the live slots.
+// The caller has already handled a NULL rhs (false for every row).
+template <typename Apply>
+void DispatchColumnVsValue(const Table& table, size_t col, sql::CompareOp op,
+                           const sql::Value& rhs, Apply apply) {
+  const catalog::ColumnType declared = table.schema().columns()[col].type;
+  const uint8_t* tag = table.tags(col);
+  switch (declared) {
+    case catalog::ColumnType::kInt64: {
+      const int64_t* vals = table.ints(col);
+      if (rhs.type() == sql::ValueType::kInt64) {
+        const int64_t r = rhs.AsInt64();
+        WithComparator(op, [&](auto cmp) {
+          apply([&](uint32_t s) {
+            return tag[s] == Table::kTagInt64 && cmp(vals[s], r);
+          });
+        });
+      } else {
+        DSSP_CHECK(rhs.type() == sql::ValueType::kDouble);
+        const double r = rhs.AsDouble();
+        WithComparator(op, [&](auto cmp) {
+          apply([&](uint32_t s) {
+            return tag[s] == Table::kTagInt64 &&
+                   cmp(static_cast<double>(vals[s]), r);
+          });
+        });
+      }
+      return;
+    }
+    case catalog::ColumnType::kDouble: {
+      // A double-declared column may hold exact int64 values
+      // (catalog::ValueFitsColumn widening); int-vs-int must compare
+      // exactly, everything else through the double image — the same rules
+      // as sql::Value::Compare.
+      const int64_t* iv = table.ints(col);
+      const double* dv = table.doubles(col);
+      if (rhs.type() == sql::ValueType::kInt64) {
+        const int64_t ri = rhs.AsInt64();
+        const double rd = rhs.AsDouble();
+        WithComparator(op, [&](auto cmp) {
+          apply([&](uint32_t s) {
+            if (tag[s] == Table::kTagInt64) return cmp(iv[s], ri);
+            if (tag[s] == Table::kTagDouble) return cmp(dv[s], rd);
+            return false;
+          });
+        });
+      } else {
+        DSSP_CHECK(rhs.type() == sql::ValueType::kDouble);
+        const double r = rhs.AsDouble();
+        WithComparator(op, [&](auto cmp) {
+          apply([&](uint32_t s) {
+            return tag[s] != Table::kTagNull && cmp(dv[s], r);
+          });
+        });
+      }
+      return;
+    }
+    case catalog::ColumnType::kString: {
+      DSSP_CHECK(rhs.type() == sql::ValueType::kString);
+      const std::string& r = rhs.AsString();
+      const std::string* const* sv = table.strings(col);
+      WithComparator(op, [&](auto cmp) {
+        apply([&](uint32_t s) { return sv[s] != nullptr && cmp(*sv[s], r); });
+      });
+      return;
+    }
+  }
+  DSSP_UNREACHABLE("bad ColumnType");
+}
+
+// Same dispatch for `table.lhs_col <op> table.rhs_col`.
+template <typename Apply>
+void DispatchColumnVsColumn(const Table& table, size_t lhs_col,
+                            sql::CompareOp op, size_t rhs_col, Apply apply) {
+  const catalog::ColumnType ldecl = table.schema().columns()[lhs_col].type;
+  const catalog::ColumnType rdecl = table.schema().columns()[rhs_col].type;
+  const bool lhs_string = ldecl == catalog::ColumnType::kString;
+  const bool rhs_string = rdecl == catalog::ColumnType::kString;
+  DSSP_CHECK(lhs_string == rhs_string);
+  if (lhs_string) {
+    const std::string* const* ls = table.strings(lhs_col);
+    const std::string* const* rs = table.strings(rhs_col);
+    WithComparator(op, [&](auto cmp) {
+      apply([&](uint32_t s) {
+        return ls[s] != nullptr && rs[s] != nullptr && cmp(*ls[s], *rs[s]);
+      });
+    });
+    return;
+  }
+  const uint8_t* lt = table.tags(lhs_col);
+  const uint8_t* rt = table.tags(rhs_col);
+  const int64_t* li = table.ints(lhs_col);
+  const int64_t* ri = table.ints(rhs_col);
+  // doubles() of an int64-declared column is empty/nullptr; it is only read
+  // when the tag says kTagDouble, which only double-declared columns emit.
+  const double* lf = table.doubles(lhs_col);
+  const double* rf = table.doubles(rhs_col);
+  WithComparator(op, [&](auto cmp) {
+    apply([&](uint32_t s) {
+      if (lt[s] == Table::kTagNull || rt[s] == Table::kTagNull) return false;
+      if (lt[s] == Table::kTagInt64 && rt[s] == Table::kTagInt64) {
+        return cmp(li[s], ri[s]);
+      }
+      const double a =
+          lt[s] == Table::kTagInt64 ? static_cast<double>(li[s]) : lf[s];
+      const double b =
+          rt[s] == Table::kTagInt64 ? static_cast<double>(ri[s]) : rf[s];
+      return cmp(a, b);
+    });
+  });
+}
+
+}  // namespace
+
+void FilterColumnVsValue(const Table& table, size_t col, sql::CompareOp op,
+                         const sql::Value& rhs, SelectionVector* sel) {
+  if (rhs.is_null()) {
+    // NULL on either side of a comparison is false for every row.
+    sel->clear();
+    return;
+  }
+  DispatchColumnVsValue(table, col, op, rhs,
+                        [&](auto pred) { Compact(sel, pred); });
+}
+
+void FilterColumnVsColumn(const Table& table, size_t lhs_col,
+                          sql::CompareOp op, size_t rhs_col,
+                          SelectionVector* sel) {
+  DispatchColumnVsColumn(table, lhs_col, op, rhs_col,
+                         [&](auto pred) { Compact(sel, pred); });
+}
+
+void SelectLiveWhereColumnVsValue(const Table& table, size_t col,
+                                  sql::CompareOp op, const sql::Value& rhs,
+                                  SelectionVector* sel) {
+  sel->clear();
+  if (rhs.is_null()) return;
+  DispatchColumnVsValue(table, col, op, rhs,
+                        [&](auto pred) { FillLive(table, sel, pred); });
+}
+
+void SelectLiveWhereColumnVsColumn(const Table& table, size_t lhs_col,
+                                   sql::CompareOp op, size_t rhs_col,
+                                   SelectionVector* sel) {
+  sel->clear();
+  DispatchColumnVsColumn(table, lhs_col, op, rhs_col,
+                         [&](auto pred) { FillLive(table, sel, pred); });
+}
+
+}  // namespace dssp::engine

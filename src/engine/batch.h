@@ -1,0 +1,85 @@
+#ifndef DSSP_ENGINE_BATCH_H_
+#define DSSP_ENGINE_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "engine/table.h"
+#include "sql/ast.h"
+#include "sql/value.h"
+
+namespace dssp::engine {
+
+// The vectorized engine's working set: slot ids that survived the filters
+// applied so far, in scan order. Kernels take a selection vector in and
+// compact it in place — the surviving order is always a subsequence of the
+// input order, which is what keeps compiled-program results bit-identical
+// to the row-at-a-time interpreter.
+using SelectionVector = std::vector<uint32_t>;
+
+// Fills `sel` with every live slot of `table`, ascending — the same order
+// Table::AllSlots returns, without the per-call size_t vector.
+void SelectLiveSlots(const Table& table, SelectionVector* sel);
+
+// Filters `sel` in place, keeping slots where `table.col <op> rhs` holds
+// under the interpreter's semantics: a NULL on either side is false, int64
+// vs int64 compares exactly, any double involved compares via AsDouble(),
+// strings compare lexicographically. `rhs` must be NULL or of a type
+// comparable with the column's declared type (the program compiler checks
+// this); the kernel dispatches to one tight typed loop per (layout, op)
+// pair and never materializes a sql::Value per row.
+void FilterColumnVsValue(const Table& table, size_t col, sql::CompareOp op,
+                         const sql::Value& rhs, SelectionVector* sel);
+
+// Filters `sel` in place, keeping slots where
+// `table.lhs_col <op> table.rhs_col` holds (both columns of the same
+// table), with the same NULL/numeric semantics as above.
+void FilterColumnVsColumn(const Table& table, size_t lhs_col,
+                          sql::CompareOp op, size_t rhs_col,
+                          SelectionVector* sel);
+
+// Fused SelectLiveSlots + FilterColumnVsValue: fills `sel` from scratch
+// with the live slots where the predicate holds, in one pass over the
+// table instead of two. Equivalent to SelectLiveSlots followed by the
+// corresponding Filter* call — the first filter of a full scan uses this
+// so the (mostly-discarded) live list is never materialized.
+void SelectLiveWhereColumnVsValue(const Table& table, size_t col,
+                                  sql::CompareOp op, const sql::Value& rhs,
+                                  SelectionVector* sel);
+
+// Fused variant of FilterColumnVsColumn, same contract as above.
+void SelectLiveWhereColumnVsColumn(const Table& table, size_t lhs_col,
+                                   sql::CompareOp op, size_t rhs_col,
+                                   SelectionVector* sel);
+
+// Reorders `order` (which must be a permutation of 0..n-1 in ascending
+// order, i.e. the identity) so that its first min(k, n) elements are
+// exactly the first min(k, n) elements std::stable_sort would produce
+// under the three-way key comparison `cmp(a, b) -> {-1, 0, +1}`.
+//
+// Stability falls out of the index tie-break: because `order` starts as
+// the identity, breaking key ties by element value == breaking them by
+// original position, so sorting by (key, index) is a total order whose
+// prefix equals the stable sort's prefix. With k < n this is
+// std::partial_sort (O(n log k)) — the ORDER BY + LIMIT fast path.
+template <typename ThreeWay>
+void StableTopK(std::vector<size_t>& order, size_t k, ThreeWay&& cmp) {
+  const auto less = [&cmp](size_t a, size_t b) {
+    const int c = cmp(a, b);
+    if (c != 0) return c < 0;
+    return a < b;
+  };
+  if (k < order.size()) {
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<ptrdiff_t>(k), order.end(),
+                      less);
+    order.resize(k);
+  } else {
+    std::sort(order.begin(), order.end(), less);
+  }
+}
+
+}  // namespace dssp::engine
+
+#endif  // DSSP_ENGINE_BATCH_H_

@@ -162,10 +162,9 @@ StatusOr<UpdateEffect> Database::ExecuteDelete(
   const catalog::TableSchema& schema = table->schema();
 
   std::vector<size_t> to_delete;
+  const BoundPredicate predicate = BoundPredicate::Bind(schema, stmt.where);
   for (size_t slot : CandidateSlots(*table, stmt.where)) {
-    DSSP_ASSIGN_OR_RETURN(
-        bool matches,
-        EvalPredicateOnRow(schema, stmt.where, table->RowAt(slot)));
+    DSSP_ASSIGN_OR_RETURN(bool matches, predicate.Matches(table->RowAt(slot)));
     if (matches) to_delete.push_back(slot);
   }
   for (size_t slot : to_delete) table->DeleteSlot(slot);
@@ -201,10 +200,9 @@ StatusOr<UpdateEffect> Database::ExecuteModify(
   }
 
   std::vector<size_t> matched;
+  const BoundPredicate predicate = BoundPredicate::Bind(schema, stmt.where);
   for (size_t slot : CandidateSlots(*table, stmt.where)) {
-    DSSP_ASSIGN_OR_RETURN(
-        bool matches,
-        EvalPredicateOnRow(schema, stmt.where, table->RowAt(slot)));
+    DSSP_ASSIGN_OR_RETURN(bool matches, predicate.Matches(table->RowAt(slot)));
     if (matches) matched.push_back(slot);
   }
 

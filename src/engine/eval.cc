@@ -73,4 +73,97 @@ StatusOr<bool> EvalPredicateOnRow(const catalog::TableSchema& schema,
   return true;
 }
 
+namespace {
+
+// Static resolution of one operand for BoundPredicate::Bind. Mirrors
+// ResolveOperand's checks and error text, but yields an index/literal
+// instead of a per-row value copy.
+Status BindOneOperand(const catalog::TableSchema& schema,
+                      const sql::Operand& op, std::string_view alias,
+                      bool* is_col, size_t* col, sql::Value* lit) {
+  if (sql::IsLiteral(op)) {
+    *is_col = false;
+    *lit = std::get<sql::Value>(op);
+    return Status::Ok();
+  }
+  if (sql::IsParameter(op)) {
+    return InvalidArgumentError("unbound parameter in predicate");
+  }
+  const sql::ColumnRef& ref = std::get<sql::ColumnRef>(op);
+  if (!ref.table.empty() && ref.table != schema.name() &&
+      ref.table != alias) {
+    return InvalidArgumentError("column " + ref.ToString() +
+                                " does not belong to table " + schema.name());
+  }
+  const std::optional<size_t> idx = schema.ColumnIndex(ref.column);
+  if (!idx.has_value()) {
+    return NotFoundError("column " + ref.column + " in table " +
+                         schema.name());
+  }
+  *is_col = true;
+  *col = *idx;
+  return Status::Ok();
+}
+
+// Type class of a bound operand's non-null runtime values: 0 numeric,
+// 1 string, -1 never-non-null (NULL literal). A column's non-null values
+// always match its declared type class.
+int BoundOperandClass(const catalog::TableSchema& schema, bool is_col,
+                      size_t col, const sql::Value& lit) {
+  if (is_col) {
+    return schema.columns()[col].type == catalog::ColumnType::kString ? 1 : 0;
+  }
+  if (lit.is_null()) return -1;
+  return lit.is_numeric() ? 0 : 1;
+}
+
+}  // namespace
+
+BoundPredicate BoundPredicate::Bind(const catalog::TableSchema& schema,
+                                    const std::vector<sql::Comparison>& where,
+                                    std::string_view alias) {
+  BoundPredicate bound;
+  bound.conjuncts_.reserve(where.size());
+  for (const sql::Comparison& cmp : where) {
+    Conjunct c;
+    c.op = cmp.op;
+    Status status =
+        BindOneOperand(schema, cmp.lhs, alias, &c.lhs_is_col, &c.lhs_col,
+                       &c.lhs_lit);
+    if (status.ok()) {
+      status = BindOneOperand(schema, cmp.rhs, alias, &c.rhs_is_col,
+                              &c.rhs_col, &c.rhs_lit);
+    }
+    if (!status.ok()) {
+      c.error = true;
+      c.status = std::move(status);
+    } else {
+      const int lhs_class =
+          BoundOperandClass(schema, c.lhs_is_col, c.lhs_col, c.lhs_lit);
+      const int rhs_class =
+          BoundOperandClass(schema, c.rhs_is_col, c.rhs_col, c.rhs_lit);
+      // An incomparable pair is an error only for rows where both sides are
+      // non-null; with a NULL involved the conjunct is plainly false.
+      c.incomparable = lhs_class >= 0 && rhs_class >= 0 &&
+                       lhs_class != rhs_class;
+    }
+    bound.conjuncts_.push_back(std::move(c));
+  }
+  return bound;
+}
+
+StatusOr<bool> BoundPredicate::Matches(const Row& row) const {
+  for (const Conjunct& c : conjuncts_) {
+    if (c.error) return c.status;
+    const sql::Value& lhs = c.lhs_is_col ? row[c.lhs_col] : c.lhs_lit;
+    const sql::Value& rhs = c.rhs_is_col ? row[c.rhs_col] : c.rhs_lit;
+    if (c.incomparable) {
+      if (lhs.is_null() || rhs.is_null()) return false;
+      return InvalidArgumentError("incomparable types in predicate");
+    }
+    if (!CompareValues(lhs, c.op, rhs)) return false;
+  }
+  return true;
+}
+
 }  // namespace dssp::engine

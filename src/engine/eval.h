@@ -26,6 +26,49 @@ StatusOr<bool> EvalPredicateOnRow(const catalog::TableSchema& schema,
                                   const Row& row,
                                   std::string_view alias = "");
 
+// A single-table conjunctive predicate bound once and evaluated many times:
+// column names resolve to indices and comparability is pre-classified at
+// Bind, so Matches() does no name lookups and constructs no sql::Value —
+// the row×conjunct work EvalPredicateOnRow redoes per call.
+//
+// Bind never fails. Errors (unresolvable columns, unbound parameters,
+// statically incomparable operand types) are deferred and surface from
+// Matches() at exactly the point the per-row evaluator would raise them:
+// a conjunct that fails before the broken one hides the error (the row
+// simply doesn't match), and an incomparable conjunct whose operands are
+// NULL at runtime is false, not an error — bit-identical to
+// EvalPredicateOnRow on every (predicate, row) input.
+class BoundPredicate {
+ public:
+  static BoundPredicate Bind(const catalog::TableSchema& schema,
+                             const std::vector<sql::Comparison>& where,
+                             std::string_view alias = "");
+
+  // Evaluates the conjunction against `row` (which must conform to the
+  // schema passed to Bind).
+  StatusOr<bool> Matches(const Row& row) const;
+
+ private:
+  struct Conjunct {
+    // Deferred resolution error: raised when evaluation reaches this
+    // conjunct (all earlier conjuncts matched).
+    bool error = false;
+    Status status = Status::Ok();
+    // Statically incomparable operand classes: an error only when both
+    // runtime values are non-null (NULL comparisons are simply false).
+    bool incomparable = false;
+    bool lhs_is_col = false;
+    bool rhs_is_col = false;
+    size_t lhs_col = 0;
+    size_t rhs_col = 0;
+    sql::Value lhs_lit;
+    sql::Value rhs_lit;
+    sql::CompareOp op = sql::CompareOp::kEq;
+  };
+
+  std::vector<Conjunct> conjuncts_;
+};
+
 }  // namespace dssp::engine
 
 #endif  // DSSP_ENGINE_EVAL_H_

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 
+#include "engine/batch.h"
 #include "engine/database.h"
 #include "engine/eval.h"
 
@@ -361,26 +363,28 @@ class SelectExecution {
     }
 
     std::vector<size_t> order(tuples.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    if (!order_cols.empty()) {
-      std::stable_sort(
-          order.begin(), order.end(), [&](size_t a, size_t b) {
-            for (const auto& [col, desc] : order_cols) {
-              const sql::Value& va =
-                  tables_[col.slot]->RowAt(tuples[a][col.slot])[col.col];
-              const sql::Value& vb =
-                  tables_[col.slot]->RowAt(tuples[b][col.slot])[col.col];
-              const int c = va.Compare(vb);
-              if (c != 0) return desc ? c > 0 : c < 0;
-            }
-            return false;
-          });
-    }
-
-    std::vector<Row> rows;
+    std::iota(order.begin(), order.end(), size_t{0});
     const size_t n = limit_.has_value()
                          ? std::min(*limit_, tuples.size())
                          : tuples.size();
+    if (!order_cols.empty()) {
+      // Bounded top-k: with a LIMIT this is a partial sort (O(n log k))
+      // whose prefix equals the former full std::stable_sort, tie order
+      // included (index tie-break == stability, see StableTopK).
+      StableTopK(order, n, [&](size_t a, size_t b) {
+        for (const auto& [col, desc] : order_cols) {
+          const sql::Value& va =
+              tables_[col.slot]->RowAt(tuples[a][col.slot])[col.col];
+          const sql::Value& vb =
+              tables_[col.slot]->RowAt(tuples[b][col.slot])[col.col];
+          const int c = va.Compare(vb);
+          if (c != 0) return desc ? -c : c;
+        }
+        return 0;
+      });
+    }
+
+    std::vector<Row> rows;
     rows.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       const Tuple& tuple = tuples[order[i]];
@@ -511,17 +515,24 @@ class SelectExecution {
               "columns");
         }
       }
-      std::stable_sort(rows.begin(), rows.end(),
-                       [&](const Row& a, const Row& b) {
-                         for (const auto& [idx, desc] : order_keys) {
-                           const int c = a[idx].Compare(b[idx]);
-                           if (c != 0) return desc ? c > 0 : c < 0;
-                         }
-                         return false;
-                       });
-    }
-
-    if (limit_.has_value() && rows.size() > *limit_) {
+      // Bounded top-k over group rows (the LIMIT applies post-sort): the
+      // first min(limit, n) entries of the former full std::stable_sort.
+      const size_t k = limit_.has_value() ? std::min(*limit_, rows.size())
+                                          : rows.size();
+      std::vector<size_t> order(rows.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      StableTopK(order, k, [&](size_t a, size_t b) {
+        for (const auto& [idx, desc] : order_keys) {
+          const int c = rows[a][idx].Compare(rows[b][idx]);
+          if (c != 0) return desc ? -c : c;
+        }
+        return 0;
+      });
+      std::vector<Row> sorted;
+      sorted.reserve(k);
+      for (size_t i = 0; i < k; ++i) sorted.push_back(std::move(rows[order[i]]));
+      rows = std::move(sorted);
+    } else if (limit_.has_value() && rows.size() > *limit_) {
       rows.resize(*limit_);
     }
     return QueryResult(std::move(names), std::move(rows),

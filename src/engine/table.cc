@@ -6,6 +6,7 @@ namespace dssp::engine {
 
 Table::Table(const catalog::TableSchema& schema) : schema_(&schema) {
   indexes_.resize(schema.num_columns());
+  columns_.resize(schema.num_columns());
 }
 
 uint64_t Table::IndexKey(size_t col, const sql::Value& value) const {
@@ -29,6 +30,48 @@ void Table::UnindexRow(size_t slot) {
         break;
       }
     }
+  }
+}
+
+void Table::SyncColumn(size_t slot, size_t col) {
+  ColumnStore& cs = columns_[col];
+  const catalog::ColumnType declared = schema_->columns()[col].type;
+  if (cs.tag.size() <= slot) {
+    const size_t n = rows_.size();
+    cs.tag.resize(n, kTagNull);
+    if (declared == catalog::ColumnType::kInt64 ||
+        declared == catalog::ColumnType::kDouble) {
+      cs.i64.resize(n, 0);
+    }
+    if (declared == catalog::ColumnType::kDouble) cs.f64.resize(n, 0.0);
+    if (declared == catalog::ColumnType::kString) {
+      cs.str.resize(n, nullptr);
+    }
+  }
+  const sql::Value& v = rows_[slot][col];
+  switch (v.type()) {
+    case sql::ValueType::kNull:
+      cs.tag[slot] = kTagNull;
+      if (declared == catalog::ColumnType::kString) cs.str[slot] = nullptr;
+      break;
+    case sql::ValueType::kInt64:
+      // Reaches int64-declared columns and (via ValueFitsColumn widening)
+      // double-declared columns, which keep both the exact integer and its
+      // double image so kernels can match Value::Compare bit-for-bit.
+      cs.tag[slot] = kTagInt64;
+      cs.i64[slot] = v.AsInt64();
+      if (declared == catalog::ColumnType::kDouble) {
+        cs.f64[slot] = v.AsDouble();
+      }
+      break;
+    case sql::ValueType::kDouble:
+      cs.tag[slot] = kTagDouble;
+      cs.f64[slot] = v.AsDouble();
+      break;
+    case sql::ValueType::kString:
+      cs.tag[slot] = kTagString;
+      cs.str[slot] = &v.AsString();
+      break;
   }
 }
 
@@ -85,6 +128,9 @@ Status Table::Insert(Row row) {
   }
   ++num_live_;
   IndexRow(slot);
+  for (size_t col = 0; col < schema_->num_columns(); ++col) {
+    SyncColumn(slot, col);
+  }
   return Status::Ok();
 }
 
@@ -94,6 +140,12 @@ void Table::DeleteSlot(size_t slot) {
   live_[slot] = 0;
   free_slots_.push_back(slot);
   --num_live_;
+  // Sidecar entries of a dead slot are never read (kernels consult live()),
+  // but the string pointer would dangle once the row is overwritten on slot
+  // reuse — drop it eagerly.
+  for (size_t col = 0; col < schema_->num_columns(); ++col) {
+    if (!columns_[col].str.empty()) columns_[col].str[slot] = nullptr;
+  }
 }
 
 void Table::UpdateSlot(size_t slot, size_t col, sql::Value value) {
@@ -110,6 +162,7 @@ void Table::UpdateSlot(size_t slot, size_t col, sql::Value value) {
   }
   rows_[slot][col] = std::move(value);
   indexes_[col].emplace(IndexKey(col, rows_[slot][col]), slot);
+  SyncColumn(slot, col);
 }
 
 std::vector<size_t> Table::AllSlots() const {

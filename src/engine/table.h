@@ -2,6 +2,7 @@
 #define DSSP_ENGINE_TABLE_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -16,6 +17,13 @@ namespace dssp::engine {
 // go on a free list and are reused. Every column carries a hash index
 // (value-hash -> slots), so equality predicates — the dominant predicate
 // shape in the paper's benchmark applications — are O(matches).
+//
+// Alongside the row store, every column maintains a typed columnar sidecar
+// (runtime tag + int64/double/string-pointer arrays, slot-indexed) that the
+// vectorized engine (engine/batch.h) reads with tight per-type loops instead
+// of touching sql::Value variants row by row. The sidecar is kept in sync by
+// Insert/DeleteSlot/UpdateSlot; entries of dead slots are stale and must be
+// guarded by live().
 class Table {
  public:
   explicit Table(const catalog::TableSchema& schema);
@@ -54,10 +62,76 @@ class Table {
 
   size_t num_rows() const { return num_live_; }
 
+  // ----- Allocation-free scan API (the vectorized engine's entry points;
+  // AllSlots/SlotsWithValue materialize a vector per call and remain only
+  // for the row-at-a-time reference interpreter). -----
+
+  // Total slot count, including dead slots; guard reads with live().
+  size_t slot_count() const { return rows_.size(); }
+
+  // One byte per slot, nonzero = live. Ascending iteration over live slots
+  // visits rows in AllSlots order.
+  const char* live() const { return live_.data(); }
+
+  // Streaming equivalent of SlotsWithValue: invokes fn(slot) for each live
+  // slot whose `col` equals `value`, in exactly the order SlotsWithValue
+  // would return them (the engine's result order depends on it).
+  template <typename Fn>
+  void ForEachSlotWithValue(size_t col, const sql::Value& value,
+                            Fn&& fn) const {
+    auto [begin, end] = indexes_[col].equal_range(IndexKey(col, value));
+    for (auto it = begin; it != end; ++it) {
+      if (live_[it->second] && rows_[it->second][col] == value) {
+        fn(it->second);
+      }
+    }
+  }
+
+  // ----- Columnar sidecar (slot-indexed, parallel to the row store). -----
+
+  // Runtime type tag per slot. Matches sql::ValueType's numeric values.
+  enum : uint8_t {
+    kTagNull = 0,
+    kTagInt64 = 1,
+    kTagDouble = 2,
+    kTagString = 3,
+  };
+
+  // Tags for `col`; maintained for every column.
+  const uint8_t* tags(size_t col) const { return columns_[col].tag.data(); }
+
+  // Raw int64 values; valid where tags()==kTagInt64. Maintained for
+  // int64- and double-declared columns (a double column stores int64 values
+  // verbatim so exact int-vs-int comparison semantics survive).
+  const int64_t* ints(size_t col) const { return columns_[col].i64.data(); }
+
+  // Values as double (AsDouble image); valid where the tag is numeric.
+  // Maintained for double-declared columns.
+  const double* doubles(size_t col) const {
+    return columns_[col].f64.data();
+  }
+
+  // Pointers to the row store's strings; nullptr where the value is NULL.
+  // Maintained for string-declared columns. The pointees are stable until
+  // the owning slot is deleted or overwritten.
+  const std::string* const* strings(size_t col) const {
+    return columns_[col].str.data();
+  }
+
  private:
+  // Typed mirror of one column. Only the arrays relevant to the declared
+  // column type are populated (see SyncColumn).
+  struct ColumnStore {
+    std::vector<uint8_t> tag;
+    std::vector<int64_t> i64;
+    std::vector<double> f64;
+    std::vector<const std::string*> str;
+  };
+
   uint64_t IndexKey(size_t col, const sql::Value& value) const;
   void IndexRow(size_t slot);
   void UnindexRow(size_t slot);
+  void SyncColumn(size_t slot, size_t col);
 
   const catalog::TableSchema* schema_;
   std::vector<Row> rows_;
@@ -67,6 +141,7 @@ class Table {
   // One multimap per column: value-hash -> slot. Collisions are resolved by
   // re-checking the stored value.
   std::vector<std::unordered_multimap<uint64_t, size_t>> indexes_;
+  std::vector<ColumnStore> columns_;
 };
 
 }  // namespace dssp::engine

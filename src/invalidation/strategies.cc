@@ -131,15 +131,19 @@ std::optional<bool> AnyResultRowMatches(
     }
   }
 
+  // Bind the predicate once; Matches() surfaces errors per row at exactly
+  // the points EvalPredicateOnRow would (errors conservatively count as a
+  // match below).
+  const engine::BoundPredicate bound =
+      engine::BoundPredicate::Bind(schema, predicate);
   for (const engine::Row& result_row : result.rows()) {
     // Reconstruct the contributing base row (only predicate-referenced
-    // columns matter; EvalPredicateOnRow never reads the others).
+    // columns matter; the predicate never reads the others).
     engine::Row base(schema.num_columns());
     for (const auto& [col, k] : column_to_output) {
       base[*schema.ColumnIndex(col)] = result_row[k];
     }
-    const StatusOr<bool> matches =
-        engine::EvalPredicateOnRow(schema, predicate, base);
+    const StatusOr<bool> matches = bound.Matches(base);
     if (!matches.ok() || *matches) return true;
   }
   return false;

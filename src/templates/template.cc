@@ -310,6 +310,107 @@ StatusOr<UpdateTemplate> UpdateTemplate::Create(
   return tmpl;
 }
 
+namespace {
+
+bool SameSelectItem(const sql::SelectItem& a, const sql::SelectItem& b) {
+  return a.func == b.func && a.star == b.star && a.column == b.column;
+}
+
+bool SameTableRef(const sql::TableRef& a, const sql::TableRef& b) {
+  return a.table == b.table && a.alias == b.alias;
+}
+
+bool SameOrderByItem(const sql::OrderByItem& a, const sql::OrderByItem& b) {
+  return a.column == b.column && a.descending == b.descending;
+}
+
+// Matches one template operand against the corresponding operand of a bound
+// instance, capturing parameter bindings. `have` tracks which parameter
+// indexes are already bound (a repeated parameter must rebind equal values).
+bool MatchOperand(const sql::Operand& tmpl_op, const sql::Operand& bound_op,
+                  std::vector<sql::Value>* params, std::vector<bool>* have) {
+  if (sql::IsColumn(tmpl_op)) {
+    return sql::IsColumn(bound_op) &&
+           std::get<sql::ColumnRef>(tmpl_op) ==
+               std::get<sql::ColumnRef>(bound_op);
+  }
+  if (!sql::IsLiteral(bound_op)) return false;  // Instance must be bound.
+  const sql::Value& value = std::get<sql::Value>(bound_op);
+  if (sql::IsLiteral(tmpl_op)) {
+    // Embedded template constants must match exactly (same type and bits;
+    // EncodeForKey distinguishes 1 from 1.0 and NULL from everything).
+    return std::get<sql::Value>(tmpl_op).EncodeForKey() ==
+           value.EncodeForKey();
+  }
+  const int index = std::get<sql::Parameter>(tmpl_op).index;
+  if (index < 0 || static_cast<size_t>(index) >= params->size()) return false;
+  if ((*have)[index]) {
+    return (*params)[index].EncodeForKey() == value.EncodeForKey();
+  }
+  (*have)[index] = true;
+  (*params)[index] = value;
+  return true;
+}
+
+}  // namespace
+
+bool QueryTemplate::MatchInstance(const sql::SelectStatement& bound,
+                                  std::vector<sql::Value>* params) const {
+  const sql::SelectStatement& tmpl = statement_.select();
+  if (tmpl.items.size() != bound.items.size() ||
+      tmpl.from.size() != bound.from.size() ||
+      tmpl.where.size() != bound.where.size() ||
+      tmpl.group_by.size() != bound.group_by.size() ||
+      tmpl.order_by.size() != bound.order_by.size() ||
+      tmpl.limit.has_value() != bound.limit.has_value()) {
+    return false;
+  }
+  for (size_t i = 0; i < tmpl.items.size(); ++i) {
+    if (!SameSelectItem(tmpl.items[i], bound.items[i])) return false;
+  }
+  for (size_t i = 0; i < tmpl.from.size(); ++i) {
+    if (!SameTableRef(tmpl.from[i], bound.from[i])) return false;
+  }
+  for (size_t i = 0; i < tmpl.group_by.size(); ++i) {
+    if (tmpl.group_by[i] != bound.group_by[i]) return false;
+  }
+  for (size_t i = 0; i < tmpl.order_by.size(); ++i) {
+    if (!SameOrderByItem(tmpl.order_by[i], bound.order_by[i])) return false;
+  }
+
+  params->assign(static_cast<size_t>(num_params()), sql::Value());
+  std::vector<bool> have(params->size(), false);
+  for (size_t i = 0; i < tmpl.where.size(); ++i) {
+    if (tmpl.where[i].op != bound.where[i].op) return false;
+    if (!MatchOperand(tmpl.where[i].lhs, bound.where[i].lhs, params, &have) ||
+        !MatchOperand(tmpl.where[i].rhs, bound.where[i].rhs, params, &have)) {
+      return false;
+    }
+  }
+  if (tmpl.limit.has_value() &&
+      !MatchOperand(*tmpl.limit, *bound.limit, params, &have)) {
+    return false;
+  }
+  // Every parameter must have been captured (the parser numbers parameters
+  // densely, so this only fails on hand-built statements).
+  for (size_t i = 0; i < have.size(); ++i) {
+    if (!have[i]) return false;
+  }
+  return true;
+}
+
+std::string SelectShapeKey(const sql::SelectStatement& stmt) {
+  sql::SelectStatement masked = stmt;
+  for (sql::Comparison& cmp : masked.where) {
+    if (!sql::IsColumn(cmp.lhs)) cmp.lhs = sql::Parameter{};
+    if (!sql::IsColumn(cmp.rhs)) cmp.rhs = sql::Parameter{};
+  }
+  if (masked.limit.has_value() && !sql::IsColumn(*masked.limit)) {
+    masked.limit = sql::Parameter{};
+  }
+  return sql::ToSql(masked);
+}
+
 bool IsIgnorable(const UpdateTemplate& u, const QueryTemplate& q) {
   AttributeSet p_union_s = q.preserved_attributes();
   p_union_s.insert(q.selection_attributes().begin(),

@@ -99,6 +99,17 @@ class QueryTemplate {
 
   const AssumptionReport& assumptions() const { return assumptions_; }
 
+  // Structural match of a fully-bound SELECT instance against this template:
+  // same select list, FROM, GROUP BY and ORDER BY; each WHERE conjunct has
+  // the same operator and column operands, template literals equal the
+  // instance's literals exactly, and template parameters capture the
+  // instance's literals (a parameter appearing twice must bind the same
+  // value). On success fills `params` (resized to num_params()) with the
+  // captured values and returns true; on mismatch returns false and leaves
+  // `params` unspecified.
+  bool MatchInstance(const sql::SelectStatement& bound,
+                     std::vector<sql::Value>* params) const;
+
  private:
   QueryTemplate() = default;
 
@@ -151,6 +162,13 @@ class UpdateTemplate {
   AttributeSet m_;
   AssumptionReport assumptions_;
 };
+
+// Canonical shape key of a SELECT: its SQL text with every literal and
+// parameter operand (WHERE operands and LIMIT) masked to `?`. All bound
+// instances of one template share the template's own shape key, so a
+// key-indexed template lookup narrows MatchInstance to a handful of
+// candidates.
+std::string SelectShapeKey(const sql::SelectStatement& stmt);
 
 // Pair property G (Table 6): U is *ignorable* for Q iff
 // M(U) ∩ (P(Q) ∪ S(Q)) = {}. An ignorable update can never change the

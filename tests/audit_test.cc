@@ -233,6 +233,26 @@ TEST(AuditPerformance, AlwaysInvalidateInfoEscalatesWhenHot) {
   }
 }
 
+TEST(AuditPerformance, UnplannedQueryInfoForUncompilableTemplate) {
+  const catalog::Catalog catalog = TestCatalog();
+  // Q1's string-vs-int conjunct is rejected by the vectorized query
+  // compiler (the interpreter raises the same error, but only at
+  // execution time, so registration succeeds); Q2 compiles and must not
+  // be reported.
+  const TemplateSet set = MakeTemplates(
+      catalog,
+      {"SELECT * FROM t1 WHERE c = 5 AND a = ?",
+       "SELECT * FROM t1 WHERE a = ?"},
+      {});
+  const AuditReport report = AuditApplication(set, catalog);
+  const AuditFinding* finding = Find(report, "PERF-UNPLANNED-QUERY", "Q1");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->severity, AuditSeverity::kInfo);
+  EXPECT_EQ(finding->lens, AuditLens::kPerformance);
+  EXPECT_NE(finding->message.find("interpreter"), std::string::npos);
+  EXPECT_EQ(Find(report, "PERF-UNPLANNED-QUERY", "Q2"), nullptr);
+}
+
 TEST(AuditPerformance, BlindUpdateWarning) {
   const catalog::Catalog catalog = TestCatalog();
   const TemplateSet set = MakeTemplates(
@@ -390,6 +410,9 @@ TEST(AuditWorkloads, MethodologyExposureAuditsWithZeroErrors) {
     // relative to itself.
     EXPECT_FALSE(HasCode(report, "SEC-OVEREXPOSED")) << name;
     EXPECT_FALSE(HasCode(report, "SEC-SENSITIVE-EXPOSED")) << name;
+    // Every paper-workload query template compiles to a vectorized
+    // program: the home servers never fall back to the interpreter.
+    EXPECT_FALSE(HasCode(report, "PERF-UNPLANNED-QUERY")) << name;
   }
 }
 
