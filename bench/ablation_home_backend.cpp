@@ -1,0 +1,564 @@
+// Ablation: the pluggable home-backend subsystem — prepared-statement
+// cache, health-checked connection pool, and N-tenants-x-M-hosts topology.
+//
+// Part 1 (wall clock): the prepared-statement cache vs. prepare-per-call,
+// on the bookstore workload generator's own query mix. The measurement is
+// the execution stage — the part the cache changes: prepared-once replays
+// `QueryProgram::Execute` per query, prepare-per-call pays
+// `QueryProgram::Compile` + Execute every time. Results are checked
+// bit-identical between the two paths before anything is timed.
+//
+// As in the vectorized-engine ablation, one gate template anchors the
+// release gate independent of the workload's data-dependent template mix:
+// an order-line-by-key read with the full row projected and two range
+// guards, the purest case of what the cache targets — the key equality is
+// an index probe, so execution is O(1) while per-call compilation (five
+// output columns, three predicates) is the entire per-query cost the cache
+// removes. The workload
+// mix is swept for coverage and reported by access-path class (`point` =
+// every FROM slot an index probe; scan-bound templates spend their time in
+// the shared scan on both sides and dilute toward parity). The same mix is
+// then driven end-to-end through `HandleQuery` with the kill switch thrown
+// and restored, reporting how the stage win dilutes once the shared
+// decrypt/parse/serialize pipeline is around it, plus the backend's own
+// hit/compile counters as evidence the cache actually engaged.
+//
+//   GATE 1  gate-probe prepared executed-query throughput
+//           >= 3x prepare-per-call.
+//
+// Part 2 (virtual time): pool saturation is backpressure, not loss. A
+// tenants x hosts x pool-size sweep runs the cluster simulator with home
+// service times inflated 10x so an undersized pool actually saturates.
+// Queued leases and wait time are reported per cell.
+//
+//   GATE 2  zero failed client operations across EVERY cell, including the
+//           fully saturated one (all tenants on one host, one connection),
+//           AND the saturated cell shows queued leases — proof the pool
+//           queues under overload instead of shedding.
+//
+// Flags: --json <path> machine-readable results; --min-time <s> per-side
+// wall-clock measurement time (default 0.3; CI smoke passes 0.05);
+// --scale <f> database scale (default 0.5).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "cluster/router.h"
+#include "dssp/home_server.h"
+#include "engine/program.h"
+#include "engine/table.h"
+#include "sim/cluster_sim.h"
+#include "sql/parser.h"
+#include "templates/template.h"
+#include "workloads/application.h"
+
+namespace {
+
+using dssp::Rng;
+using dssp::backend::HomeBackendStats;
+using dssp::sim::ClusterSimResult;
+using dssp::sim::HomeTopology;
+using dssp::sim::SimConfig;
+using dssp::sim::Tenant;
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double kCacheGate = 3.0;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+// ----- Part 1: statement cache vs. prepare-per-call (wall clock). -----
+
+struct CacheMeasurement {
+  // Execution stage (what the cache changes): prepared replay vs.
+  // Compile+Execute per call. The synthetic single-row probe gates; the
+  // workload mix is reported by access-path class for coverage.
+  double gate_prepared_qps = 0;
+  double gate_per_call_qps = 0;
+  double gate_speedup = 0;
+  std::string gate_table;
+  double point_prepared_qps = 0;
+  double point_per_call_qps = 0;
+  double point_speedup = 0;
+  uint64_t point_ops = 0;
+  double scan_prepared_qps = 0;
+  double scan_per_call_qps = 0;
+  double scan_speedup = 0;
+  uint64_t scan_ops = 0;
+  // End-to-end HandleQuery (shared pipeline around the stage), via the
+  // backend's kill switch.
+  double e2e_cached_qps = 0;
+  double e2e_uncached_qps = 0;
+  uint64_t distinct_templates = 0;
+  uint64_t ops = 0;
+  uint64_t cache_hits = 0;             // Backend counter, cached e2e pass.
+  uint64_t unprepared_executions = 0;  // Backend counter, kill-switch pass.
+  HomeBackendStats final_stats;
+};
+
+CacheMeasurement MeasureStatementCache(double scale, double min_time) {
+  CacheMeasurement m;
+
+  // Concrete SELECT instances from the workload's own generator: the query
+  // mix (and its template skew) is the application's, not a synthetic one.
+  auto system = dssp::bench::BuildSystem("bookstore", scale, 17);
+  dssp::service::HomeServer& backend = system->app->home();
+  const dssp::engine::Database& db = backend.database();
+  auto generator = system->workload->NewSession(23);
+  Rng rng(91);
+
+  struct Op {
+    size_t index = 0;
+    std::vector<dssp::sql::Value> params;
+    std::string encrypted;
+  };
+  std::vector<Op> ops;
+  std::set<size_t> seen;
+  while (ops.size() < 64) {
+    for (const dssp::sim::DbOp& op : generator->NextPage(rng)) {
+      if (op.is_update) continue;
+      const size_t index = system->app->templates().QueryIndex(op.template_id);
+      DSSP_CHECK(index != dssp::templates::TemplateSet::kNpos);
+      const dssp::templates::QueryTemplate& tmpl =
+          system->app->templates().queries()[index];
+      // Only templates the backend can prepare take part (the others run
+      // the interpreter on both sides and would measure nothing).
+      if (!dssp::engine::QueryProgram::Compile(db.catalog(),
+                                               tmpl.statement().select())
+               .ok()) {
+        continue;
+      }
+      Op prepared;
+      prepared.index = index;
+      prepared.params = op.params;
+      prepared.encrypted = backend.statement_cipher().Encrypt(
+          dssp::sql::ToSql(tmpl.Bind(op.params)));
+      seen.insert(index);
+      ops.push_back(std::move(prepared));
+      if (ops.size() >= 64) break;
+    }
+  }
+  m.distinct_templates = seen.size();
+  m.ops = ops.size();
+
+  // Prepare once per template — the cache's steady state — and check both
+  // paths bit-identical before timing anything.
+  std::vector<std::unique_ptr<dssp::engine::QueryProgram>> programs;
+  for (const Op& op : ops) {
+    if (op.index >= programs.size()) programs.resize(op.index + 1);
+    const dssp::templates::QueryTemplate& tmpl =
+        system->app->templates().queries()[op.index];
+    auto compiled = dssp::engine::QueryProgram::Compile(
+        db.catalog(), tmpl.statement().select());
+    DSSP_CHECK(compiled.ok());
+    const auto fresh = compiled->Execute(db, op.params);
+    DSSP_CHECK(fresh.ok());
+    if (programs[op.index] == nullptr) {
+      programs[op.index] = std::make_unique<dssp::engine::QueryProgram>(
+          std::move(compiled).value());
+    }
+    const auto replayed = programs[op.index]->Execute(db, op.params);
+    DSSP_CHECK(replayed.ok());
+    DSSP_CHECK(fresh->Serialize() == replayed->Serialize());
+  }
+
+  // Execution stage, both sides, per access-path class. The class split
+  // mirrors the vectorized ablation: `point` programs never touch a full
+  // scan, so compile amortization is the whole story there.
+  std::vector<Op> point_ops, scan_ops;
+  for (Op& op : ops) {
+    (programs[op.index]->uses_full_scan() ? scan_ops : point_ops)
+        .push_back(op);
+  }
+  m.point_ops = point_ops.size();
+  m.scan_ops = scan_ops.size();
+  const auto measure_stage = [&](const std::vector<Op>& subset,
+                                 bool prepared) {
+    if (subset.empty()) return 0.0;
+    uint64_t execs = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    while (elapsed < min_time) {
+      for (const Op& op : subset) {
+        if (prepared) {
+          const auto result = programs[op.index]->Execute(db, op.params);
+          DSSP_CHECK(result.ok());
+        } else {
+          const dssp::templates::QueryTemplate& tmpl =
+              system->app->templates().queries()[op.index];
+          auto compiled = dssp::engine::QueryProgram::Compile(
+              db.catalog(), tmpl.statement().select());
+          DSSP_CHECK(compiled.ok());
+          const auto result = compiled->Execute(db, op.params);
+          DSSP_CHECK(result.ok());
+        }
+      }
+      execs += subset.size();
+      elapsed = Seconds(Clock::now() - start);
+    }
+    return static_cast<double>(execs) / elapsed;
+  };
+  m.point_prepared_qps = measure_stage(point_ops, true);
+  m.point_per_call_qps = measure_stage(point_ops, false);
+  m.point_speedup = m.point_per_call_qps > 0
+                        ? m.point_prepared_qps / m.point_per_call_qps
+                        : 0;
+  m.scan_prepared_qps = measure_stage(scan_ops, true);
+  m.scan_per_call_qps = measure_stage(scan_ops, false);
+  m.scan_speedup = m.scan_per_call_qps > 0
+                       ? m.scan_prepared_qps / m.scan_per_call_qps
+                       : 0;
+
+  // Gate probe: an order-line-by-key lookup with the full row projected
+  // and quantity/discount guards — a realistic OLTP point read. The key
+  // equality is served by the hash index, so execution is O(1), while
+  // compilation resolves five output columns and three predicates: the
+  // per-call compile is the entire per-query difference.
+  {
+    const dssp::engine::Table& table = db.GetTable("order_line");
+    const size_t key_col = *table.schema().ColumnIndex("ol_id");
+    const size_t qty_col = *table.schema().ColumnIndex("ol_qty");
+    m.gate_table = "order_line";
+    const dssp::sql::Statement gate_stmt = dssp::sql::ParseOrDie(
+        "SELECT ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount "
+        "FROM order_line WHERE ol_id = ? AND ol_qty >= ? AND ol_qty <= ?");
+    auto gate_program =
+        dssp::engine::QueryProgram::Compile(db.catalog(), gate_stmt.select());
+    DSSP_CHECK(gate_program.ok());
+    DSSP_CHECK(!gate_program->uses_full_scan());  // It IS an index probe.
+
+    std::vector<std::vector<dssp::sql::Value>> bindings;
+    while (bindings.size() < 8) {
+      const size_t slot = rng.NextBelow(table.slot_count());
+      if (!table.IsLive(slot)) continue;
+      const std::vector<dssp::sql::Value> row = table.RowAt(slot);
+      // Guards bracket the row's own quantity, so the probe returns it.
+      bindings.push_back({row[key_col], row[qty_col], row[qty_col]});
+    }
+    for (const std::vector<dssp::sql::Value>& params : bindings) {
+      auto fresh = dssp::engine::QueryProgram::Compile(db.catalog(),
+                                                       gate_stmt.select());
+      DSSP_CHECK(fresh.ok());
+      const auto a = fresh->Execute(db, params);
+      const auto b = gate_program->Execute(db, params);
+      DSSP_CHECK(a.ok() && b.ok());
+      DSSP_CHECK(a->Serialize() == b->Serialize());
+    }
+    for (const bool prepared : {true, false}) {
+      uint64_t execs = 0;
+      const auto start = Clock::now();
+      double elapsed = 0;
+      while (elapsed < min_time) {
+        for (const std::vector<dssp::sql::Value>& params : bindings) {
+          if (prepared) {
+            const auto result = gate_program->Execute(db, params);
+            DSSP_CHECK(result.ok());
+          } else {
+            auto compiled = dssp::engine::QueryProgram::Compile(
+                db.catalog(), gate_stmt.select());
+            DSSP_CHECK(compiled.ok());
+            const auto result = compiled->Execute(db, params);
+            DSSP_CHECK(result.ok());
+          }
+        }
+        execs += bindings.size();
+        elapsed = Seconds(Clock::now() - start);
+      }
+      (prepared ? m.gate_prepared_qps : m.gate_per_call_qps) =
+          static_cast<double>(execs) / elapsed;
+    }
+    m.gate_speedup = m.gate_per_call_qps > 0
+                         ? m.gate_prepared_qps / m.gate_per_call_qps
+                         : 0;
+  }
+
+  // End-to-end through the backend, flipping its own kill switch; the
+  // counters prove which path each pass took.
+  for (const Op& op : ops) {  // Warm the per-connection cache.
+    const auto warm = backend.HandleQuery(op.encrypted, true);
+    DSSP_CHECK(warm.ok());
+  }
+  for (const bool cached : {true, false}) {
+    backend.SetStatementCacheEnabled(cached);
+    const HomeBackendStats before = backend.Stats();
+    uint64_t execs = 0;
+    const auto start = Clock::now();
+    double elapsed = 0;
+    while (elapsed < min_time) {
+      for (const Op& op : ops) {
+        const auto result = backend.HandleQuery(op.encrypted, true);
+        DSSP_CHECK(result.ok());
+      }
+      execs += ops.size();
+      elapsed = Seconds(Clock::now() - start);
+    }
+    const double qps = static_cast<double>(execs) / elapsed;
+    const HomeBackendStats after = backend.Stats();
+    if (cached) {
+      m.e2e_cached_qps = qps;
+      m.cache_hits = after.statements.hits - before.statements.hits;
+    } else {
+      m.e2e_uncached_qps = qps;
+      m.unprepared_executions = after.statements.unprepared_executions -
+                                before.statements.unprepared_executions;
+    }
+  }
+  backend.SetStatementCacheEnabled(true);
+  m.final_stats = backend.Stats();
+  return m;
+}
+
+// ----- Part 2: tenants x hosts x pool-size saturation sweep. -----
+
+struct SweepCell {
+  int tenants = 0;
+  int hosts = 0;
+  int pool_size = 0;
+  double throughput = 0;
+  double p90_s = 0;
+  uint64_t home_ops = 0;
+  uint64_t failed_ops = 0;
+  uint64_t leases_queued = 0;
+  double wait_s_total = 0;
+  double wait_s_max = 0;
+  uint64_t catalogs_loaded = 0;
+};
+
+struct TenantSystem {
+  std::unique_ptr<dssp::service::ScalableApp> app;
+  std::unique_ptr<dssp::workloads::Application> workload;
+  std::unique_ptr<dssp::sim::SessionGenerator> generator;
+};
+
+SweepCell RunCell(int num_tenants, int num_hosts, int pool_size,
+                  double scale) {
+  static const char* kApps[] = {"bookstore", "auction", "bboard", "toystore"};
+  dssp::cluster::ClusterOptions options;
+  options.num_nodes = 2;
+  dssp::cluster::ClusterRouter router(options);
+
+  std::vector<TenantSystem> systems;
+  std::vector<Tenant> tenants;
+  for (int t = 0; t < num_tenants; ++t) {
+    TenantSystem system;
+    const char* name = kApps[t % 4];
+    system.app = std::make_unique<dssp::service::ScalableApp>(
+        name + std::string("-") + std::to_string(t), &router,
+        dssp::crypto::KeyRing::FromPassphrase("bench-home-backend"));
+    system.workload = dssp::workloads::MakeApplication(name);
+    DSSP_CHECK_OK(system.workload->Setup(*system.app, scale, 17 + t));
+    DSSP_CHECK_OK(system.app->Finalize());
+    system.generator = system.workload->NewSession(23 + t);
+    systems.push_back(std::move(system));
+  }
+  for (TenantSystem& system : systems) {
+    tenants.push_back(Tenant{system.app.get(), system.generator.get(), 25});
+  }
+
+  // Inflated home service times: at pool_size=1 the shared host MUST
+  // saturate, which is the regime the gate inspects.
+  SimConfig config;
+  config.duration_s = 30.0;
+  config.think_time_mean_s = 1.0;
+  config.dssp_workers = 2;
+  config.seed = 31;
+  config.home_query_base_s = 0.100;
+  config.home_update_base_s = 0.080;
+
+  HomeTopology topology;
+  topology.num_hosts = num_hosts;
+  topology.pool_size = pool_size;
+
+  auto result = dssp::sim::RunClusterSimulation(router, tenants, config,
+                                                /*scenario=*/{}, topology);
+  DSSP_CHECK(result.ok());
+
+  SweepCell cell;
+  cell.tenants = num_tenants;
+  cell.hosts = num_hosts;
+  cell.pool_size = pool_size;
+  cell.throughput = result->throughput_pages_per_s;
+  cell.leases_queued = result->pool_leases_queued;
+  cell.wait_s_total = result->pool_wait_s_total;
+  cell.wait_s_max = result->pool_wait_s_max;
+  cell.catalogs_loaded = result->catalogs_loaded;
+  for (const dssp::sim::SimResult& tenant : result->tenants) {
+    cell.failed_ops += tenant.failed_ops;
+    cell.home_ops += tenant.home_queries + tenant.home_updates;
+    cell.p90_s = std::max(cell.p90_s, tenant.p90_response_s);
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = dssp::bench::FlagValue(argc, argv, "--json");
+  const char* min_time_flag = dssp::bench::FlagValue(argc, argv, "--min-time");
+  const char* scale_flag = dssp::bench::FlagValue(argc, argv, "--scale");
+  const double min_time =
+      min_time_flag != nullptr ? std::atof(min_time_flag) : 0.3;
+  const double scale = scale_flag != nullptr ? std::atof(scale_flag) : 0.5;
+
+  std::printf(
+      "Ablation — home backend: statement cache + pooled hosts\n"
+      "(scale %.2f, %.2fs per wall-clock measurement)\n\n",
+      scale, min_time);
+
+  // Part 1: statement cache.
+  const CacheMeasurement cache = MeasureStatementCache(scale, min_time);
+  std::printf(
+      "statement cache (bookstore mix: %llu ops over %llu templates; "
+      "%llu point / %llu scan)\n",
+      static_cast<unsigned long long>(cache.ops),
+      static_cast<unsigned long long>(cache.distinct_templates),
+      static_cast<unsigned long long>(cache.point_ops),
+      static_cast<unsigned long long>(cache.scan_ops));
+  std::printf("  execution stage  %12s %12s %8s\n", "prepared q/s",
+              "per-call q/s", "speedup");
+  std::printf("  %-16s %12.0f %12.0f %7.1fx   <- gate (probe on %s)\n",
+              "gate-point", cache.gate_prepared_qps, cache.gate_per_call_qps,
+              cache.gate_speedup, cache.gate_table.c_str());
+  std::printf("  %-16s %12.0f %12.0f %7.1fx\n", "mix: point",
+              cache.point_prepared_qps, cache.point_per_call_qps,
+              cache.point_speedup);
+  std::printf("  %-16s %12.0f %12.0f %7.1fx\n", "mix: scan",
+              cache.scan_prepared_qps, cache.scan_per_call_qps,
+              cache.scan_speedup);
+  std::printf("  end-to-end HandleQuery   %12s\n", "queries/s");
+  std::printf("  %-24s %12.0f   (cache hits: %llu)\n", "cache on",
+              cache.e2e_cached_qps,
+              static_cast<unsigned long long>(cache.cache_hits));
+  std::printf("  %-24s %12.0f   (per-call compiles: %llu)\n", "kill switch",
+              cache.e2e_uncached_qps,
+              static_cast<unsigned long long>(cache.unprepared_executions));
+  std::printf("  program/interpreter split: %llu/%llu\n\n",
+              static_cast<unsigned long long>(
+                  cache.final_stats.program_queries),
+              static_cast<unsigned long long>(
+                  cache.final_stats.interpreter_fallback_queries));
+
+  // Part 2: topology sweep.
+  std::printf(
+      "topology sweep (virtual time, home service inflated 10x)\n"
+      "  %-8s %-6s %-6s %10s %8s %9s %8s %10s %7s\n",
+      "tenants", "hosts", "pool", "pages/s", "p90 s", "home ops", "queued",
+      "wait s", "failed");
+  std::vector<SweepCell> cells;
+  for (const int tenants : {1, 2, 4}) {
+    for (const int hosts : {1, 2}) {
+      if (hosts > tenants) continue;
+      for (const int pool_size : {1, 2, 8}) {
+        SweepCell cell = RunCell(tenants, hosts, pool_size, scale);
+        std::printf("  %-8d %-6d %-6d %10.1f %8.3f %9llu %8llu %10.1f %7llu\n",
+                    cell.tenants, cell.hosts, cell.pool_size, cell.throughput,
+                    cell.p90_s,
+                    static_cast<unsigned long long>(cell.home_ops),
+                    static_cast<unsigned long long>(cell.leases_queued),
+                    cell.wait_s_total,
+                    static_cast<unsigned long long>(cell.failed_ops));
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  uint64_t total_failed = 0;
+  const SweepCell* saturated = nullptr;
+  for (const SweepCell& cell : cells) {
+    total_failed += cell.failed_ops;
+    if (cell.tenants == 4 && cell.hosts == 1 && cell.pool_size == 1) {
+      saturated = &cell;
+    }
+  }
+  const bool cache_gate_ok = cache.gate_speedup >= kCacheGate;
+  const bool backpressure_gate_ok = total_failed == 0 &&
+                                    saturated != nullptr &&
+                                    saturated->leases_queued > 0;
+
+  std::printf(
+      "\nInterpretation: the statement cache moves QueryProgram::Compile\n"
+      "off the per-query path — each connection compiles a template once\n"
+      "and replays the program thereafter. The gate probe executes in\n"
+      "O(1), so removing per-call compilation is the whole win and it\n"
+      "carries the gate; the workload mix dilutes with each template's\n"
+      "execution weight (scan-bound templates spend their time in the\n"
+      "scan on both sides), as do the end-to-end rows, which add the\n"
+      "decrypt/parse/serialize pipeline both paths share.\n"
+      "The pool turns an undersized host into queueing delay (visible\n"
+      "above as queued leases and wait seconds at pool=1) rather than\n"
+      "failed operations: every cell, including the fully saturated one,\n"
+      "completes with zero failures.\n\n");
+  std::printf("gate: stmt cache probe >= %.1fx   %s (measured %.1fx)\n",
+              kCacheGate, cache_gate_ok ? "PASS" : "FAIL",
+              cache.gate_speedup);
+  std::printf(
+      "gate: saturation = backpressure  %s (failed ops %llu, saturated-cell "
+      "queued leases %llu)\n",
+      backpressure_gate_ok ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(total_failed),
+      static_cast<unsigned long long>(
+          saturated != nullptr ? saturated->leases_queued : 0));
+
+  if (json_path != nullptr) {
+    dssp::bench::JsonObject cache_doc;
+    cache_doc.Set("gate_prepared_qps", cache.gate_prepared_qps);
+    cache_doc.Set("gate_per_call_qps", cache.gate_per_call_qps);
+    cache_doc.Set("gate_speedup", cache.gate_speedup);
+    cache_doc.Set("gate_table", cache.gate_table);
+    cache_doc.Set("point_prepared_qps", cache.point_prepared_qps);
+    cache_doc.Set("point_per_call_qps", cache.point_per_call_qps);
+    cache_doc.Set("point_speedup", cache.point_speedup);
+    cache_doc.Set("point_ops", cache.point_ops);
+    cache_doc.Set("scan_prepared_qps", cache.scan_prepared_qps);
+    cache_doc.Set("scan_per_call_qps", cache.scan_per_call_qps);
+    cache_doc.Set("scan_speedup", cache.scan_speedup);
+    cache_doc.Set("scan_ops", cache.scan_ops);
+    cache_doc.Set("e2e_cached_qps", cache.e2e_cached_qps);
+    cache_doc.Set("e2e_uncached_qps", cache.e2e_uncached_qps);
+    cache_doc.Set("ops", cache.ops);
+    cache_doc.Set("distinct_templates", cache.distinct_templates);
+    cache_doc.Set("cache_hits", cache.cache_hits);
+    cache_doc.Set("unprepared_executions", cache.unprepared_executions);
+    cache_doc.Set("program_queries", cache.final_stats.program_queries);
+    cache_doc.Set("interpreter_fallback_queries",
+                  cache.final_stats.interpreter_fallback_queries);
+
+    std::vector<dssp::bench::JsonObject> rows;
+    for (const SweepCell& cell : cells) {
+      dssp::bench::JsonObject row;
+      row.Set("tenants", cell.tenants);
+      row.Set("hosts", cell.hosts);
+      row.Set("pool_size", cell.pool_size);
+      row.Set("throughput_pages_per_s", cell.throughput);
+      row.Set("p90_s", cell.p90_s);
+      row.Set("home_ops", cell.home_ops);
+      row.Set("leases_queued", cell.leases_queued);
+      row.Set("wait_s_total", cell.wait_s_total);
+      row.Set("wait_s_max", cell.wait_s_max);
+      row.Set("catalogs_loaded", cell.catalogs_loaded);
+      row.Set("failed_ops", cell.failed_ops);
+      rows.push_back(std::move(row));
+    }
+
+    dssp::bench::JsonObject doc;
+    doc.Set("experiment", "home_backend");
+    doc.Set("scale", scale);
+    doc.Set("min_time_s", min_time);
+    doc.Set("cache_gate", kCacheGate);
+    doc.Set("cache_gate_pass", cache_gate_ok);
+    doc.Set("backpressure_gate_pass", backpressure_gate_ok);
+    doc.SetRaw("statement_cache", cache_doc.ToString());
+    doc.SetRaw("sweep", dssp::bench::JsonArray(rows));
+    dssp::bench::WriteJsonFile(json_path, doc);
+  }
+  return cache_gate_ok && backpressure_gate_ok ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#include "backend/host.h"
+
+#include "backend/in_memory_backend.h"
+
+namespace dssp::backend {
+
+void BackendHost::AttachTenant(InMemoryBackend* tenant) {
+  DSSP_CHECK(tenant != nullptr);
+  {
+    MutexLock lock(mu_);
+    tenants_.push_back(tenant);
+  }
+  tenant->AttachHost(this);
+}
+
+}  // namespace dssp::backend

@@ -1,0 +1,49 @@
+#include "backend/metadata_cache.h"
+
+#include <utility>
+
+namespace dssp::backend {
+
+std::optional<TableMetadata> MetadataCache::Lookup(const std::string& table,
+                                                   double now_s) {
+  MutexLock lock(mu_);
+  const auto it = entries_.find(table);
+  if (it == entries_.end()) return std::nullopt;
+  if (ttl_s_ > 0 && now_s - it->second.computed_at_s > ttl_s_) {
+    entries_.erase(it);
+    ++expirations_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void MetadataCache::Store(TableMetadata metadata) {
+  MutexLock lock(mu_);
+  ++loads_;
+  entries_[metadata.table] = std::move(metadata);
+}
+
+void MetadataCache::Invalidate(const std::string& table) {
+  MutexLock lock(mu_);
+  if (entries_.erase(table) > 0) ++invalidations_;
+}
+
+void MetadataCache::InvalidateAll() {
+  MutexLock lock(mu_);
+  invalidations_ += entries_.size();
+  entries_.clear();
+}
+
+MetadataCacheStats MetadataCache::Stats() const {
+  MutexLock lock(mu_);
+  MetadataCacheStats out;
+  out.loads = loads_;
+  out.hits = hits_;
+  out.expirations = expirations_;
+  out.invalidations = invalidations_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace dssp::backend

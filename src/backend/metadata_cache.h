@@ -1,0 +1,57 @@
+#ifndef DSSP_BACKEND_METADATA_CACHE_H_
+#define DSSP_BACKEND_METADATA_CACHE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "backend/home_backend.h"
+#include "common/mutex.h"
+
+namespace dssp::backend {
+
+// TTL'd cache of per-table metadata/statistics snapshots.
+//
+// A statistics pass (row counts, key shape — what a real DSSP pulls from
+// information_schema + ANALYZE) is expensive relative to a point query, so
+// its results are cached and served until either the TTL lapses against the
+// backend's virtual clock or an explicit invalidation drops them. The
+// explicit paths are the ones the paper's consistency argument needs:
+// metadata must never be ambient state that silently survives DDL or
+// template registration, so CreateTable-equivalent events and AddXTemplate
+// both call Invalidate()/InvalidateAll() rather than waiting out the TTL.
+//
+// Thread-safe; the TTL clock is supplied by the caller (simulated seconds).
+class MetadataCache {
+ public:
+  // ttl_s == 0: entries never expire (explicit invalidation only).
+  explicit MetadataCache(double ttl_s) : ttl_s_(ttl_s) {}
+
+  // The cached snapshot for `table` that is still valid at `now_s`, if any.
+  // An expired entry is dropped (counted) and reported as a miss.
+  std::optional<TableMetadata> Lookup(const std::string& table, double now_s);
+
+  // Stores a fresh snapshot (counts the load that produced it).
+  void Store(TableMetadata metadata);
+
+  // Explicit invalidation: one table (DDL touching it) or everything
+  // (template registration re-scopes which tables matter).
+  void Invalidate(const std::string& table);
+  void InvalidateAll();
+
+  MetadataCacheStats Stats() const;
+  double ttl_s() const { return ttl_s_; }
+
+ private:
+  double ttl_s_;
+  mutable Mutex mu_;
+  std::map<std::string, TableMetadata> entries_ DSSP_GUARDED_BY(mu_);
+  uint64_t loads_ DSSP_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ DSSP_GUARDED_BY(mu_) = 0;
+  uint64_t expirations_ DSSP_GUARDED_BY(mu_) = 0;
+  uint64_t invalidations_ DSSP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dssp::backend
+
+#endif  // DSSP_BACKEND_METADATA_CACHE_H_

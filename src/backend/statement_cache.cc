@@ -1,0 +1,68 @@
+#include "backend/statement_cache.h"
+
+namespace dssp::backend {
+
+const engine::QueryProgram* StatementCache::Lookup(const void* tenant,
+                                                   size_t template_index) {
+  MutexLock lock(mu_);
+  const auto it = entries_.find(Key{tenant, template_index});
+  if (it == entries_.end()) return nullptr;
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return &it->second.program;
+}
+
+const engine::QueryProgram* StatementCache::Prepare(
+    const void* tenant, size_t template_index, engine::QueryProgram program) {
+  MutexLock lock(mu_);
+  ++counters_.misses;
+  const Key key{tenant, template_index};
+  // A re-prepare of a live key (possible after a racing invalidation window)
+  // replaces the entry in place.
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.program = std::move(program);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return &it->second.program;
+  }
+  lru_.push_front(key);
+  it = entries_.emplace(key, Entry(std::move(program), lru_.begin())).first;
+  if (capacity_ > 0 && entries_.size() > capacity_) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++counters_.evictions;
+  }
+  return &it->second.program;
+}
+
+void StatementCache::Invalidate(const void* tenant) {
+  MutexLock lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.first == tenant) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++counters_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StatementCache::Clear() {
+  MutexLock lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t StatementCache::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+StatementCache::Counters StatementCache::counters() const {
+  MutexLock lock(mu_);
+  return counters_;
+}
+
+}  // namespace dssp::backend

@@ -1,0 +1,89 @@
+#ifndef DSSP_BACKEND_STATEMENT_CACHE_H_
+#define DSSP_BACKEND_STATEMENT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/mutex.h"
+#include "engine/program.h"
+
+namespace dssp::backend {
+
+// Prepared statements of ONE pooled connection, keyed by (tenant, template).
+//
+// Modeled on a real DBMS connection: PREPARE compiles the template's plan
+// server-side and the handle is connection-scoped — a new or recycled
+// connection starts empty and must re-prepare. Here "prepare" is the PR-8
+// QueryProgram compilation, so a hit executes a direct-coordinate program
+// with zero name resolution and a miss pays the full compile.
+//
+// The tenant half of the key is the owning backend's identity, because a
+// shared BackendHost pool serves several tenants over the same connections
+// and template indexes are per-tenant. LRU-capped per connection; explicit
+// invalidation (DDL / template registration) drops one tenant's statements
+// everywhere.
+//
+// Thread safety: a connection is leased exclusively, but Stats() snapshots
+// race leases, so the cache carries its own mutex.
+class StatementCache {
+ public:
+  // Per-connection counters (aggregated into StatementCacheStats by the
+  // pool). Plain fields: read/written under the cache's mutex.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  // `capacity` caps live prepared statements on this connection
+  // (0 = unlimited). Eviction is least-recently-executed.
+  explicit StatementCache(size_t capacity) : capacity_(capacity) {}
+
+  // The prepared program for (`tenant`, `template_index`), or nullptr on a
+  // miss. A hit refreshes LRU order. The returned pointer stays valid until
+  // the entry is evicted or invalidated — callers finish executing before
+  // releasing the lease, and eviction/invalidation only happen from the
+  // lease holder itself, so the lifetime is the lease.
+  const engine::QueryProgram* Lookup(const void* tenant,
+                                     size_t template_index);
+
+  // Records a just-prepared program (counts the miss) and returns it.
+  const engine::QueryProgram* Prepare(const void* tenant,
+                                      size_t template_index,
+                                      engine::QueryProgram program);
+
+  // Drops one tenant's statements (template registration / DDL re-plans).
+  void Invalidate(const void* tenant);
+
+  // Drops everything: the connection was recycled (counts nothing — the
+  // statements died with the connection, they were not invalidated).
+  void Clear();
+
+  size_t size() const;
+  Counters counters() const;
+
+ private:
+  using Key = std::pair<const void*, size_t>;
+  struct Entry {
+    engine::QueryProgram program;
+    std::list<Key>::iterator lru_it;
+    Entry(engine::QueryProgram p, std::list<Key>::iterator it)
+        : program(std::move(p)), lru_it(it) {}
+  };
+
+  size_t capacity_;
+  mutable Mutex mu_;
+  // std::map: node-stable, so Entry addresses survive inserts/erases of
+  // other keys (Lookup hands out pointers into it).
+  std::map<Key, Entry> entries_ DSSP_GUARDED_BY(mu_);
+  std::list<Key> lru_ DSSP_GUARDED_BY(mu_);  // Front = most recent.
+  Counters counters_ DSSP_GUARDED_BY(mu_);
+};
+
+}  // namespace dssp::backend
+
+#endif  // DSSP_BACKEND_STATEMENT_CACHE_H_

@@ -117,4 +117,23 @@ ChannelOutcome FaultInjectingChannel::RoundTrip(
   return outcome;
 }
 
+ChannelHealthProber::ChannelHealthProber(Channel& channel, uint64_t seed)
+    : channel_(channel), rng_(seed) {}
+
+bool ChannelHealthProber::Probe() {
+  uint64_t token;
+  {
+    MutexLock lock(mu_);
+    token = rng_.Next();
+    if (token == 0) token = 1;
+  }
+  const ChannelOutcome outcome =
+      channel_.RoundTrip(Seal(Encode(ProbeRequest{token})));
+  if (!outcome.delivered) return false;
+  StatusOr<std::string> inner = Unseal(outcome.response);
+  if (!inner.ok()) return false;
+  StatusOr<ProbeResponse> response = DecodeProbeResponse(*inner);
+  return response.ok() && response->token == token;
+}
+
 }  // namespace dssp::service

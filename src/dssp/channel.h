@@ -5,13 +5,16 @@
 #include <string>
 #include <string_view>
 
+#include "backend/connection_pool.h"
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/status.h"
 
-namespace dssp::service {
+namespace dssp::backend {
+class HomeBackend;
+}  // namespace dssp::backend
 
-class HomeServer;
+namespace dssp::service {
 
 // Result of putting one request frame on the DSSP<->home wire (the WAN of
 // the paper's Figure 2) and waiting for the reply.
@@ -27,9 +30,9 @@ struct ChannelOutcome {
   bool response_corrupted = false;
 };
 
-// Transport between ScalableApp / DsspNode and a HomeServer. Implementations
-// must be safe for concurrent RoundTrip calls (a multi-threaded tenant
-// shares one channel).
+// Transport between ScalableApp / DsspNode and a home backend.
+// Implementations must be safe for concurrent RoundTrip calls (a
+// multi-threaded tenant shares one channel).
 class Channel {
  public:
   virtual ~Channel() = default;
@@ -40,11 +43,11 @@ class Channel {
 // once, with zero delay. Preserves the pre-channel behavior bit for bit.
 class DirectChannel : public Channel {
  public:
-  explicit DirectChannel(HomeServer& home) : home_(home) {}
+  explicit DirectChannel(backend::HomeBackend& home) : home_(home) {}
   ChannelOutcome RoundTrip(std::string_view request_frame) override;
 
  private:
-  HomeServer& home_;
+  backend::HomeBackend& home_;
 };
 
 // Fault model for a lossy WAN. Probabilities are independent per frame and
@@ -86,6 +89,22 @@ class FaultInjectingChannel : public Channel {
   Channel& inner_;
   FaultProfile profile_;
   Mutex mu_;  // RoundTrip may be called concurrently.
+  Rng rng_ DSSP_GUARDED_BY(mu_);
+};
+
+// Connection-pool health prober that rides the real wire: each Probe() seals
+// a kProbeRequest, sends it through `channel` (typically a
+// FaultInjectingChannel, so a seeded FaultProfile produces reproducible
+// probe losses), and succeeds only if an intact, token-matching
+// kProbeResponse comes back. Tokens are drawn from a seeded RNG.
+class ChannelHealthProber : public backend::HealthProber {
+ public:
+  ChannelHealthProber(Channel& channel, uint64_t seed);
+  bool Probe() override;
+
+ private:
+  Channel& channel_;
+  Mutex mu_;
   Rng rng_ DSSP_GUARDED_BY(mu_);
 };
 

@@ -1,137 +1,17 @@
 #ifndef DSSP_DSSP_HOME_SERVER_H_
 #define DSSP_DSSP_HOME_SERVER_H_
 
-#include <atomic>
-#include <cstdint>
-#include <deque>
-#include <optional>
-#include <string>
-#include <string_view>
-#include <unordered_map>
-#include <vector>
-
-#include "common/mutex.h"
-#include "common/status.h"
-#include "crypto/keyring.h"
-#include "engine/database.h"
-#include "engine/program.h"
-#include "templates/template_set.h"
+#include "backend/in_memory_backend.h"
 
 namespace dssp::service {
 
-// An application's home server: the master database, the template sets, and
-// the application's keys. All statements arrive encrypted (Figure 2: the
-// DSSP forwards opaque blobs); the home server decrypts, parses, executes,
-// and encrypts results when the caller asks for an opaque reply.
-class HomeServer {
- public:
-  HomeServer(std::string app_id, crypto::KeyRing keyring);
-
-  const std::string& app_id() const { return app_id_; }
-  const crypto::KeyRing& keyring() const { return keyring_; }
-
-  // Master database; populate it and register tables through this.
-  engine::Database& database() { return database_; }
-  const engine::Database& database() const { return database_; }
-
-  // Registers templates (ids auto-assigned "Q<k>" / "U<k>").
-  Status AddQueryTemplate(std::string_view sql);
-  Status AddUpdateTemplate(std::string_view sql);
-  const templates::TemplateSet& templates() const { return templates_; }
-
-  // Wire entry points. `ciphertext` is a statement encrypted under the
-  // app's statement cipher. For queries: executes and returns the serialized
-  // result, encrypted under the result cipher unless `plaintext_result`.
-  //
-  // A nonzero `nonce` enables at-most-once semantics: if an update with the
-  // same nonce was already applied (a client retry after a lost response, or
-  // a transport-duplicated frame), the stored effect is returned without
-  // touching the database. The dedup window is bounded FIFO
-  // (`kDedupWindow` nonces); retries are near-immediate, so a window this
-  // deep never forgets a nonce that can still be retried.
-  StatusOr<std::string> HandleQuery(std::string_view ciphertext,
-                                    bool plaintext_result);
-  StatusOr<engine::UpdateEffect> HandleUpdate(std::string_view ciphertext,
-                                              uint64_t nonce = 0);
-
-  // Ciphers (deterministic; shared conceptually with the application's
-  // client-side code, never with the DSSP).
-  crypto::DeterministicCipher statement_cipher() const {
-    return keyring_.CipherFor("statement");
-  }
-  crypto::DeterministicCipher parameter_cipher() const {
-    return keyring_.CipherFor("params");
-  }
-  crypto::DeterministicCipher result_cipher() const {
-    return keyring_.CipherFor("result");
-  }
-
-  // Count of updates applied (the paper reports per-run update volumes).
-  // Atomics: a multi-threaded tenant may drive HandleQuery/HandleUpdate from
-  // several workers; the accessors are lock-free snapshots.
-  uint64_t updates_applied() const {
-    return updates_applied_.load(std::memory_order_relaxed);
-  }
-  uint64_t queries_executed() const {
-    return queries_executed_.load(std::memory_order_relaxed);
-  }
-  // Updates whose nonce was already applied and were suppressed.
-  uint64_t duplicates_suppressed() const {
-    return duplicates_suppressed_.load(std::memory_order_relaxed);
-  }
-
-  // Queries served by a compiled QueryProgram vs. by the reference
-  // interpreter (template not matched, template not compilable, or program
-  // execution disabled). An application whose templates all compile sees
-  // interpreter_fallback_queries() == 0.
-  uint64_t program_queries() const {
-    return program_queries_.load(std::memory_order_relaxed);
-  }
-  uint64_t interpreter_fallback_queries() const {
-    return interpreter_fallback_queries_.load(std::memory_order_relaxed);
-  }
-
-  // Disables the compiled-program path (every query runs the interpreter).
-  // For benchmarks and differential tests; call before serving traffic.
-  void SetProgramExecutionEnabled(bool enabled) {
-    program_execution_enabled_ = enabled;
-  }
-
-  static constexpr size_t kDedupWindow = 65536;
-
- private:
-  // Executes a parsed, fully-bound query: via the compiled program of the
-  // matching template when one exists, else the reference interpreter.
-  StatusOr<engine::QueryResult> ExecuteParsedQuery(const sql::Statement& stmt);
-
-  std::string app_id_;
-  crypto::KeyRing keyring_;
-  engine::Database database_;
-  templates::TemplateSet templates_;
-
-  // Compiled once per registered query template (nullopt when compilation
-  // falls back to the interpreter), parallel to templates_.queries().
-  // Shape key (templates::SelectShapeKey) -> candidate template indexes.
-  // Both are setup-phase state like templates_: mutated only by
-  // AddQueryTemplate, read without locks by HandleQuery.
-  std::vector<std::optional<engine::QueryProgram>> programs_;
-  std::unordered_map<std::string, std::vector<size_t>> shape_to_queries_;
-  bool program_execution_enabled_ = true;
-
-  std::atomic<uint64_t> updates_applied_{0};
-  std::atomic<uint64_t> queries_executed_{0};
-  std::atomic<uint64_t> duplicates_suppressed_{0};
-  std::atomic<uint64_t> program_queries_{0};
-  std::atomic<uint64_t> interpreter_fallback_queries_{0};
-
-  // Nonce -> applied effect, bounded FIFO. The mutex also serializes the
-  // apply of nonce-carrying updates so a concurrent retry of the same nonce
-  // cannot double-apply.
-  Mutex dedup_mu_;
-  std::unordered_map<uint64_t, engine::UpdateEffect> applied_nonces_
-      DSSP_GUARDED_BY(dedup_mu_);
-  std::deque<uint64_t> dedup_fifo_ DSSP_GUARDED_BY(dedup_mu_);
-};
+// The home server moved behind the backend::HomeBackend seam: the engine-
+// backed implementation is backend::InMemoryBackend (master database,
+// template sets, keys, connection pool, prepared-statement and metadata
+// caches). This alias keeps the service-layer name every existing call site
+// uses; new code should say backend::InMemoryBackend (or program against
+// backend::HomeBackend where only the wire surface matters).
+using HomeServer = backend::InMemoryBackend;
 
 }  // namespace dssp::service
 

@@ -3,8 +3,8 @@
 #include <cstring>
 
 #include "analysis/exposure.h"
+#include "backend/home_backend.h"
 #include "common/hash.h"
-#include "dssp/home_server.h"
 
 namespace dssp::service {
 
@@ -126,6 +126,18 @@ std::string Encode(const InvalidateBatchResponse& message) {
     AppendU64(&out, ack.accepted ? ack.entries_invalidated
                                  : static_cast<uint64_t>(ack.code));
   }
+  return out;
+}
+
+std::string Encode(const ProbeRequest& message) {
+  std::string out(1, static_cast<char>(MessageType::kProbeRequest));
+  AppendU64(&out, message.token);
+  return out;
+}
+
+std::string Encode(const ProbeResponse& message) {
+  std::string out(1, static_cast<char>(MessageType::kProbeResponse));
+  AppendU64(&out, message.token);
   return out;
 }
 
@@ -346,7 +358,29 @@ StatusOr<InvalidateBatchResponse> DecodeInvalidateBatchResponse(
   return message;
 }
 
-std::string DispatchFrame(HomeServer& home, std::string_view frame) {
+StatusOr<ProbeRequest> DecodeProbeRequest(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kProbeRequest, &pos));
+  ProbeRequest message;
+  if (!ReadU64(frame, &pos, &message.token)) {
+    return ParseError("malformed probe request");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+StatusOr<ProbeResponse> DecodeProbeResponse(std::string_view frame) {
+  size_t pos = 0;
+  DSSP_RETURN_IF_ERROR(CheckType(frame, MessageType::kProbeResponse, &pos));
+  ProbeResponse message;
+  if (!ReadU64(frame, &pos, &message.token)) {
+    return ParseError("malformed probe response");
+  }
+  DSSP_RETURN_IF_ERROR(CheckConsumed(frame, pos));
+  return message;
+}
+
+std::string DispatchFrame(backend::HomeBackend& home, std::string_view frame) {
   const std::optional<MessageType> type = PeekType(frame);
   if (!type.has_value()) {
     return Encode(ErrorResponse{StatusCode::kParseError, "bad frame"});
@@ -390,6 +424,18 @@ std::string DispatchFrame(HomeServer& home, std::string_view frame) {
             ErrorResponse{effect.status().code(), effect.status().message()});
       }
       return Encode(UpdateResponse{effect->rows_affected});
+    }
+    case MessageType::kProbeRequest: {
+      auto request = DecodeProbeRequest(frame);
+      if (!request.ok()) {
+        return Encode(ErrorResponse{request.status().code(),
+                                    request.status().message()});
+      }
+      const Status alive = home.Ping();
+      if (!alive.ok()) {
+        return Encode(ErrorResponse{alive.code(), alive.message()});
+      }
+      return Encode(ProbeResponse{request->token});
     }
     default:
       return Encode(

@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "engine/database.h"
 
+namespace dssp::backend {
+class HomeBackend;
+}  // namespace dssp::backend
+
 namespace dssp::service {
 
 // The DSSP <-> home-server wire protocol (the arrows of the paper's
@@ -45,6 +49,12 @@ enum class MessageType : uint8_t {
   // refused notice does not poison the batch.
   kInvalidateBatchRequest = 9,
   kInvalidateBatchResponse = 10,
+
+  // Home-backend health probe (DSSP -> home): one round trip over the same
+  // (fault-injectable) wire as real traffic, so a wire that damages requests
+  // also damages probes. The echoed token ties a response to its probe.
+  kProbeRequest = 11,
+  kProbeResponse = 12,
 
   // Sentinel: one past the last frame type. Keep last; PeekType derives the
   // valid range from it so adding a type cannot desynchronize dispatch.
@@ -120,6 +130,18 @@ struct InvalidateBatchResponse {
   std::vector<Ack> acks;
 };
 
+// Health probe: the connection pool sends these through the probe channel;
+// the home side answers kProbeResponse (echoing the token) iff its backend's
+// Ping() is Ok. Any loss, corruption, or error frame counts as a failed
+// probe at the pool.
+struct ProbeRequest {
+  uint64_t token = 0;
+};
+
+struct ProbeResponse {
+  uint64_t token = 0;
+};
+
 // Frame encoding/decoding. Decoders validate the type byte and payload
 // structure and fail (never crash) on malformed frames.
 std::string Encode(const QueryRequest& message);
@@ -131,6 +153,8 @@ std::string Encode(const InvalidateRequest& message);
 std::string Encode(const InvalidateResponse& message);
 std::string Encode(const InvalidateBatchRequest& message);
 std::string Encode(const InvalidateBatchResponse& message);
+std::string Encode(const ProbeRequest& message);
+std::string Encode(const ProbeResponse& message);
 
 // Peeks the frame type; nullopt if the frame is empty or the type unknown.
 std::optional<MessageType> PeekType(std::string_view frame);
@@ -157,14 +181,16 @@ StatusOr<InvalidateBatchRequest> DecodeInvalidateBatchRequest(
     std::string_view frame);
 StatusOr<InvalidateBatchResponse> DecodeInvalidateBatchResponse(
     std::string_view frame);
+StatusOr<ProbeRequest> DecodeProbeRequest(std::string_view frame);
+StatusOr<ProbeResponse> DecodeProbeResponse(std::string_view frame);
 
-class HomeServer;
-
-// Byte-level request dispatcher for a home server: takes one request frame,
-// returns one response frame (kQueryResponse / kUpdateResponse / kError).
-// This is the single entry point a transport (TCP, in-process channel)
-// would call; ScalableApp drives it for full wire fidelity.
-std::string DispatchFrame(HomeServer& home, std::string_view frame);
+// Byte-level request dispatcher for a home backend: takes one request frame,
+// returns one response frame (kQueryResponse / kUpdateResponse /
+// kProbeResponse / kError). This is the single entry point a transport (TCP,
+// in-process channel) would call; ScalableApp drives it for full wire
+// fidelity. Dispatch goes through the backend::HomeBackend interface, so any
+// backend implementation sits behind the same wire.
+std::string DispatchFrame(backend::HomeBackend& home, std::string_view frame);
 
 // Client-side helpers: unwrap a response frame into the expected type,
 // converting kError frames back into Status.

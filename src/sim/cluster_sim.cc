@@ -24,14 +24,13 @@ struct ClientState {
 
 struct TenantState {
   Tenant spec;
-  QueueingResource home_cpu;
+  size_t host = 0;  // Index into the home-tier host array.
   LatencyHistogram response_times;
   SimResult result;
   uint64_t hits = 0;
   uint64_t lookups = 0;
 
-  TenantState(const Tenant& tenant, int home_workers)
-      : spec(tenant), home_cpu(home_workers) {
+  explicit TenantState(const Tenant& tenant) : spec(tenant) {
     result.num_clients = tenant.num_clients;
   }
 };
@@ -40,8 +39,10 @@ struct TenantState {
 
 StatusOr<ClusterSimResult> RunClusterSimulation(
     cluster::ClusterRouter& router, std::vector<Tenant> tenants,
-    const SimConfig& config, const ClusterScenario& scenario) {
+    const SimConfig& config, const ClusterScenario& scenario,
+    const HomeTopology& topology) {
   DSSP_CHECK(!tenants.empty());
+  DSSP_CHECK(topology.num_hosts >= 0 && topology.pool_size >= 0);
   const int num_nodes = router.num_nodes();
   if (scenario.kill_at_s >= 0) {
     DSSP_CHECK(scenario.kill_node >= 0 && scenario.kill_node < num_nodes);
@@ -59,13 +60,35 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
   ClusterSimResult cluster_result;
   cluster_result.node_ops.assign(static_cast<size_t>(num_nodes), 0);
 
+  // The home tier: M backend hosts, each a bounded connection pool shared by
+  // its assigned tenants (round-robin). Defaults reproduce the legacy
+  // per-tenant QueueingResource(config.home_workers) bit for bit.
+  const size_t num_hosts = topology.num_hosts > 0
+                               ? static_cast<size_t>(topology.num_hosts)
+                               : tenants.size();
+  backend::PoolOptions pool_options;
+  pool_options.size =
+      topology.pool_size > 0 ? topology.pool_size : config.home_workers;
+  pool_options.lease_latency_s = topology.lease_latency_s;
+  pool_options.lease_deadline_s = topology.lease_deadline_s;
+  std::vector<std::unique_ptr<backend::BackendHost>> hosts;
+  hosts.reserve(num_hosts);
+  for (size_t h = 0; h < num_hosts; ++h) {
+    hosts.push_back(std::make_unique<backend::BackendHost>(pool_options));
+  }
+  cluster_result.host_ops.assign(num_hosts, 0);
+
   std::vector<std::unique_ptr<TenantState>> states;
   std::vector<ClientState> clients;
   for (size_t t = 0; t < tenants.size(); ++t) {
     DSSP_CHECK(tenants[t].app != nullptr && tenants[t].generator != nullptr &&
                tenants[t].num_clients > 0);
-    states.push_back(
-        std::make_unique<TenantState>(tenants[t], config.home_workers));
+    states.push_back(std::make_unique<TenantState>(tenants[t]));
+    states.back()->host = t % num_hosts;
+    // The functional layer joins the host too: co-hosted tenants execute on
+    // the same pooled connections (shared prepared-statement caches keyed by
+    // tenant identity), not just the same timing resource.
+    hosts[states.back()->host]->AttachTenant(&tenants[t].app->home());
     for (int c = 0; c < tenants[t].num_clients; ++c) {
       ClientState client;
       client.tenant = t;
@@ -236,8 +259,14 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
               : config.home_query_base_s +
                     static_cast<double>(stats.result_rows) *
                         config.home_query_per_row_s;
-      const double home_done = tenant.home_cpu.Schedule(at_home, home_service);
-      dssp_done = home_done + config.wan_latency_s +
+      // Home time queues on the tenant's host pool: with default topology
+      // this is the old per-tenant Schedule arithmetic; with shared hosts,
+      // co-tenants contend and saturation becomes queued leases (never
+      // failed ops — backpressure).
+      const backend::ConnectionPool::Admission admission =
+          hosts[tenant.host]->pool().Admit(at_home, home_service);
+      ++cluster_result.host_ops[tenant.host];
+      dssp_done = admission.done + config.wan_latency_s +
                   static_cast<double>(stats.wan_response_bytes) / wan_bw;
     }
     dssp_done += stats.wire_delay_s;
@@ -282,6 +311,15 @@ StatusOr<ClusterSimResult> RunClusterSimulation(
                 cluster_result.measured_duration_s;
   cluster_result.events_executed = executor.events_executed();
   cluster_result.executor_epochs = executor.epochs_run();
+  for (const auto& host : hosts) {
+    const backend::PoolStats pool = host->pool().Stats();
+    cluster_result.pool_leases_queued += pool.leases_queued;
+    cluster_result.pool_lease_timeouts += pool.lease_timeouts;
+    cluster_result.pool_wait_s_total += pool.total_wait_s;
+    cluster_result.pool_wait_s_max =
+        std::max(cluster_result.pool_wait_s_max, pool.max_wait_s);
+    cluster_result.catalogs_loaded += host->catalogs_loaded();
+  }
   return cluster_result;
 }
 

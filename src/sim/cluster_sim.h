@@ -4,12 +4,30 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/host.h"
 #include "cluster/router.h"
 #include "common/status.h"
 #include "sim/config.h"
 #include "sim/simulator.h"
 
 namespace dssp::sim {
+
+// Shape of the home tier: how many physical backend hosts serve the N
+// tenants, and how each host's connection pool is provisioned. Tenants are
+// assigned to hosts round-robin (tenant t -> host t % num_hosts), and each
+// host's pool is the simulated resource home work queues on — so home-server
+// capacity (pool size, lease latency) is a first-class knob.
+//
+// The default (num_hosts = 0, pool_size = 0) gives every tenant a private
+// host whose pool has config.home_workers connections and zero lease
+// overhead — arithmetic identical to the per-tenant QueueingResource it
+// replaced, so legacy callers see bit-identical timing.
+struct HomeTopology {
+  int num_hosts = 0;          // 0 = one host per tenant.
+  int pool_size = 0;          // Connections per host; 0 = config.home_workers.
+  double lease_latency_s = 0; // Per-lease checkout overhead (simulated).
+  double lease_deadline_s = 0;  // Queued waits past this count as timeouts.
+};
 
 // Optional mid-run failover chaos: kill one member at a virtual instant and
 // (optionally) rejoin it later. Negative times disable each step. Kill and
@@ -50,6 +68,16 @@ struct ClusterSimResult {
   // Event-executor accounting.
   uint64_t events_executed = 0;
   uint64_t executor_epochs = 0;
+
+  // Home-tier accounting (per HomeTopology). Backpressure proof: every op
+  // completes — saturation shows up as queued leases and wait time, never as
+  // failed client ops.
+  std::vector<uint64_t> host_ops;   // Home ops charged to each host's pool.
+  uint64_t pool_leases_queued = 0;  // Ops that waited for a free connection.
+  uint64_t pool_lease_timeouts = 0;  // Waits past topology.lease_deadline_s.
+  double pool_wait_s_total = 0;      // Simulated seconds spent queued.
+  double pool_wait_s_max = 0;        // Worst single queued wait.
+  uint64_t catalogs_loaded = 0;  // Lazy per-tenant catalog materializations.
 };
 
 // The multi-tenant discrete-event simulation, re-pointed at a cluster: the
@@ -66,7 +94,8 @@ struct ClusterSimResult {
 // its CacheBackend and finalized/populated.
 StatusOr<ClusterSimResult> RunClusterSimulation(
     cluster::ClusterRouter& router, std::vector<Tenant> tenants,
-    const SimConfig& config, const ClusterScenario& scenario = {});
+    const SimConfig& config, const ClusterScenario& scenario = {},
+    const HomeTopology& topology = {});
 
 }  // namespace dssp::sim
 

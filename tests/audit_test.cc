@@ -253,6 +253,26 @@ TEST(AuditPerformance, UnplannedQueryInfoForUncompilableTemplate) {
   EXPECT_EQ(Find(report, "PERF-UNPLANNED-QUERY", "Q2"), nullptr);
 }
 
+TEST(AuditPerformance, UnpreparedTemplateInfoForUncompilableTemplate) {
+  const catalog::Catalog catalog = TestCatalog();
+  // A template with no compiled program can never be server-side prepared:
+  // every execution misses the prepared-statement cache. Q2 compiles (and
+  // so prepares once per connection) and must not be reported.
+  const TemplateSet set = MakeTemplates(
+      catalog,
+      {"SELECT * FROM t1 WHERE c = 5 AND a = ?",
+       "SELECT * FROM t1 WHERE a = ?"},
+      {});
+  const AuditReport report = AuditApplication(set, catalog);
+  const AuditFinding* finding = Find(report, "PERF-UNPREPARED-TEMPLATE", "Q1");
+  ASSERT_NE(finding, nullptr);
+  EXPECT_EQ(finding->severity, AuditSeverity::kInfo);
+  EXPECT_EQ(finding->lens, AuditLens::kPerformance);
+  EXPECT_NE(finding->message.find("prepared-statement cache"),
+            std::string::npos);
+  EXPECT_EQ(Find(report, "PERF-UNPREPARED-TEMPLATE", "Q2"), nullptr);
+}
+
 TEST(AuditPerformance, BlindUpdateWarning) {
   const catalog::Catalog catalog = TestCatalog();
   const TemplateSet set = MakeTemplates(
@@ -411,8 +431,10 @@ TEST(AuditWorkloads, MethodologyExposureAuditsWithZeroErrors) {
     EXPECT_FALSE(HasCode(report, "SEC-OVEREXPOSED")) << name;
     EXPECT_FALSE(HasCode(report, "SEC-SENSITIVE-EXPOSED")) << name;
     // Every paper-workload query template compiles to a vectorized
-    // program: the home servers never fall back to the interpreter.
+    // program: the home servers never fall back to the interpreter, and
+    // every template is preparable (no permanent statement-cache misses).
     EXPECT_FALSE(HasCode(report, "PERF-UNPLANNED-QUERY")) << name;
+    EXPECT_FALSE(HasCode(report, "PERF-UNPREPARED-TEMPLATE")) << name;
   }
 }
 

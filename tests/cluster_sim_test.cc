@@ -244,6 +244,147 @@ TEST(ClusterSimTest, ScenarioFiresAtExactVirtualTime) {
   EXPECT_EQ(router.membership().health(2), cluster::NodeHealth::kAlive);
 }
 
+System BuildSystem(const char* name, service::CacheBackend* backend) {
+  System system;
+  system.app = std::make_unique<service::ScalableApp>(
+      name, backend, crypto::KeyRing::FromPassphrase("sim-test"));
+  system.workload = workloads::MakeApplication(name);
+  EXPECT_TRUE(system.workload->Setup(*system.app, /*scale=*/0.2,
+                                     /*seed=*/5)
+                  .ok());
+  EXPECT_TRUE(system.app->Finalize().ok());
+  system.generator = system.workload->NewSession(/*seed=*/9);
+  return system;
+}
+
+TEST(ClusterSimTopology, ExplicitDefaultsReproduceLegacyNumbersExactly) {
+  auto run = [](const HomeTopology& topology) {
+    cluster::ClusterOptions options;
+    options.num_nodes = 2;
+    cluster::ClusterRouter router(options);
+    System system = BuildBookstore(&router);
+    auto result = RunClusterSimulation(
+        router, {Tenant{system.app.get(), system.generator.get(), 40}},
+        TestConfig(), /*scenario=*/{}, topology);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  // Spelling out the documented defaults (one host per tenant, pool sized
+  // to config.home_workers, no lease overhead) must be bit-identical to
+  // not passing a topology at all.
+  HomeTopology spelled_out;
+  spelled_out.num_hosts = 1;  // One tenant.
+  spelled_out.pool_size = TestConfig().home_workers;
+  const ClusterSimResult implicit = run(HomeTopology{});
+  const ClusterSimResult explicit_run = run(spelled_out);
+  ExpectSameSimResult(implicit.tenants[0], explicit_run.tenants[0]);
+  EXPECT_EQ(implicit.node_ops, explicit_run.node_ops);
+  EXPECT_EQ(implicit.host_ops, explicit_run.host_ops);
+  EXPECT_EQ(implicit.pool_leases_queued, explicit_run.pool_leases_queued);
+  EXPECT_DOUBLE_EQ(implicit.pool_wait_s_total, explicit_run.pool_wait_s_total);
+}
+
+TEST(ClusterSimTopology, SharedHostSaturationQueuesWithoutFailures) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 2;
+  cluster::ClusterRouter router(options);
+  System bookstore = BuildSystem("bookstore", &router);
+  System auction = BuildSystem("auction", &router);
+
+  // Two tenants funneled onto ONE host with ONE connection, and home
+  // queries slowed 10x: the shared pool must saturate. Saturation shows up
+  // as queued leases and wait time — backpressure — never as failed ops.
+  SimConfig config = TestConfig();
+  config.home_query_base_s = 0.100;
+  HomeTopology topology;
+  topology.num_hosts = 1;
+  topology.pool_size = 1;
+
+  auto result = RunClusterSimulation(
+      router,
+      {Tenant{bookstore.app.get(), bookstore.generator.get(), 30},
+       Tenant{auction.app.get(), auction.generator.get(), 30}},
+      config, /*scenario=*/{}, topology);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_GT(result->pool_leases_queued, 0u);
+  EXPECT_GT(result->pool_wait_s_total, 0.0);
+  EXPECT_GT(result->pool_wait_s_max, 0.0);
+  EXPECT_EQ(result->pool_lease_timeouts, 0u);  // No deadline configured.
+  for (const SimResult& tenant : result->tenants) {
+    EXPECT_EQ(tenant.failed_ops, 0u);
+    EXPECT_GT(tenant.pages_completed, 0u);
+  }
+
+  // Every home op from both tenants lands on the single host's pool.
+  ASSERT_EQ(result->host_ops.size(), 1u);
+  uint64_t home_ops = 0;
+  for (const SimResult& tenant : result->tenants) {
+    home_ops += tenant.home_queries + tenant.home_updates;
+  }
+  EXPECT_EQ(result->host_ops[0], home_ops);
+  EXPECT_GT(home_ops, 0u);
+
+  // Each tenant lazily materialized its catalog exactly once.
+  EXPECT_EQ(result->catalogs_loaded, 2u);
+}
+
+TEST(ClusterSimTopology, LeaseDeadlineCountsTimeoutsButServesEveryOp) {
+  cluster::ClusterOptions options;
+  options.num_nodes = 2;
+  cluster::ClusterRouter router(options);
+  System bookstore = BuildSystem("bookstore", &router);
+  System auction = BuildSystem("auction", &router);
+
+  SimConfig config = TestConfig();
+  config.home_query_base_s = 0.100;
+  HomeTopology topology;
+  topology.num_hosts = 1;
+  topology.pool_size = 1;
+  topology.lease_deadline_s = 0.010;  // Far below the saturated wait.
+
+  auto result = RunClusterSimulation(
+      router,
+      {Tenant{bookstore.app.get(), bookstore.generator.get(), 30},
+       Tenant{auction.app.get(), auction.generator.get(), 30}},
+      config, /*scenario=*/{}, topology);
+  ASSERT_TRUE(result.ok());
+
+  // Deadline overruns are counted for the operator, but the lease is still
+  // granted in arrival order — slow, visible, and lossless.
+  EXPECT_GT(result->pool_lease_timeouts, 0u);
+  EXPECT_LE(result->pool_lease_timeouts, result->pool_leases_queued);
+  for (const SimResult& tenant : result->tenants) {
+    EXPECT_EQ(tenant.failed_ops, 0u);
+  }
+}
+
+TEST(ClusterSimTopology, LeaseLatencySlowsHomeOpsDeterministically) {
+  auto run = [](double lease_latency_s) {
+    cluster::ClusterOptions options;
+    options.num_nodes = 2;
+    cluster::ClusterRouter router(options);
+    System system = BuildBookstore(&router);
+    HomeTopology topology;
+    topology.lease_latency_s = lease_latency_s;
+    auto result = RunClusterSimulation(
+        router, {Tenant{system.app.get(), system.generator.get(), 40}},
+        TestConfig(), /*scenario=*/{}, topology);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  const ClusterSimResult fast = run(0.0);
+  const ClusterSimResult slow = run(0.050);
+  // 50 ms of per-lease checkout overhead on a WAN-bound workload: strictly
+  // slower pages, same zero-loss accounting, and reproducibly so.
+  EXPECT_GT(slow.tenants[0].mean_response_s, fast.tenants[0].mean_response_s);
+  EXPECT_EQ(slow.tenants[0].failed_ops, 0u);
+  const ClusterSimResult again = run(0.050);
+  ExpectSameSimResult(slow.tenants[0], again.tenants[0]);
+}
+
 TEST(ClusterSimTest, ScenarioDefaultsAreInert) {
   cluster::ClusterOptions options;
   options.num_nodes = 2;
